@@ -1,0 +1,329 @@
+//! Call-graph construction and system call stub inlining.
+//!
+//! libc wraps every system call in a small stub (`open:`, `read:`, ...)
+//! invoked from many places. With one policy per *syscall instruction*,
+//! all callers of a stub would share one over-broad policy; the paper
+//! therefore inlines stubs into their callers so that each call site gets
+//! its own policy (§4.1). The same transform happens here at the IR level.
+
+use std::collections::{BTreeMap, HashMap};
+
+use asc_isa::Opcode;
+use asc_object::SymbolKind;
+
+use crate::ir::{IrInstr, IrItem, Unit};
+
+/// Upper bound on stub body length (instructions, excluding `ret`).
+const MAX_STUB_LEN: usize = 10;
+
+/// A call-graph edge list: caller function entry → callee entries.
+pub fn call_graph(unit: &Unit) -> BTreeMap<u32, Vec<u32>> {
+    let mut entries: Vec<u32> = unit
+        .binary
+        .symbols()
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Func)
+        .map(|s| s.addr)
+        .collect();
+    for item in &unit.items {
+        if let IrItem::Instr(i) = item {
+            if i.instr.op == Opcode::Call {
+                entries.push(i.instr.imm);
+            }
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    let func_of = |addr: u32| -> Option<u32> {
+        entries.iter().rev().find(|&&e| e <= addr).copied()
+    };
+    let mut graph: BTreeMap<u32, Vec<u32>> = entries.iter().map(|&e| (e, Vec::new())).collect();
+    for item in &unit.items {
+        let IrItem::Instr(i) = item else { continue };
+        if i.instr.op != Opcode::Call {
+            continue;
+        }
+        let Some(site_addr) = i.orig_addr else { continue };
+        if let Some(caller) = func_of(site_addr) {
+            graph.entry(caller).or_default().push(i.instr.imm);
+        }
+    }
+    graph
+}
+
+/// Description of a detected stub.
+#[derive(Clone, Debug)]
+struct Stub {
+    /// Cloneable body (everything up to but excluding the `ret`).
+    body: Vec<IrInstr>,
+    name: String,
+}
+
+/// Detects whether the function at `addr` is an inlineable syscall stub:
+/// straight-line, at most [`MAX_STUB_LEN`] instructions, containing at
+/// least one `syscall`, ending in `ret`, with no control flow inside.
+fn detect_stub(unit: &Unit, addr: u32) -> Option<Stub> {
+    let start = unit.item_at_addr(addr)?;
+    let mut body = Vec::new();
+    let mut has_syscall = false;
+    for idx in start..unit.items.len() {
+        let IrItem::Instr(ins) = &unit.items[idx] else { return None };
+        match ins.instr.op {
+            Opcode::Ret => {
+                if !has_syscall || body.len() > MAX_STUB_LEN {
+                    return None;
+                }
+                let name = unit
+                    .binary
+                    .symbols()
+                    .iter()
+                    .find(|s| s.addr == addr && s.kind == SymbolKind::Func)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|| format!("stub_{addr:#x}"));
+                return Some(Stub { body, name });
+            }
+            Opcode::Syscall => {
+                has_syscall = true;
+                body.push(ins.clone());
+            }
+            op if op.is_terminator() => return None, // branches/calls/halt
+            _ => {
+                body.push(ins.clone());
+                if body.len() > MAX_STUB_LEN {
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Inlines every detected stub at every direct call site. Returns
+/// `(stub name, number of sites inlined)` per stub, for reporting.
+///
+/// The stub bodies themselves remain in the binary (their syscall sites
+/// keep their own — now caller-less, hence unreachable-by-policy —
+/// policies), and the first inlined instruction inherits the call's
+/// original address so that branches targeting the call keep working after
+/// the rewrite.
+pub fn inline_stubs(unit: &mut Unit) -> Vec<(String, usize)> {
+    // Pass 1: find call targets.
+    let mut targets: Vec<u32> = unit
+        .items
+        .iter()
+        .filter_map(|it| match it {
+            IrItem::Instr(i) if i.instr.op == Opcode::Call => Some(i.instr.imm),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+
+    // Pass 2: detect stubs.
+    let stubs: HashMap<u32, Stub> = targets
+        .into_iter()
+        .filter_map(|t| detect_stub(unit, t).map(|s| (t, s)))
+        .collect();
+    if stubs.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 3: splice.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut new_items = Vec::with_capacity(unit.items.len());
+    for item in unit.items.drain(..) {
+        match &item {
+            IrItem::Instr(i)
+                if i.instr.op == Opcode::Call && stubs.contains_key(&i.instr.imm) =>
+            {
+                let stub = &stubs[&i.instr.imm];
+                *counts.entry(stub.name.clone()).or_default() += 1;
+                for (k, body_instr) in stub.body.iter().enumerate() {
+                    let mut clone = body_instr.clone();
+                    // The first clone inherits the call's address so that
+                    // branch targets and the address map stay coherent;
+                    // the rest are synthetic.
+                    clone.orig_addr = if k == 0 { i.orig_addr } else { None };
+                    new_items.push(IrItem::Instr(clone));
+                }
+            }
+            _ => new_items.push(item),
+        }
+    }
+    unit.items = new_items;
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_isa::Reg;
+
+    fn lift(src: &str) -> Unit {
+        Unit::lift(&assemble(src).unwrap()).unwrap()
+    }
+
+    const STUB_PROGRAM: &str = "
+        .text
+    main:
+        movi r1, 0x2000
+        call open
+        movi r1, 99
+        call getpid
+        halt
+    open:
+        movi r0, 5
+        syscall
+        ret
+    getpid:
+        movi r0, 20
+        syscall
+        ret
+    ";
+
+    #[test]
+    fn call_graph_edges() {
+        let unit = lift(STUB_PROGRAM);
+        let graph = call_graph(&unit);
+        let main = unit.binary.symbol("main").unwrap().addr;
+        let open = unit.binary.symbol("open").unwrap().addr;
+        let getpid = unit.binary.symbol("getpid").unwrap().addr;
+        assert_eq!(graph[&main], vec![open, getpid]);
+        assert!(graph[&open].is_empty());
+    }
+
+    #[test]
+    fn stubs_detected_and_inlined() {
+        let mut unit = lift(STUB_PROGRAM);
+        let before = unit.items.len();
+        let inlined = inline_stubs(&mut unit);
+        assert_eq!(
+            inlined,
+            vec![("getpid".to_string(), 1), ("open".to_string(), 1)]
+        );
+        // Each call (1 item) replaced by movi+syscall (2 items): +2 total.
+        assert_eq!(unit.items.len(), before + 2);
+        // Syscall count: 2 original in stubs + 2 inlined.
+        let syscalls = unit
+            .items
+            .iter()
+            .filter(|it| matches!(it, IrItem::Instr(i) if i.instr.op == Opcode::Syscall))
+            .count();
+        assert_eq!(syscalls, 4);
+        // The first inlined instruction keeps the call's address.
+        let IrItem::Instr(first_inlined) = &unit.items[1] else { panic!() };
+        assert_eq!(first_inlined.instr.op, Opcode::Movi);
+        assert_eq!(first_inlined.instr.rd, Reg::R0);
+        assert_eq!(first_inlined.instr.imm, 5);
+        assert_eq!(first_inlined.orig_addr, Some(0x1008));
+    }
+
+    #[test]
+    fn non_stubs_not_inlined() {
+        // A function with a branch is not a stub; a function without a
+        // syscall is not a stub.
+        let mut unit = lift(
+            "
+            .text
+        main:
+            call branchy
+            call plain
+            halt
+        branchy:
+            movi r0, 5
+            beq r1, r2, skip
+            syscall
+        skip:
+            ret
+        plain:
+            movi r0, 7
+            ret
+        ",
+        );
+        let inlined = inline_stubs(&mut unit);
+        assert!(inlined.is_empty());
+    }
+
+    #[test]
+    fn long_functions_not_inlined() {
+        let body: String = (0..12).map(|i| format!("movi r2, {i}\n")).collect();
+        let mut unit = lift(&format!(
+            "
+            .text
+        main:
+            call big
+            halt
+        big:
+            {body}
+            movi r0, 5
+            syscall
+            ret
+        "
+        ));
+        assert!(inline_stubs(&mut unit).is_empty());
+    }
+
+    #[test]
+    fn shared_stub_inlined_at_every_site() {
+        let mut unit = lift(
+            "
+            .text
+        main:
+            call w
+            call w
+            call w
+            halt
+        w:
+            movi r0, 4
+            syscall
+            ret
+        ",
+        );
+        let inlined = inline_stubs(&mut unit);
+        assert_eq!(inlined, vec![("w".to_string(), 3)]);
+    }
+
+    #[test]
+    fn rewritten_program_still_runs() {
+        // End-to-end: inline, emit, patch the binary, execute.
+        let mut unit = lift(STUB_PROGRAM);
+        inline_stubs(&mut unit);
+        let emitted = unit.emit_text(unit.text_addr());
+        let mut binary = unit.binary.clone();
+        // Remap address-immediates and data relocations.
+        let text_idx = binary.section_index(".text").unwrap() as usize;
+        {
+            let text = &mut binary.sections_mut()[text_idx];
+            text.data = emitted.bytes;
+            text.mem_size = text.data.len() as u32;
+        }
+        for off in &emitted.addr_imm_offsets {
+            let off = *off as usize;
+            let text = &mut binary.sections_mut()[text_idx];
+            let old = u32::from_le_bytes(text.data[off..off + 4].try_into().unwrap());
+            let new = emitted.addr_map.get(&old).copied().unwrap_or(old);
+            text.data[off..off + 4].copy_from_slice(&new.to_le_bytes());
+        }
+        let entry = binary.entry();
+        binary.set_entry(*emitted.addr_map.get(&entry).unwrap_or(&entry));
+
+        // Run under a trivial handler that records syscall numbers.
+        #[derive(Default)]
+        struct Rec(Vec<u32>);
+        impl asc_vm::SyscallHandler for Rec {
+            fn syscall(&mut self, ctx: &mut asc_vm::TrapContext<'_>) -> asc_vm::TrapOutcome {
+                self.0.push(ctx.reg(Reg::R0));
+                if self.0.len() >= 2 {
+                    asc_vm::TrapOutcome::Exit(0)
+                } else {
+                    asc_vm::TrapOutcome::Continue
+                }
+            }
+        }
+        let mut m = asc_vm::Machine::load(&binary, Rec::default()).unwrap();
+        let out = m.run(1_000_000);
+        assert_eq!(out, asc_vm::RunOutcome::Exited(0));
+        assert_eq!(m.handler().0, vec![5, 20], "inlined syscalls execute in order");
+    }
+}

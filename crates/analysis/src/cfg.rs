@@ -1,0 +1,474 @@
+//! Basic blocks and the control-flow graph.
+//!
+//! Blocks are numbered from 1; block id 0 is reserved for "program start"
+//! in control-flow policies (a syscall whose predecessor set contains 0 may
+//! be the first call the program makes). With the Frankenstein
+//! countermeasure (§5.5) the installer later folds a program id into these
+//! ids; the analysis itself is program-local.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use asc_isa::Opcode;
+
+use crate::ir::{IrItem, Unit};
+
+/// A basic block identifier (1-based; 0 = program start pseudo-block).
+pub type BlockId = u32;
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id.
+    pub id: BlockId,
+    /// Index of the first item (inclusive).
+    pub start: usize,
+    /// Index one past the last item.
+    pub end: usize,
+}
+
+impl BasicBlock {
+    /// Index of the last item in the block.
+    pub fn last(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// How control reaches a successor block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// Ordinary intraprocedural flow (fallthrough, branch, jump).
+    Flow,
+    /// Call edge into a callee's entry block.
+    Call,
+    /// Return edge from a `ret` block to a call site's fallthrough.
+    Return,
+    /// Summary edge from a call block directly to its fallthrough,
+    /// modelling "the callee ran and came back": register state is
+    /// clobbered but the caller's frame and expression stack survive.
+    /// Used by the constant propagation; the syscall graph ignores it
+    /// (a summary edge would skip the callee's syscalls — which is merely
+    /// conservative, but the call/return edges are more precise).
+    CallSummary,
+}
+
+/// The control-flow graph over basic blocks.
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Successor edges, including interprocedural call/return edges.
+    succs: BTreeMap<BlockId, BTreeSet<(EdgeKind, BlockId)>>,
+    /// item index -> containing block.
+    item_block: HashMap<usize, BlockId>,
+    /// Function entry addresses discovered from call targets + symbols.
+    entries: BTreeSet<u32>,
+}
+
+impl Cfg {
+    /// Builds the CFG (interprocedural: call edges to callee entries,
+    /// return edges from `ret` blocks back to every call fall-through of
+    /// the containing function, context-insensitively).
+    pub fn build(unit: &Unit) -> Cfg {
+        let n = unit.items.len();
+        // 1. Leaders: item 0, targets of branches/jumps/calls, items after
+        //    terminators.
+        let mut leaders = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0usize);
+        }
+        let addr_to_index: HashMap<u32, usize> = unit
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, it)| match it {
+                IrItem::Instr(ins) => ins.orig_addr.map(|a| (a, i)),
+                IrItem::Raw { orig_addr, .. } => Some((*orig_addr, i)),
+            })
+            .collect();
+        for (i, item) in unit.items.iter().enumerate() {
+            match item {
+                IrItem::Instr(ins) => {
+                    if ins.op_is_terminator() && i + 1 < n {
+                        leaders.insert(i + 1);
+                    }
+                    if ins.instr.op.imm_is_code_target() {
+                        if let Some(&t) = addr_to_index.get(&ins.instr.imm) {
+                            leaders.insert(t);
+                        }
+                    }
+                }
+                IrItem::Raw { .. } => {
+                    // Raw regions are their own opaque blocks.
+                    leaders.insert(i);
+                    if i + 1 < n {
+                        leaders.insert(i + 1);
+                    }
+                }
+            }
+        }
+
+        // 2. Blocks.
+        let boundaries: Vec<usize> = leaders.iter().copied().collect();
+        let mut blocks = Vec::new();
+        let mut item_block = HashMap::new();
+        for (bi, &start) in boundaries.iter().enumerate() {
+            let end = boundaries.get(bi + 1).copied().unwrap_or(n);
+            let id = (bi + 1) as BlockId;
+            for i in start..end {
+                item_block.insert(i, id);
+            }
+            blocks.push(BasicBlock { id, start, end });
+        }
+
+        // 3. Function entries: call targets, the program entry point, and
+        // address-taken code locations (addresses materialised by
+        // non-control-flow instructions or stored in data — potential
+        // indirect call/jump targets, PLTO-style). Symbols are NOT used:
+        // every label is a symbol, including function-internal ones, and
+        // treating those as function starts would mis-attribute `ret`
+        // instructions and lose return edges.
+        let mut entries: BTreeSet<u32> = BTreeSet::new();
+        entries.insert(unit.binary.entry());
+        for item in &unit.items {
+            if let IrItem::Instr(ins) = item {
+                if ins.instr.op == Opcode::Call {
+                    entries.insert(ins.instr.imm);
+                }
+                if ins.imm_is_addr
+                    && !ins.instr.op.imm_is_code_target()
+                    && unit.addr_in_text(ins.instr.imm)
+                {
+                    entries.insert(ins.instr.imm);
+                }
+            }
+        }
+        let text_index = unit.binary.section_index(".text");
+        for r in unit.binary.relocations() {
+            if Some(r.section) == text_index {
+                continue;
+            }
+            let v = unit.binary.reloc_value(*r);
+            if unit.addr_in_text(v) {
+                entries.insert(v);
+            }
+        }
+
+        // 4. Edges.
+        let mut cfg = Cfg { blocks, succs: BTreeMap::new(), item_block, entries };
+        // Map each function entry to the set of "return-to" blocks: the
+        // blocks following call sites that target it. Context-insensitive
+        // return edges connect every ret in a function to all of these —
+        // requires knowing which function a ret belongs to, which we
+        // approximate by the nearest preceding entry address.
+        let mut entry_sorted: Vec<u32> = cfg.entries.iter().copied().collect();
+        entry_sorted.sort_unstable();
+        let func_of = |addr: u32| -> Option<u32> {
+            entry_sorted.iter().rev().find(|&&e| e <= addr).copied()
+        };
+        let mut returns_to: HashMap<u32, BTreeSet<BlockId>> = HashMap::new();
+
+        let blocks_snapshot = cfg.blocks.clone();
+        for b in &blocks_snapshot {
+            let last = &unit.items[b.last()];
+            match last {
+                IrItem::Instr(ins) => {
+                    let op = ins.instr.op;
+                    let fallthrough = || {
+                        blocks_snapshot
+                            .iter()
+                            .find(|nb| nb.start == b.end)
+                            .map(|nb| nb.id)
+                    };
+                    match op {
+                        Opcode::Jmp => {
+                            if let Some(t) = addr_to_index.get(&ins.instr.imm) {
+                                let tb = cfg.item_block[t];
+                                cfg.add_edge(b.id, EdgeKind::Flow, tb);
+                            }
+                        }
+                        Opcode::Beq
+                        | Opcode::Bne
+                        | Opcode::Blt
+                        | Opcode::Bge
+                        | Opcode::Bltu
+                        | Opcode::Bgeu => {
+                            if let Some(t) = addr_to_index.get(&ins.instr.imm) {
+                                let tb = cfg.item_block[t];
+                                cfg.add_edge(b.id, EdgeKind::Flow, tb);
+                            }
+                            if let Some(ft) = fallthrough() {
+                                cfg.add_edge(b.id, EdgeKind::Flow, ft);
+                            }
+                        }
+                        Opcode::Call => {
+                            // Call edge to callee entry; the return comes
+                            // back to our fall-through.
+                            if let Some(t) = addr_to_index.get(&ins.instr.imm) {
+                                let tb = cfg.item_block[t];
+                                cfg.add_edge(b.id, EdgeKind::Call, tb);
+                            }
+                            if let Some(ft) = fallthrough() {
+                                cfg.add_edge(b.id, EdgeKind::CallSummary, ft);
+                                returns_to
+                                    .entry(ins.instr.imm)
+                                    .or_default()
+                                    .insert(ft);
+                            }
+                        }
+                        Opcode::Ret => {
+                            // Handled below once returns_to is complete.
+                        }
+                        Opcode::Halt => {}
+                        Opcode::Jr | Opcode::Callr => {
+                            // Indirect flow: the target is statically
+                            // unknown, so conservatively add edges to every
+                            // known function entry (over-approximation: the
+                            // resulting policies permit more, never less —
+                            // no false alarms). A callr additionally falls
+                            // through, and every function's rets may return
+                            // to it.
+                            for &entry in &cfg.entries.clone() {
+                                if let Some(t) = addr_to_index.get(&entry) {
+                                    let tb = cfg.item_block[t];
+                                    cfg.add_edge(b.id, EdgeKind::Call, tb);
+                                }
+                            }
+                            if op == Opcode::Callr {
+                                if let Some(ft) = fallthrough() {
+                                    cfg.add_edge(b.id, EdgeKind::CallSummary, ft);
+                                    for &entry in &cfg.entries.clone() {
+                                        returns_to.entry(entry).or_default().insert(ft);
+                                    }
+                                }
+                            }
+                        }
+                        Opcode::Syscall => {
+                            if let Some(ft) = fallthrough() {
+                                cfg.add_edge(b.id, EdgeKind::Flow, ft);
+                            }
+                        }
+                        _ => {
+                            // Non-terminator at block end: plain fallthrough
+                            // (the next item was a leader for another
+                            // reason, e.g. a branch target).
+                            if let Some(ft) = fallthrough() {
+                                cfg.add_edge(b.id, EdgeKind::Flow, ft);
+                            }
+                        }
+                    }
+                }
+                IrItem::Raw { .. } => {
+                    // Opaque region: assume it may fall through.
+                    if let Some(nb) = blocks_snapshot.iter().find(|nb| nb.start == b.end) {
+                        cfg.add_edge(b.id, EdgeKind::Flow, nb.id);
+                    }
+                }
+            }
+        }
+        // Return edges.
+        for b in &blocks_snapshot {
+            let IrItem::Instr(ins) = &unit.items[b.last()] else { continue };
+            if ins.instr.op != Opcode::Ret {
+                continue;
+            }
+            let Some(addr) = unit.addr_of(b.last()) else { continue };
+            let Some(entry) = func_of(addr) else { continue };
+            if let Some(rets) = returns_to.get(&entry) {
+                for &r in rets {
+                    cfg.add_edge(b.id, EdgeKind::Return, r);
+                }
+            }
+        }
+        cfg
+    }
+
+    fn add_edge(&mut self, from: BlockId, kind: EdgeKind, to: BlockId) {
+        self.succs.entry(from).or_default().insert((kind, to));
+    }
+
+    /// All blocks in layout order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing item `idx`.
+    pub fn block_of(&self, idx: usize) -> Option<BlockId> {
+        self.item_block.get(&idx).copied()
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id as usize - 1)
+    }
+
+    /// Successor blocks (all edge kinds, deduplicated).
+    pub fn succs(&self, id: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        let mut seen = BTreeSet::new();
+        self.succs
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&(_, to)| seen.insert(to).then_some(to))
+    }
+
+    /// Successor edges with their kinds.
+    pub fn succ_edges(&self, id: BlockId) -> impl Iterator<Item = (EdgeKind, BlockId)> + '_ {
+        self.succs.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Predecessors of a block (computed on demand, any edge kind).
+    pub fn preds(&self, id: BlockId) -> Vec<BlockId> {
+        self.succs
+            .iter()
+            .filter(|(_, s)| s.iter().any(|&(_, to)| to == id))
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    /// Discovered function entry addresses.
+    pub fn entries(&self) -> &BTreeSet<u32> {
+        &self.entries
+    }
+}
+
+impl crate::ir::IrInstr {
+    pub(crate) fn op_is_terminator(&self) -> bool {
+        self.instr.op.is_terminator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use crate::ir::Unit;
+
+    fn cfg_of(src: &str) -> (Unit, Cfg) {
+        let unit = Unit::lift(&assemble(src).unwrap()).unwrap();
+        let cfg = Cfg::build(&unit);
+        (unit, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block_per_terminator() {
+        let (_, cfg) = cfg_of(
+            "
+            .text
+        main:
+            movi r0, 1
+            movi r1, 2
+            syscall        ; ends block 1
+            halt           ; block 2
+        ",
+        );
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.succs(1).collect::<Vec<_>>(), vec![2]);
+        assert!(cfg.succs(2).next().is_none());
+    }
+
+    #[test]
+    fn diamond() {
+        let (_, cfg) = cfg_of(
+            "
+            .text
+        main:
+            movi r1, 1
+            beq r1, r2, then    ; block 1
+            movi r3, 2          ; block 2 (else)
+            jmp join
+        then:
+            movi r3, 3          ; block 3
+        join:
+            halt                ; block 4
+        ",
+        );
+        assert_eq!(cfg.blocks().len(), 4);
+        let s1: Vec<_> = cfg.succs(1).collect();
+        assert_eq!(s1, vec![2, 3]);
+        assert_eq!(cfg.succs(2).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(cfg.succs(3).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(cfg.preds(4), vec![2, 3]);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let (_, cfg) = cfg_of(
+            "
+            .text
+        main:
+            movi r1, 0          ; block 1
+        loop:
+            addi r1, r1, 1      ; block 2
+            movi r2, 10
+            bne r1, r2, loop
+            halt                ; block 3
+        ",
+        );
+        let s2: Vec<_> = cfg.succs(2).collect();
+        assert!(s2.contains(&2), "back edge to self");
+        assert!(s2.contains(&3));
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let (_, cfg) = cfg_of(
+            "
+            .text
+        main:
+            call f              ; block 1 -> f entry (3); f ret -> block 2
+            halt                ; block 2
+        f:
+            movi r0, 7          ; block 3
+            ret
+        ",
+        );
+        let calls: Vec<_> = cfg
+            .succ_edges(1)
+            .filter(|(k, _)| *k == EdgeKind::Call)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(calls, vec![3]);
+        let summaries: Vec<_> = cfg
+            .succ_edges(1)
+            .filter(|(k, _)| *k == EdgeKind::CallSummary)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(summaries, vec![2]);
+        let rets: Vec<_> = cfg
+            .succ_edges(3)
+            .filter(|(k, _)| *k == EdgeKind::Return)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(rets, vec![2]);
+    }
+
+    #[test]
+    fn shared_callee_returns_to_all_callers() {
+        let (_, cfg) = cfg_of(
+            "
+            .text
+        main:
+            call f              ; block 1
+            call f              ; block 2
+            halt                ; block 3
+        f:
+            ret                 ; block 4
+        ",
+        );
+        let s4: Vec<_> = cfg
+            .succ_edges(4)
+            .filter(|(k, _)| *k == EdgeKind::Return)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(s4, vec![2, 3], "ret goes to both call fall-throughs");
+    }
+
+    #[test]
+    fn block_lookup() {
+        let (unit, cfg) = cfg_of("main: movi r0, 1\nsyscall\nhalt");
+        assert_eq!(unit.items.len(), 3);
+        assert_eq!(cfg.block_of(0), Some(1));
+        assert_eq!(cfg.block_of(1), Some(1));
+        assert_eq!(cfg.block_of(2), Some(2));
+        assert_eq!(cfg.block(1).unwrap().last(), 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Instruction-level IR lifted from a SOF binary and re-emittable after
+//! transformation.
+//!
+//! The IR preserves two facts per instruction that make rewriting sound:
+//! its *original address* (so control-flow targets can be remapped after
+//! code motion) and whether its immediate *is an address* (from the
+//! binary's relocation table — PLTO's relocatable-input requirement).
+
+use std::collections::{BTreeSet, HashMap};
+
+use asc_isa::{DecodeError, Instruction, INSTR_LEN};
+use asc_object::{sections, Binary};
+
+/// One item of the lifted text section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrItem {
+    /// A decoded instruction.
+    Instr(IrInstr),
+    /// Bytes that failed to disassemble (kept opaque, addresses preserved).
+    Raw {
+        /// Original address of the region.
+        orig_addr: u32,
+        /// The raw bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// A decoded instruction with rewriting metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrInstr {
+    /// Address in the input binary (`None` for instructions synthesised by
+    /// a transform, e.g. inlined stub bodies or installer-inserted moves).
+    pub orig_addr: Option<u32>,
+    /// The instruction.
+    pub instr: Instruction,
+    /// Whether `instr.imm` holds an address (per the relocation table) and
+    /// must be remapped when code moves.
+    pub imm_is_addr: bool,
+}
+
+/// Error lifting a binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiftError {
+    /// The binary has no `.text` section.
+    NoText,
+    /// The binary carries no relocations, so it cannot be safely rewritten
+    /// (the paper's installer has the same restriction).
+    NotRelocatable,
+}
+
+impl std::fmt::Display for LiftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiftError::NoText => write!(f, "binary has no .text section"),
+            LiftError::NotRelocatable => {
+                write!(f, "binary has no relocation information; cannot rewrite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+/// The lifted program: text as IR items plus the original binary (for data
+/// sections, symbols, and non-text relocations).
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// Lifted text items in layout order.
+    pub items: Vec<IrItem>,
+    /// The source binary (sections other than `.text` are reused as-is).
+    pub binary: Binary,
+    /// Warnings generated during lifting (undisassembled regions).
+    pub lift_warnings: Vec<String>,
+    text_addr: u32,
+    text_len: u32,
+}
+
+impl Unit {
+    /// Lifts a relocatable binary into IR.
+    ///
+    /// # Errors
+    ///
+    /// [`LiftError::NoText`] / [`LiftError::NotRelocatable`].
+    pub fn lift(binary: &Binary) -> Result<Unit, LiftError> {
+        let text_index = binary.section_index(sections::TEXT).ok_or(LiftError::NoText)?;
+        if !binary.is_relocatable() {
+            return Err(LiftError::NotRelocatable);
+        }
+        let text = &binary.sections()[text_index as usize];
+        // Offsets within text whose imm field is an address.
+        let reloc_offsets: BTreeSet<u32> = binary
+            .relocations()
+            .iter()
+            .filter(|r| r.section == text_index)
+            .map(|r| r.offset)
+            .collect();
+
+        let mut items = Vec::new();
+        let mut warnings = Vec::new();
+        let mut off = 0usize;
+        while off + INSTR_LEN <= text.data.len() {
+            let addr = text.addr + off as u32;
+            match Instruction::decode(&text.data[off..off + INSTR_LEN]) {
+                Ok(instr) => {
+                    let imm_is_addr = reloc_offsets.contains(&(off as u32 + 4));
+                    items.push(IrItem::Instr(IrInstr { orig_addr: Some(addr), instr, imm_is_addr }));
+                }
+                Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadRegister(_)) => {
+                    // Opaque region: merge with a preceding Raw if adjacent.
+                    let bytes = text.data[off..off + INSTR_LEN].to_vec();
+                    if let Some(IrItem::Raw { bytes: prev, .. }) = items.last_mut() {
+                        prev.extend_from_slice(&bytes);
+                    } else {
+                        warnings.push(format!(
+                            "could not disassemble region at {addr:#x}; system calls inside it \
+                             will not receive policies"
+                        ));
+                        items.push(IrItem::Raw { orig_addr: addr, bytes });
+                    }
+                }
+                Err(DecodeError::Truncated) => break,
+            }
+            off += INSTR_LEN;
+        }
+        if off != text.data.len() {
+            warnings.push(format!("{} trailing text bytes ignored", text.data.len() - off));
+        }
+        Ok(Unit {
+            items,
+            binary: binary.clone(),
+            lift_warnings: warnings,
+            text_addr: text.addr,
+            text_len: text.data.len() as u32,
+        })
+    }
+
+    /// Original address of item `idx` (raw regions report their start).
+    pub fn addr_of(&self, idx: usize) -> Option<u32> {
+        match &self.items[idx] {
+            IrItem::Instr(i) => i.orig_addr,
+            IrItem::Raw { orig_addr, .. } => Some(*orig_addr),
+        }
+    }
+
+    /// Load address of the original text section.
+    pub fn text_addr(&self) -> u32 {
+        self.text_addr
+    }
+
+    /// Whether `addr` was inside the original text section.
+    pub fn addr_in_text(&self, addr: u32) -> bool {
+        addr >= self.text_addr && addr < self.text_addr + self.text_len
+    }
+
+    /// Finds the item index whose original address is `addr`.
+    pub fn item_at_addr(&self, addr: u32) -> Option<usize> {
+        self.items.iter().position(|it| match it {
+            IrItem::Instr(i) => i.orig_addr == Some(addr),
+            IrItem::Raw { orig_addr, bytes } => {
+                *orig_addr <= addr && addr < *orig_addr + bytes.len() as u32
+            }
+        })
+    }
+
+    /// Emits the (possibly transformed) items as new text bytes based at
+    /// `base`, returning the bytes, the old→new address map, and the text
+    /// offsets of immediates that hold addresses (for the caller to remap
+    /// and to rebuild relocations from).
+    pub fn emit_text(&self, base: u32) -> EmittedText {
+        let mut bytes = Vec::new();
+        let mut addr_map = HashMap::new();
+        let mut addr_imm_offsets = Vec::new();
+        for item in &self.items {
+            match item {
+                IrItem::Instr(i) => {
+                    if let Some(orig) = i.orig_addr {
+                        addr_map.insert(orig, base + bytes.len() as u32);
+                    }
+                    if i.imm_is_addr {
+                        addr_imm_offsets.push(bytes.len() as u32 + 4);
+                    }
+                    bytes.extend_from_slice(&i.instr.encode());
+                }
+                IrItem::Raw { orig_addr, bytes: raw } => {
+                    // Raw regions keep their bytes; map their start address
+                    // (interior addresses of opaque regions cannot be
+                    // remapped, which is precisely why PLTO warns).
+                    addr_map.insert(*orig_addr, base + bytes.len() as u32);
+                    bytes.extend_from_slice(raw);
+                }
+            }
+        }
+        EmittedText { bytes, addr_map, addr_imm_offsets }
+    }
+}
+
+/// Result of [`Unit::emit_text`].
+#[derive(Debug)]
+pub struct EmittedText {
+    /// The new text bytes.
+    pub bytes: Vec<u8>,
+    /// Old address → new address for every surviving original instruction.
+    pub addr_map: HashMap<u32, u32>,
+    /// Offsets (within the new text) of 4-byte immediates holding
+    /// addresses.
+    pub addr_imm_offsets: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_asm::assemble;
+    use asc_isa::{Opcode, Reg};
+
+    fn lift_src(src: &str) -> Unit {
+        Unit::lift(&assemble(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lift_simple_program() {
+        let unit = lift_src(
+            "
+            .text
+        main:
+            movi r1, msg
+            movi r0, 4
+            syscall
+            halt
+            .rodata
+        msg: .asciz \"x\"
+        ",
+        );
+        assert_eq!(unit.items.len(), 4);
+        let IrItem::Instr(first) = &unit.items[0] else { panic!() };
+        assert!(first.imm_is_addr, "movi r1, msg carries a relocation");
+        let IrItem::Instr(second) = &unit.items[1] else { panic!() };
+        assert!(!second.imm_is_addr, "movi r0, 4 is a plain constant");
+        assert_eq!(first.orig_addr, Some(0x1000));
+        assert!(unit.lift_warnings.is_empty());
+    }
+
+    #[test]
+    fn lift_requires_relocations() {
+        let mut binary = assemble("main: halt").unwrap();
+        // This program has no relocations at all; simulate a stripped
+        // binary by ensuring the list is empty and expect rejection.
+        binary.strip_relocations();
+        assert!(matches!(Unit::lift(&binary), Err(LiftError::NotRelocatable)));
+    }
+
+    #[test]
+    fn raw_regions_preserved_and_reported() {
+        let mut binary = assemble(
+            "
+            .text
+        main:
+            movi r0, 20
+            syscall
+        island:
+            .word 0xffffffff      ; invalid opcode 0xff
+            .word 0x12345678
+        after:
+            halt
+            movi r0, main         ; keep a relocation so lift() accepts
+        ",
+        )
+        .unwrap();
+        binary.push_relocation(asc_object::Relocation { section: 0, offset: 4 + 4 * 8 });
+        let unit = Unit::lift(&binary).unwrap();
+        let raws: Vec<_> = unit
+            .items
+            .iter()
+            .filter(|i| matches!(i, IrItem::Raw { .. }))
+            .collect();
+        assert_eq!(raws.len(), 1);
+        assert!(unit.lift_warnings.iter().any(|w| w.contains("could not disassemble")));
+    }
+
+    #[test]
+    fn emit_text_roundtrips_unmodified() {
+        let unit = lift_src(
+            "
+            .text
+        main:
+            movi r1, 5
+            call f
+            halt
+        f:
+            add r0, r1, r1
+            ret
+        ",
+        );
+        let emitted = unit.emit_text(unit.text_addr());
+        let orig = unit.binary.section_by_name(".text").unwrap();
+        assert_eq!(emitted.bytes, orig.data);
+        // Identity map.
+        for (old, new) in &emitted.addr_map {
+            assert_eq!(old, new);
+        }
+        assert_eq!(emitted.addr_imm_offsets, vec![12]); // the call's imm
+    }
+
+    #[test]
+    fn emit_text_tracks_insertion_shifts() {
+        let mut unit = lift_src(
+            "
+            .text
+        main:
+            movi r1, 5
+            jmp end
+        end:
+            halt
+        ",
+        );
+        // Insert two instructions before the jmp (simulating the
+        // installer's authenticated-call argument loads).
+        let insert = IrItem::Instr(IrInstr {
+            orig_addr: None,
+            instr: Instruction::movi(Reg::R7, 0xAA),
+            imm_is_addr: false,
+        });
+        unit.items.insert(1, insert.clone());
+        unit.items.insert(1, insert);
+        let emitted = unit.emit_text(0x1000);
+        // Old jmp at 0x1008 now at 0x1018; old target 0x1010 now 0x1020.
+        assert_eq!(emitted.addr_map[&0x1008], 0x1018);
+        assert_eq!(emitted.addr_map[&0x1010], 0x1020);
+        // Re-decode the moved jmp to confirm encoding integrity.
+        let jmp = Instruction::decode(&emitted.bytes[0x18..0x20]).unwrap();
+        assert_eq!(jmp.op, Opcode::Jmp);
+    }
+
+    #[test]
+    fn item_at_addr_lookup() {
+        let unit = lift_src("main: movi r0, 1\nsyscall\n");
+        assert_eq!(unit.item_at_addr(0x1000), Some(0));
+        assert_eq!(unit.item_at_addr(0x1008), Some(1));
+        assert_eq!(unit.item_at_addr(0x2000), None);
+        assert!(unit.addr_in_text(0x1008));
+        assert!(!unit.addr_in_text(0x2000));
+    }
+}

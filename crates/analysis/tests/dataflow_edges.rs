@@ -1,0 +1,267 @@
+//! Edge cases of the constant-propagation model: frame-slot tracking,
+//! byte-store invalidation, stack poisoning on unbalanced paths, and
+//! address-constant propagation.
+
+use asc_analysis::dataflow::Value;
+use asc_analysis::{ir::Unit, ProgramAnalysis};
+use asc_asm::assemble;
+use asc_isa::Reg;
+
+fn analyze(src: &str) -> ProgramAnalysis {
+    ProgramAnalysis::run(Unit::lift(&assemble(src).unwrap()).unwrap())
+}
+
+fn first_syscall_arg(analysis: &ProgramAnalysis, n: usize) -> Value {
+    analysis.syscall_sites()[0].args[n].clone()
+}
+
+#[test]
+fn frame_slot_roundtrip() {
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        addi sp, sp, -8
+        movi r2, 1234
+        stw [fp-4], r2
+        movi r2, 0
+        ldw r1, [fp-4]
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Const(1234));
+}
+
+#[test]
+fn byte_store_invalidates_overlapping_slot() {
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        addi sp, sp, -8
+        movi r2, 1234
+        stw [fp-4], r2
+        movi r3, 9
+        stb [fp-2], r3        ; clobbers a byte of the slot
+        ldw r1, [fp-4]
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Unknown);
+}
+
+#[test]
+fn adjacent_byte_store_does_not_invalidate() {
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        addi sp, sp, -16
+        movi r2, 1234
+        stw [fp-4], r2
+        movi r3, 9
+        stb [fp-8], r3        ; different slot entirely
+        ldw r1, [fp-4]
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Const(1234));
+}
+
+#[test]
+fn pointer_store_does_not_clobber_frame_model() {
+    // Documented assumption: scalar slots are only accessed fp-relative.
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        addi sp, sp, -8
+        movi r2, 77
+        stw [fp-4], r2
+        movi r3, 0x600000
+        stw [r3], r2          ; store through a computed pointer
+        ldw r1, [fp-4]
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Const(77));
+}
+
+#[test]
+fn unbalanced_join_poisons_stack() {
+    // One path pushes, the other does not; the pop after the join must
+    // not claim a constant.
+    let a = analyze(
+        "
+        .text
+    main:
+        movi r2, 5
+        beq r3, r4, .skip
+        push r2
+        jmp .join
+    .skip:
+        push r2
+        push r2
+        pop r12
+        jmp .join2
+    .join:
+    .join2:
+        pop r1
+        movi r0, 4
+        syscall
+    ",
+    );
+    // Depths differ at the join (1 vs 1 after the skip-path pop... the
+    // skip path pushes twice and pops once -> depth 1; the other path
+    // depth 1; equal depths, both hold Const(5)).
+    assert_eq!(first_syscall_arg(&a, 0), Value::Const(5));
+
+    let b = analyze(
+        "
+        .text
+    main:
+        movi r2, 5
+        movi r5, 6
+        beq r3, r4, .skip
+        push r2
+        jmp .join
+    .skip:
+        push r2
+        push r5
+    .join:
+        pop r1
+        movi r0, 4
+        syscall
+    ",
+    );
+    // Genuinely mismatched depths: the model must refuse to guess.
+    assert_eq!(first_syscall_arg(&b, 0), Value::Unknown);
+}
+
+#[test]
+fn join_same_depth_different_values_is_multivalue() {
+    let a = analyze(
+        "
+        .text
+    main:
+        beq r3, r4, .b
+        movi r2, 1
+        push r2
+        jmp .join
+    .b:
+        movi r2, 2
+        push r2
+    .join:
+        pop r1
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Consts(vec![1, 2]));
+}
+
+#[test]
+fn address_constants_distinguished_from_numbers() {
+    let a = analyze(
+        "
+        .text
+    main:
+        movi r1, table        ; relocated -> address
+        movi r2, 8192         ; same numeric value possible, but a number
+        addi r1, r1, 4        ; address arithmetic keeps addr-ness
+        movi r0, 4
+        syscall
+        halt
+        .data
+    table: .space 16
+    ",
+    );
+    let site = &a.syscall_sites()[0];
+    match &site.args[0] {
+        Value::Addr(v) => {
+            let table = 0x2000; // .data follows the one-page .text
+            assert_eq!(*v, table + 4);
+        }
+        other => panic!("expected Addr, got {other:?}"),
+    }
+    assert_eq!(site.args[1], Value::Const(8192));
+}
+
+#[test]
+fn epilogue_poisons_stack_model() {
+    // After `mov sp, fp` the expression stack is meaningless.
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        movi r2, 3
+        push r2
+        mov sp, fp
+        pop r1                ; pops the saved fp, not the 3
+        movi r0, 4
+        syscall
+    ",
+    );
+    assert_eq!(first_syscall_arg(&a, 0), Value::Unknown);
+}
+
+#[test]
+fn raw_regions_are_reported_and_unreachable_ones_add_no_noise() {
+    let binary = assemble(
+        "
+        .text
+    main:
+        movi r1, 7
+        jmp .after
+    island:
+        .word 0xffffffff
+        .word 0xffffffff
+    .after:
+        movi r0, 4
+        syscall
+        movi r9, main         ; a label reference keeps the unit relocatable
+    ",
+    )
+    .unwrap();
+    let a = ProgramAnalysis::run(Unit::lift(&binary).unwrap());
+    // The island is skipped by the jmp and unreachable, so it contributes
+    // no state to the join at .after — the constant survives — but the
+    // administrator still gets the PLTO-style report.
+    assert_eq!(a.syscall_sites()[0].args[0], Value::Const(7));
+    assert!(a.warnings.iter().any(|w| w.contains("could not disassemble")));
+}
+
+#[test]
+fn syscall_ret_survives_frame_storage() {
+    let a = analyze(
+        "
+        .text
+    main:
+        push fp
+        mov fp, sp
+        addi sp, sp, -8
+        movi r0, 5
+        syscall               ; open
+        stw [fp-4], r0
+        ldw r1, [fp-4]
+        movi r0, 3
+        syscall               ; read(fd, ...)
+    ",
+    );
+    let read_site = &a.syscall_sites()[1];
+    assert_eq!(read_site.args[0], Value::SyscallRet);
+}

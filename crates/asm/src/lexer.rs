@@ -1,0 +1,214 @@
+//! Line-oriented tokenisation for the assembler.
+
+/// An assembly error, with the 1-based source line where it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One meaningful source line, split into label / operation / operands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Labels defined on this line (a line may carry several `name:`).
+    pub labels: Vec<String>,
+    /// Mnemonic or directive (directives keep their leading dot).
+    pub op: Option<String>,
+    /// Comma-separated operand fields, with memory operands `[reg+off]`
+    /// kept intact and string literals unsplit.
+    pub operands: Vec<String>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals: a ';' or '#' inside quotes is content.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            ';' | '#' => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits an operand list on commas, honouring quotes and brackets.
+fn split_operands(s: &str, line_no: usize) -> Result<Vec<String>, AsmError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut depth = 0usize;
+    for c in s.chars() {
+        if in_str {
+            cur.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| AsmError::new(line_no, "unbalanced ']'"))?;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                fields.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_str {
+        return Err(AsmError::new(line_no, "unterminated string literal"));
+    }
+    if depth != 0 {
+        return Err(AsmError::new(line_no, "unbalanced '['"));
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        fields.push(last.to_string());
+    } else if !fields.is_empty() {
+        return Err(AsmError::new(line_no, "trailing comma in operand list"));
+    }
+    Ok(fields)
+}
+
+fn is_label_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+/// Tokenises a full source string into meaningful lines.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut rest = strip_comment(raw).trim();
+        if rest.is_empty() {
+            continue;
+        }
+        let mut labels = Vec::new();
+        // Consume leading `name:` labels.
+        loop {
+            let Some(colon) = rest.find(':') else { break };
+            let candidate = &rest[..colon];
+            // The trailing ':' distinguishes labels from directives, so
+            // '.'-prefixed (local) labels are fine here.
+            if !candidate.is_empty() && candidate.chars().all(is_label_char) {
+                labels.push(candidate.to_string());
+                rest = rest[colon + 1..].trim_start();
+            } else {
+                break;
+            }
+        }
+        let rest = rest.trim();
+        let (op, operands) = if rest.is_empty() {
+            (None, Vec::new())
+        } else {
+            let (op, tail) = match rest.find(char::is_whitespace) {
+                Some(ws) => (&rest[..ws], rest[ws..].trim()),
+                None => (rest, ""),
+            };
+            (Some(op.to_ascii_lowercase()), split_operands(tail, number)?)
+        };
+        if labels.is_empty() && op.is_none() {
+            continue;
+        }
+        lines.push(Line { number, labels, op, operands });
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_ops() {
+        let lines = tokenize("main:\n  movi r0, 1 ; comment\nloop: halt\n").unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].labels, vec!["main"]);
+        assert_eq!(lines[0].op, None);
+        assert_eq!(lines[1].op.as_deref(), Some("movi"));
+        assert_eq!(lines[1].operands, vec!["r0", "1"]);
+        assert_eq!(lines[2].labels, vec!["loop"]);
+        assert_eq!(lines[2].op.as_deref(), Some("halt"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let lines = tokenize("; nothing\n\n# also nothing\n  halt\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 4);
+    }
+
+    #[test]
+    fn string_with_semicolon_and_comma() {
+        let lines = tokenize(r#"msg: .asciz "a;b,c # d""#).unwrap();
+        assert_eq!(lines[0].operands, vec![r#""a;b,c # d""#]);
+    }
+
+    #[test]
+    fn memory_operands_keep_brackets() {
+        let lines = tokenize("ldw r1, [sp-4]\nstw [r2+8], r3").unwrap();
+        assert_eq!(lines[0].operands, vec!["r1", "[sp-4]"]);
+        assert_eq!(lines[1].operands, vec!["[r2+8]", "r3"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("halt ]").is_err());
+        assert!(tokenize(".asciz \"oops").is_err());
+        assert!(tokenize("movi r0, 1,").is_err());
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let lines = tokenize("a: b: halt").unwrap();
+        assert_eq!(lines[0].labels, vec!["a", "b"]);
+        assert_eq!(lines[0].op.as_deref(), Some("halt"));
+    }
+}

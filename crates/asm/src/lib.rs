@@ -1,0 +1,50 @@
+//! The SVM32 assembler: assembly text → relocatable SOF binary.
+//!
+//! This plays the role of the system assembler/linker in the paper's
+//! toolchain: guest programs (hand-written or produced by `asc-lang`) are
+//! assembled into relocatable binaries that the trusted installer can then
+//! analyse and rewrite. Every label reference that lands in an instruction
+//! immediate or a `.word` emits a relocation, which is exactly the
+//! relocation information PLTO requires of its inputs.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment                       # comment
+//!     .text                       ; switch section (.text/.rodata/.data/.bss)
+//!     .entry main                 ; set the entry symbol (default: main)
+//!     .equ SYS_EXIT, 1            ; named constant
+//! main:                           ; label
+//!     addi sp, sp, -16
+//!     movi r1, msg                ; label operand -> relocation
+//!     movi r0, SYS_EXIT
+//!     syscall
+//!     .rodata
+//! msg: .asciz "hello\n"
+//!     .data
+//! tbl: .word main                 ; data relocation
+//!      .byte 7
+//!     .bss
+//! buf: .space 64
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let src = "
+//!     .text
+//! main:
+//!     movi r0, 1
+//!     syscall
+//!     halt
+//! ";
+//! let binary = asc_asm::assemble(src)?;
+//! assert_eq!(binary.symbol("main").unwrap().addr, binary.entry());
+//! # Ok::<(), asc_asm::AsmError>(())
+//! ```
+
+mod assembler;
+mod lexer;
+
+pub use assembler::{assemble, assemble_many, Assembler};
+pub use lexer::AsmError;

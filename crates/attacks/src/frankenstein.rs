@@ -1,0 +1,225 @@
+//! The Frankenstein attack (§5.5): a new program stitched together from
+//! the authenticated system calls of *other* applications on the machine.
+//!
+//! Because policies are compiled into applications, an attacker who can
+//! run arbitrary binaries can try to assemble one from authenticated
+//! gadgets: each stolen call keeps its original call site, MAC, and `.asc`
+//! data, so every per-call check passes. What connects the calls is the
+//! control-flow policy — and *that* only stops cross-program stitching if
+//! basic-block identifiers are unique across programs, which is exactly
+//! the countermeasure the paper proposes (fold a program id into every
+//! block id).
+//!
+//! [`run_frankenstein`] constructs such a program from two donors. With
+//! `unique_block_ids = false` the stitched program runs to completion;
+//! with the countermeasure on, the second gadget's predecessor check fails
+//! and the process is killed.
+
+use asc_crypto::MacKey;
+use asc_installer::{Installer, InstallerOptions};
+use asc_isa::{Instruction, Opcode, Reg, INSTR_LEN};
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_object::{Binary, Section, SectionFlags};
+use asc_vm::{Machine, RunOutcome};
+
+use crate::AttackOutcome;
+
+const PERSONALITY: Personality = Personality::Linux;
+
+/// Donor A: its first (and only) syscall gadget is a `getpid` that may
+/// legally follow program start.
+const DONOR_A: &str = r#"
+fn main() {
+    getpid();
+    return 0;
+}
+"#;
+
+/// Donor B: same prefix as A (so the first syscall's block id matches
+/// A's numerically), then a `write` whose predecessor set contains that
+/// block. The padding keeps a gap between the two gadgets for the
+/// attacker's glue, and the large global pushes B's `.asc` section to a
+/// different address than A's so both can be replicated side by side.
+const DONOR_B: &str = r#"
+global spacer[16384];
+
+fn main() {
+    getpid();
+    var pad = 1;
+    pad = pad + 2;
+    pad = pad * 3;
+    pad = pad ^ 5;
+    pad = pad + 7;
+    pad = pad * 11;
+    pad = pad + 13;
+    pad = pad ^ 17;
+    spacer[0] = pad;
+    write(1, "ghoul", 5);
+    return 0;
+}
+"#;
+
+/// A stolen gadget: its original address and decoded instructions.
+#[derive(Clone, Debug)]
+struct Gadget {
+    addr: u32,
+    instrs: Vec<Instruction>,
+}
+
+fn decode_text(binary: &Binary) -> (u32, Vec<Instruction>) {
+    let text = binary.section_by_name(".text").expect("text");
+    let instrs = text
+        .data
+        .chunks_exact(INSTR_LEN)
+        .map(|c| Instruction::decode(c).expect("installed binaries decode"))
+        .collect();
+    (text.addr, instrs)
+}
+
+/// Extracts the gadget for the `index`-th syscall whose number register is
+/// loaded with `nr`: the maximal run of `movi`s before the `syscall`.
+fn gadget_for(binary: &Binary, nr: u32, index: usize) -> Gadget {
+    let (base, instrs) = decode_text(binary);
+    let mut seen = 0;
+    for (i, ins) in instrs.iter().enumerate() {
+        if ins.op != Opcode::Syscall {
+            continue;
+        }
+        // Find the r0 load in the preceding movi run.
+        let mut start = i;
+        while start > 0 && instrs[start - 1].op == Opcode::Movi {
+            start -= 1;
+        }
+        let loads_nr = instrs[start..i]
+            .iter()
+            .any(|m| m.rd == Reg::R0 && m.imm == nr);
+        if loads_nr {
+            if seen == index {
+                return Gadget {
+                    addr: base + (start * INSTR_LEN) as u32,
+                    instrs: instrs[start..=i].to_vec(),
+                };
+            }
+            seen += 1;
+        }
+    }
+    panic!("gadget for syscall {nr} (#{index}) not found");
+}
+
+fn asc_section(binary: &Binary) -> (u32, Vec<u8>) {
+    let s = binary.section_by_name(".asc").expect("installed binary has .asc");
+    (s.addr, s.data.clone())
+}
+
+/// Builds the stitched program from two installed donors and runs it under
+/// an enforcing kernel. Returns the attack outcome: `Succeeded` when the
+/// stolen `write` executes, `Blocked` when the kernel kills the process.
+pub fn run_frankenstein(key: &MacKey, unique_block_ids: bool) -> AttackOutcome {
+    // Install the donors with distinct program ids.
+    let mk_installer = |pid: u16| {
+        let mut opts = InstallerOptions::new(PERSONALITY).with_program_id(pid);
+        opts.unique_block_ids = unique_block_ids;
+        Installer::new(key.clone(), opts)
+    };
+    let a_plain = asc_workloads::build_source(DONOR_A, PERSONALITY).expect("donor A builds");
+    let (a_auth, _) = mk_installer(21).install(&a_plain, "donorA").expect("A installs");
+    let b_plain = asc_workloads::build_source(DONOR_B, PERSONALITY).expect("donor B builds");
+    let (b_auth, _) = mk_installer(22).install(&b_plain, "donorB").expect("B installs");
+
+    let getpid_nr = PERSONALITY.nr(asc_kernel::SyscallId::Getpid).expect("getpid") as u32;
+    let write_nr = PERSONALITY.nr(asc_kernel::SyscallId::Write).expect("write") as u32;
+    let g_a = gadget_for(&a_auth, getpid_nr, 0); // A's authenticated getpid
+    let g_b = gadget_for(&b_auth, write_nr, 0); // B's authenticated write
+    let (asc_a_addr, asc_a) = asc_section(&a_auth);
+    let (asc_b_addr, asc_b) = asc_section(&b_auth);
+    assert!(
+        asc_a_addr + asc_a.len() as u32 <= asc_b_addr,
+        "donor .asc sections must not overlap ({asc_a_addr:#x}+{} vs {asc_b_addr:#x})",
+        asc_a.len()
+    );
+
+    // Frankenstein text: both gadgets at their original addresses, glue in
+    // the gaps. Layout: [gadget A][jmp glue][...gap...][gadget B][halt]
+    // ... [glue: copy A's policy state over B's, set write args, jmp B].
+    let a_end = g_a.addr + (g_a.instrs.len() * INSTR_LEN) as u32;
+    let b_end = g_b.addr + (g_b.instrs.len() * INSTR_LEN) as u32;
+    assert!(a_end + INSTR_LEN as u32 <= g_b.addr, "need a gap for the trampoline");
+    let glue_addr = b_end + INSTR_LEN as u32;
+
+    let text_base = 0x1000u32;
+    // The policy-state cell is the first thing the installer lays out in
+    // `.asc`, so its address is the section base.
+    let state_a = asc_a_addr;
+    let state_b = asc_b_addr;
+    let mut glue = vec![
+        // Replay of B's argument setup (the parts outside the gadget).
+        Instruction::movi(Reg::R1, 1),
+        Instruction::movi(Reg::R3, 5),
+        // Copy the 20-byte policy state A -> B.
+        Instruction::movi(Reg::LR, state_a),
+        Instruction::movi(Reg::R4, state_b),
+    ];
+    for off in (0..20).step_by(4) {
+        glue.push(Instruction::ldw(Reg::R12, Reg::LR, off));
+        glue.push(Instruction::stw(Reg::R4, off, Reg::R12));
+    }
+    glue.push(Instruction::jmp(g_b.addr));
+
+    let text_end = glue_addr + (glue.len() * INSTR_LEN) as u32;
+    let mut text = vec![0u8; (text_end - text_base) as usize];
+    let mut put = |addr: u32, instrs: &[Instruction]| {
+        let mut off = (addr - text_base) as usize;
+        for i in instrs {
+            text[off..off + INSTR_LEN].copy_from_slice(&i.encode());
+            off += INSTR_LEN;
+        }
+    };
+    put(g_a.addr, &g_a.instrs);
+    put(a_end, &[Instruction::jmp(glue_addr)]);
+    put(g_b.addr, &g_b.instrs);
+    put(b_end, &[Instruction::halt()]);
+    put(glue_addr, &glue);
+
+    let mut monster = Binary::new(g_a.addr);
+    monster.push_section(Section::new(".text", text_base, text, SectionFlags::RX));
+    monster.push_section(Section::new(".asc", asc_a_addr, asc_a, SectionFlags::RW));
+    monster.push_section(Section::new(".asc2", asc_b_addr, asc_b, SectionFlags::RW));
+    monster.set_authenticated(true);
+    monster.validate().expect("monster layout");
+
+    // Run it under the enforcing kernel.
+    let mut kernel = Kernel::new(KernelOptions::enforcing(PERSONALITY));
+    kernel.set_key(key.clone());
+    kernel.set_brk(monster.highest_addr());
+    let mut machine = Machine::load(&monster, kernel).expect("monster loads");
+    let outcome = machine.run(10_000_000);
+    let kernel = machine.into_handler();
+    if kernel.stdout() == b"ghoul" {
+        return AttackOutcome::Succeeded(
+            "stitched program executed donor B's authenticated write".into(),
+        );
+    }
+    match outcome {
+        RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+        other => AttackOutcome::Failed(format!("{other:?} (stdout {:?})", kernel.stdout())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frankenstein_succeeds_without_unique_block_ids() {
+        let outcome = run_frankenstein(&MacKey::from_seed(0xF2A2), false);
+        assert!(outcome.is_success(), "{outcome:?}");
+    }
+
+    #[test]
+    fn frankenstein_blocked_by_unique_block_ids() {
+        let outcome = run_frankenstein(&MacKey::from_seed(0xF2A2), true);
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        assert!(msg.contains("control-flow"), "{msg}");
+    }
+}

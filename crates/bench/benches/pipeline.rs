@@ -1,0 +1,116 @@
+//! Host-side benchmarks of the toolchain: compilation, static analysis,
+//! installation (the paper reports 3.49s–86.17s per program for PLTO +
+//! rewriting on 2005 hardware), and simulator execution rates.
+
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use asc_bench::bench_key;
+use asc_installer::{Installer, InstallerOptions};
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_vm::Machine;
+
+fn bench_toolchain(c: &mut Criterion) {
+    let spec = asc_workloads::program("bison").expect("registered");
+    c.bench_function("toolchain/compile_and_link_bison", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                asc_workloads::build(spec, Personality::Linux).expect("builds"),
+            )
+        })
+    });
+
+    let binary = asc_workloads::build(spec, Personality::Linux).expect("builds");
+    let installer = Installer::new(bench_key(), InstallerOptions::new(Personality::Linux));
+    c.bench_function("toolchain/policy_generation_bison", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                installer.generate_policy(&binary, "bison").expect("analyzes"),
+            )
+        })
+    });
+    c.bench_function("toolchain/install_bison", |b| {
+        b.iter(|| std::hint::black_box(installer.install(&binary, "bison").expect("installs")))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    // Interpreter throughput on a CPU-bound guest.
+    let spec = asc_workloads::program("crafty").expect("registered");
+    let plain = asc_workloads::build(spec, Personality::Linux).expect("builds");
+    let installer = Installer::new(bench_key(), InstallerOptions::new(Personality::Linux));
+    let (auth, _) = installer.install(&plain, "crafty").expect("installs");
+
+    let mut group = c.benchmark_group("execution");
+    group.sample_size(10);
+    let report = asc_workloads::measure(spec, &plain, Personality::Linux, None);
+    group.throughput(Throughput::Elements(report.instret));
+    group.bench_function("crafty_plain", |b| {
+        b.iter(|| {
+            let r = asc_workloads::measure(spec, &plain, Personality::Linux, None);
+            assert!(r.outcome.is_success());
+            std::hint::black_box(r.cycles)
+        })
+    });
+    group.bench_function("crafty_authenticated", |b| {
+        b.iter(|| {
+            let r = asc_workloads::measure(spec, &auth, Personality::Linux, Some(bench_key()));
+            assert!(r.outcome.is_success());
+            std::hint::black_box(r.cycles)
+        })
+    });
+    group.finish();
+}
+
+fn bench_syscall_dispatch(c: &mut Criterion) {
+    // 1000 getpid calls through the trap handler, plain vs enforcing —
+    // the host-side analogue of Table 4.
+    let src = "
+        .text
+        .entry main
+    main:
+        movi r4, 0
+    loop:
+        movi r0, 20
+        syscall
+        addi r4, r4, 1
+        movi r5, 1000
+        bne r4, r5, loop
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ";
+    let plain = asc_asm::assemble(src).expect("assembles");
+    let installer = Installer::new(
+        bench_key(),
+        InstallerOptions::new(Personality::Linux).without_control_flow(),
+    );
+    let (auth, _) = installer.install(&plain, "micro").expect("installs");
+
+    let mut group = c.benchmark_group("syscall_dispatch_1000x");
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+            kernel.set_brk(plain.highest_addr());
+            let mut m = Machine::load(&plain, kernel).expect("loads");
+            assert!(m.run(100_000_000).is_success());
+            std::hint::black_box(m.cycles())
+        })
+    });
+    group.bench_function("authenticated", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new(KernelOptions::enforcing(Personality::Linux));
+            kernel.set_key(bench_key());
+            kernel.set_brk(auth.highest_addr());
+            let mut m = Machine::load(&auth, kernel).expect("loads");
+            assert!(m.run(100_000_000).is_success());
+            std::hint::black_box(m.cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_toolchain, bench_execution, bench_syscall_dispatch);
+criterion_main!(benches);

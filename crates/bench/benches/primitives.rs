@@ -1,0 +1,172 @@
+//! Host-side microbenchmarks of the cryptographic and verification
+//! primitives (the building blocks behind Table 4's simulated costs).
+
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asc_core::{encode_call, verify_call, AuthCallRegs, EncodedArg, EncodedCall, PolicyDescriptor, UserMemory, Violation};
+use asc_crypto::{Aes128, AuthenticatedString, MacKey, MemoryChecker};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128/block", |b| {
+        let mut block = [0x42u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(block[0])
+        })
+    });
+    c.bench_function("aes128/key_schedule", |b| {
+        b.iter(|| std::hint::black_box(Aes128::new(&[9u8; 16])))
+    });
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let key = MacKey::from_seed(1);
+    let mut group = c.benchmark_group("cmac");
+    for size in [16usize, 64, 256, 4096] {
+        let msg = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &msg, |b, msg| {
+            b.iter(|| std::hint::black_box(key.mac(msg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let call = EncodedCall {
+        syscall_nr: 5,
+        descriptor: PolicyDescriptor::new()
+            .with_call_site()
+            .with_control_flow()
+            .with_string_arg(0)
+            .with_immediate_arg(1),
+        call_site: 0x1040,
+        block_id: 9,
+        args: vec![
+            (0, EncodedArg::AuthString { addr: 0x9000, len: 12, mac: [1; 16] }),
+            (1, EncodedArg::Immediate(0)),
+        ],
+        pred_set: Some((0x9100, 8, [2; 16])),
+        lb_ptr: Some(0x9200),
+    };
+    c.bench_function("encode_call", |b| b.iter(|| std::hint::black_box(encode_call(&call))));
+    let key = MacKey::from_seed(2);
+    c.bench_function("call_mac", |b| b.iter(|| std::hint::black_box(call.mac(&key))));
+}
+
+/// Flat mock memory for verification benches.
+struct FlatMem(Vec<u8>);
+
+impl UserMemory for FlatMem {
+    fn read_u32(&self, addr: u32) -> Result<u32, Violation> {
+        let i = addr as usize;
+        self.0
+            .get(i..i + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .ok_or(Violation::MemoryFault { addr })
+    }
+    fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Violation> {
+        let i = addr as usize;
+        self.0
+            .get(i..i + len as usize)
+            .map(<[u8]>::to_vec)
+            .ok_or(Violation::MemoryFault { addr })
+    }
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Violation> {
+        let i = addr as usize;
+        self.0
+            .get_mut(i..i + bytes.len())
+            .map(|s| s.copy_from_slice(bytes))
+            .ok_or(Violation::MemoryFault { addr })
+    }
+}
+
+fn bench_verify(c: &mut Criterion) {
+    // Set up a fully authenticated call in flat memory, then measure the
+    // kernel-side verification (the paper's "couple hundred lines in the
+    // trap handler").
+    let key = MacKey::from_seed(3);
+    let mut mem = FlatMem(vec![0u8; 0x10000]);
+    let path = AuthenticatedString::build(&key, b"/etc/motd".to_vec());
+    let as_addr = 0x9100u32;
+    mem.write_bytes(as_addr - 20, &path.to_bytes()).unwrap();
+    let preds: Vec<u8> = [0u32, 7].iter().flat_map(|p| p.to_le_bytes()).collect();
+    let ps = AuthenticatedString::build(&key, preds);
+    let ps_addr = 0x9200u32;
+    mem.write_bytes(ps_addr - 20, &ps.to_bytes()).unwrap();
+    let lb_addr = 0x9300u32;
+    mem.write_bytes(lb_addr, &MemoryChecker::initial_state(&key).to_bytes()).unwrap();
+    let descriptor = PolicyDescriptor::new()
+        .with_call_site()
+        .with_control_flow()
+        .with_string_arg(0)
+        .with_immediate_arg(1);
+    let encoded = EncodedCall {
+        syscall_nr: 5,
+        descriptor,
+        call_site: 0x1040,
+        block_id: 9,
+        args: vec![
+            (0, EncodedArg::AuthString { addr: as_addr, len: 9, mac: *path.mac() }),
+            (1, EncodedArg::Immediate(0)),
+        ],
+        pred_set: Some((ps_addr, 8, *ps.mac())),
+        lb_ptr: Some(lb_addr),
+    };
+    let mac_addr = 0x9400u32;
+    mem.write_bytes(mac_addr, &encoded.mac(&key)).unwrap();
+    let regs = AuthCallRegs {
+        nr: 5,
+        call_site: 0x1040,
+        args: [as_addr, 0, 0, 0, 0, 0],
+        pol_des: descriptor.bits(),
+        block_id: 9,
+        pred_set_ptr: ps_addr,
+        lb_ptr: lb_addr,
+        call_mac_ptr: mac_addr,
+        hint_ptr: 0,
+    };
+    c.bench_function("verify_call/full_policy", |b| {
+        b.iter_batched(
+            || {
+                // Fresh state each iteration: reset the policy-state cell
+                // and the kernel counter.
+                let mut m = FlatMem(mem.0.clone());
+                m.write_bytes(lb_addr, &MemoryChecker::initial_state(&key).to_bytes())
+                    .unwrap();
+                (m, MemoryChecker::new())
+            },
+            |(mut m, mut checker)| {
+                verify_call(&key, &mut checker, &mut m, &regs, None).expect("verifies")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_authenticated_string(c: &mut Criterion) {
+    let key = MacKey::from_seed(4);
+    let mut group = c.benchmark_group("authenticated_string_verify");
+    for size in [16usize, 256, 4096] {
+        let s = AuthenticatedString::build(&key, vec![b'x'; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &s, |b, s| {
+            b.iter(|| std::hint::black_box(s.verify(&key)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_cmac,
+    bench_encoding,
+    bench_verify,
+    bench_authenticated_string
+);
+criterion_main!(benches);

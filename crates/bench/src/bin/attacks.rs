@@ -1,0 +1,47 @@
+//! Regenerates the §4.1 attack experiments and the §5.5 Frankenstein
+//! experiment: every attack against the protected binary must be blocked;
+//! against the unprotected binary the injection attacks succeed.
+
+use asc_attacks::{frankenstein::run_frankenstein, AttackLab, AttackOutcome};
+use asc_bench::bench_key;
+
+fn show(label: &str, outcome: &AttackOutcome, expected_blocked: bool) {
+    let verdict = match (outcome, expected_blocked) {
+        (AttackOutcome::Blocked(_), true) | (AttackOutcome::Succeeded(_), false) => "as expected",
+        _ => "UNEXPECTED",
+    };
+    let desc = match outcome {
+        AttackOutcome::Succeeded(s) => format!("SUCCEEDED: {s}"),
+        AttackOutcome::Blocked(s) => format!("blocked: {s}"),
+        AttackOutcome::Failed(s) => format!("failed: {s}"),
+    };
+    println!("  {label:<44} {desc}  [{verdict}]");
+}
+
+fn main() {
+    let lab = AttackLab::new(bench_key());
+    println!("Attack experiments (victim: reads a file name, runs /bin/ls on it)\n");
+
+    println!("Against the UNPROTECTED binary:");
+    show("shellcode injection (execve /bin/sh)", &lab.shellcode_attack(false), false);
+    show("non-control-data (/bin/ls -> /bin/sh)", &lab.non_control_data_attack(false), false);
+    println!();
+
+    println!("Against the INSTALLED (authenticated) binary:");
+    show("shellcode injection (unauthenticated call)", &lab.shellcode_attack(true), true);
+    show("mimicry via stolen authenticated gadget", &lab.mimicry_attack(), true);
+    show("non-control-data (authenticated string)", &lab.non_control_data_attack(true), true);
+    println!();
+
+    println!("Frankenstein attack (program stitched from two donors' gadgets):");
+    show(
+        "without unique block ids (§5.5 off)",
+        &run_frankenstein(&bench_key(), false),
+        false,
+    );
+    show(
+        "with unique block ids (countermeasure)",
+        &run_frankenstein(&bench_key(), true),
+        true,
+    );
+}

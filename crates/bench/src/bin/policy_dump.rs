@@ -1,0 +1,83 @@
+//! Utility: dump the generated policy for any registered workload, in the
+//! §3.1 human-readable rendering or as JSON.
+//!
+//! ```sh
+//! cargo run -p asc-bench --bin policy_dump -- bison openbsd
+//! cargo run -p asc-bench --bin policy_dump -- tar linux --json
+//! ```
+
+use asc_bench::bench_key;
+use asc_core::ArgPolicy;
+use asc_installer::{Installer, InstallerOptions};
+use asc_kernel::Personality;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let program = args.first().map(String::as_str).unwrap_or("bison");
+    let personality = match args.get(1).map(String::as_str) {
+        Some("openbsd") => Personality::OpenBsd,
+        _ => Personality::Linux,
+    };
+    let json = args.iter().any(|a| a == "--json");
+
+    let Some(spec) = asc_workloads::program(program) else {
+        eprintln!("unknown program `{program}`; registered:");
+        for p in asc_workloads::programs() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+    let binary = asc_workloads::build(spec, personality).expect("builds");
+    let installer = Installer::new(bench_key(), InstallerOptions::new(personality));
+    let (policy, stats, warnings) =
+        installer.generate_policy(&binary, program).expect("analyzes");
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&policy).expect("serialises"));
+        return;
+    }
+
+    println!(
+        "# {} on {}: {} sites, {} distinct syscalls, {}/{} args authenticated\n",
+        program,
+        personality.name(),
+        stats.sites,
+        policy.distinct_syscalls().len(),
+        stats.auth,
+        stats.args
+    );
+    for p in policy.iter() {
+        println!(
+            "Permit {} from location {:#x} in basic block {}",
+            personality.name_of(p.syscall_nr),
+            p.call_site,
+            p.block_id
+        );
+        for (i, arg) in p.args.iter().enumerate() {
+            match arg {
+                ArgPolicy::Any => {}
+                ArgPolicy::Immediate(v) => println!("    Parameter {i} equals {v}"),
+                ArgPolicy::ImmediateAddr(v) => {
+                    println!("    Parameter {i} equals address {v:#x}")
+                }
+                ArgPolicy::StringLit(s) => {
+                    println!("    Parameter {i} equals \"{}\"", String::from_utf8_lossy(s))
+                }
+                ArgPolicy::Pattern(pat) => {
+                    println!("    Parameter {i} matches pattern \"{pat}\"")
+                }
+                ArgPolicy::Capability => {
+                    println!("    Parameter {i} must be an active descriptor")
+                }
+            }
+        }
+        if let Some(preds) = &p.predecessors {
+            let list: Vec<String> = preds.iter().map(u32::to_string).collect();
+            println!("    If preceded by the system call in block {{{}}}", list.join(", "));
+        }
+        println!();
+    }
+    for w in &warnings {
+        println!("administrator warning: {w}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table 6 (performance overhead of authenticated binaries on
+//! the nine-program benchmark suite) and prints Table 5 (the suite
+//! description) alongside.
+
+use asc_bench::{measure_program, sim_seconds};
+
+const SUITE: &[&str] =
+    &["gzip-spec", "crafty", "mcf", "vpr", "twolf", "gcc", "vortex", "pyramid", "gzip"];
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    println!("Table 5: Benchmark suite");
+    println!("{:<12} {:<14} description", "Program", "Type");
+    for name in SUITE {
+        let spec = asc_workloads::program(name).expect("registered");
+        let kind = match spec.kind {
+            asc_workloads::ProgramKind::Cpu => "CPU",
+            asc_workloads::ProgramKind::Syscall => "syscall",
+            asc_workloads::ProgramKind::Mixed => "syscall & CPU",
+        };
+        println!("{:<12} {:<14} {}", spec.name, kind, spec.description);
+    }
+    println!();
+
+    println!("Table 6: Performance overhead (simulated seconds @100MHz)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10} {:>10} {:>9} {:>9}",
+        "Program", "Original(s)", "Authentic.(s)", "Overhead%", "Paper%", "Syscalls", "Cycles/M"
+    );
+    let mut rows = Vec::new();
+    for (i, name) in SUITE.iter().enumerate() {
+        let row = measure_program(name, 100 + i as u16);
+        println!(
+            "{:<12} {:>12.4} {:>14.4} {:>10.2} {:>10.2} {:>9} {:>9.1}",
+            row.name,
+            sim_seconds(row.base_cycles),
+            sim_seconds(row.auth_cycles),
+            row.overhead_pct,
+            row.paper_pct,
+            row.syscalls,
+            row.base_cycles as f64 / 1e6,
+        );
+        rows.push(row);
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+    }
+}

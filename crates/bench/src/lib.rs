@@ -1,0 +1,106 @@
+//! Shared harness code for the table-regeneration binaries and Criterion
+//! benches.
+
+use asc_crypto::MacKey;
+use asc_installer::{Installer, InstallerOptions, InstallReport};
+use asc_kernel::Personality;
+use asc_object::Binary;
+use asc_workloads::{measure, program, ProgramSpec, RunReport};
+
+/// The fixed experiment key (the security administrator's secret).
+pub fn bench_key() -> MacKey {
+    MacKey::from_seed(0x0DD5_EED5)
+}
+
+/// Simulated clock for converting cycles to "seconds" in reports (100 MHz
+/// keeps the magnitudes readable; only ratios matter).
+pub const CLOCK_HZ: f64 = 100_000_000.0;
+
+/// Builds and installs one registered program, returning both binaries.
+pub fn build_and_install(
+    spec: &ProgramSpec,
+    personality: Personality,
+    program_id: u16,
+) -> (Binary, Binary, InstallReport) {
+    let plain = asc_workloads::build(spec, personality)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let installer = Installer::new(
+        bench_key(),
+        InstallerOptions::new(personality).with_program_id(program_id),
+    );
+    let (auth, report) =
+        installer.install(&plain, spec.name).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    (plain, auth, report)
+}
+
+/// One row of the Table 6 experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PerfRow {
+    /// Program name.
+    pub name: String,
+    /// Table 5 classification.
+    pub kind: String,
+    /// Cycles of the unauthenticated run.
+    pub base_cycles: u64,
+    /// Cycles of the authenticated run.
+    pub auth_cycles: u64,
+    /// Percentage overhead.
+    pub overhead_pct: f64,
+    /// System calls made.
+    pub syscalls: u64,
+    /// Paper's reported overhead (for the comparison column).
+    pub paper_pct: f64,
+}
+
+/// Paper Table 6 overhead percentages.
+pub fn paper_overhead(name: &str) -> f64 {
+    match name {
+        "gzip-spec" => 1.41,
+        "crafty" => 1.40,
+        "mcf" => 0.73,
+        "vpr" => 1.16,
+        "twolf" => 1.70,
+        "gcc" => 1.39,
+        "vortex" => 0.84,
+        "pyramid" => 7.92,
+        "gzip" => 1.06,
+        _ => f64::NAN,
+    }
+}
+
+/// Runs the original-vs-authenticated measurement for one program.
+pub fn measure_program(name: &str, program_id: u16) -> PerfRow {
+    let spec = program(name).expect("registered program");
+    let personality = Personality::Linux;
+    let (plain, auth, _) = build_and_install(spec, personality, program_id);
+    let base = expect_ok(spec, measure(spec, &plain, personality, None));
+    let with = expect_ok(spec, measure(spec, &auth, personality, Some(bench_key())));
+    let overhead_pct =
+        (with.cycles as f64 - base.cycles as f64) / base.cycles as f64 * 100.0;
+    PerfRow {
+        name: name.to_string(),
+        kind: format!("{:?}", spec.kind),
+        base_cycles: base.cycles,
+        auth_cycles: with.cycles,
+        overhead_pct,
+        syscalls: base.kernel.stats().syscalls,
+        paper_pct: paper_overhead(name),
+    }
+}
+
+fn expect_ok(spec: &ProgramSpec, report: RunReport) -> RunReport {
+    assert!(
+        report.outcome.is_success(),
+        "{} failed: {:?} (alerts: {:?}, stderr: {:?})",
+        spec.name,
+        report.outcome,
+        report.kernel.alerts(),
+        String::from_utf8_lossy(report.kernel.stderr()),
+    );
+    report
+}
+
+/// Formats cycles as simulated seconds.
+pub fn sim_seconds(cycles: u64) -> f64 {
+    cycles as f64 / CLOCK_HZ
+}

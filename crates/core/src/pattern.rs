@@ -1,0 +1,296 @@
+//! Argument patterns with proof hints (§5.1).
+//!
+//! Patterns constrain dynamically computed string arguments (e.g. temp file
+//! names) to shapes like `/tmp/*` or `/tmp/{foo,bar}*baz`. To keep the
+//! kernel addition minimal, the *untrusted application* performs the match
+//! and hands the kernel a **hint** — one number per `{...}` choice (the
+//! alternative taken) and per `*` (the number of bytes matched). The kernel
+//! then verifies the match with a single linear scan: program checking /
+//! proof-carrying-code style, exactly the paper's worked example where
+//! pattern `/tmp/{foo,bar}*baz` with argument `/tmp/foofoobaz` yields the
+//! hint `(0, 3)`.
+
+/// A parsed pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    elements: Vec<Elem>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Elem {
+    /// Literal bytes that must match exactly.
+    Lit(Vec<u8>),
+    /// `*`: any sequence of bytes (length supplied by the hint).
+    Star,
+    /// `{a,b,c}`: one of several literal alternatives (index supplied by
+    /// the hint).
+    Choice(Vec<Vec<u8>>),
+}
+
+/// Error parsing a pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// `{` without matching `}`.
+    UnclosedBrace,
+    /// Nested `{` or a `*` inside braces.
+    BadBraceContents,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::UnclosedBrace => write!(f, "unclosed '{{' in pattern"),
+            PatternError::BadBraceContents => write!(f, "invalid contents inside '{{}}'"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// Parses pattern text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError`] for malformed brace groups.
+    pub fn parse(text: &str) -> Result<Pattern, PatternError> {
+        let bytes = text.as_bytes();
+        let mut elements = Vec::new();
+        let mut lit = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'*' => {
+                    if !lit.is_empty() {
+                        elements.push(Elem::Lit(std::mem::take(&mut lit)));
+                    }
+                    elements.push(Elem::Star);
+                    i += 1;
+                }
+                b'{' => {
+                    if !lit.is_empty() {
+                        elements.push(Elem::Lit(std::mem::take(&mut lit)));
+                    }
+                    let close = bytes[i + 1..]
+                        .iter()
+                        .position(|&b| b == b'}')
+                        .ok_or(PatternError::UnclosedBrace)?
+                        + i
+                        + 1;
+                    let body = &bytes[i + 1..close];
+                    if body.iter().any(|&b| b == b'{' || b == b'*') {
+                        return Err(PatternError::BadBraceContents);
+                    }
+                    let choices: Vec<Vec<u8>> =
+                        body.split(|&b| b == b',').map(|s| s.to_vec()).collect();
+                    if choices.is_empty() {
+                        return Err(PatternError::BadBraceContents);
+                    }
+                    elements.push(Elem::Choice(choices));
+                    i = close + 1;
+                }
+                b => {
+                    lit.push(b);
+                    i += 1;
+                }
+            }
+        }
+        if !lit.is_empty() {
+            elements.push(Elem::Lit(lit));
+        }
+        Ok(Pattern { elements })
+    }
+
+    /// The pattern's canonical source text (stored in the authenticated
+    /// string that protects it).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.elements {
+            match e {
+                Elem::Lit(l) => out.push_str(&String::from_utf8_lossy(l)),
+                Elem::Star => out.push('*'),
+                Elem::Choice(cs) => {
+                    out.push('{');
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&String::from_utf8_lossy(c));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out
+    }
+
+    /// Kernel-side verification: checks that `input` matches the pattern
+    /// under `hint` in a single linear scan, consuming one hint entry per
+    /// `{...}` or `*` in order. Both input and hint must be fully consumed.
+    pub fn match_with_hint(&self, input: &[u8], hint: &[u32]) -> bool {
+        let mut pos = 0usize;
+        let mut h = 0usize;
+        for e in &self.elements {
+            match e {
+                Elem::Lit(l) => {
+                    if input.len() < pos + l.len() || input[pos..pos + l.len()] != l[..] {
+                        return false;
+                    }
+                    pos += l.len();
+                }
+                Elem::Choice(cs) => {
+                    let Some(&choice) = hint.get(h) else { return false };
+                    h += 1;
+                    let Some(c) = cs.get(choice as usize) else { return false };
+                    if input.len() < pos + c.len() || input[pos..pos + c.len()] != c[..] {
+                        return false;
+                    }
+                    pos += c.len();
+                }
+                Elem::Star => {
+                    let Some(&n) = hint.get(h) else { return false };
+                    h += 1;
+                    if input.len() < pos + n as usize {
+                        return false;
+                    }
+                    pos += n as usize;
+                }
+            }
+        }
+        pos == input.len() && h == hint.len()
+    }
+
+    /// Application-side hint production: finds a hint such that
+    /// [`Pattern::match_with_hint`] accepts, or `None` if the input does not
+    /// match. Backtracking search — this is the work the paper moves *out*
+    /// of the kernel.
+    pub fn produce_hint(&self, input: &[u8]) -> Option<Vec<u32>> {
+        fn rec(elems: &[Elem], input: &[u8], pos: usize, hint: &mut Vec<u32>) -> bool {
+            let Some((e, rest)) = elems.split_first() else {
+                return pos == input.len();
+            };
+            match e {
+                Elem::Lit(l) => {
+                    input.len() >= pos + l.len()
+                        && input[pos..pos + l.len()] == l[..]
+                        && rec(rest, input, pos + l.len(), hint)
+                }
+                Elem::Choice(cs) => {
+                    for (i, c) in cs.iter().enumerate() {
+                        if input.len() >= pos + c.len() && input[pos..pos + c.len()] == c[..] {
+                            hint.push(i as u32);
+                            if rec(rest, input, pos + c.len(), hint) {
+                                return true;
+                            }
+                            hint.pop();
+                        }
+                    }
+                    false
+                }
+                Elem::Star => {
+                    for n in 0..=(input.len() - pos) {
+                        hint.push(n as u32);
+                        if rec(rest, input, pos + n, hint) {
+                            return true;
+                        }
+                        hint.pop();
+                    }
+                    false
+                }
+            }
+        }
+        let mut hint = Vec::new();
+        rec(&self.elements, input, 0, &mut hint).then_some(hint)
+    }
+}
+
+/// Convenience: whether `input` matches `pattern` at all (produce + verify).
+pub fn match_pattern(pattern: &Pattern, input: &[u8]) -> bool {
+    pattern.produce_hint(input).is_some()
+}
+
+/// Convenience: produce the hint for an input (application side).
+pub fn produce_hint(pattern: &Pattern, input: &[u8]) -> Option<Vec<u32>> {
+    pattern.produce_hint(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Pattern "/tmp/{foo,bar}*baz", argument "/tmp/foofoobaz",
+        // hint (0, 3).
+        let p = Pattern::parse("/tmp/{foo,bar}*baz").unwrap();
+        let hint = p.produce_hint(b"/tmp/foofoobaz").unwrap();
+        assert_eq!(hint, vec![0, 3]);
+        assert!(p.match_with_hint(b"/tmp/foofoobaz", &hint));
+        // The bar alternative:
+        let hint2 = p.produce_hint(b"/tmp/barXbaz").unwrap();
+        assert_eq!(hint2, vec![1, 1]);
+    }
+
+    #[test]
+    fn wrong_hint_rejected() {
+        let p = Pattern::parse("/tmp/{foo,bar}*baz").unwrap();
+        assert!(!p.match_with_hint(b"/tmp/foofoobaz", &[1, 3]));
+        assert!(!p.match_with_hint(b"/tmp/foofoobaz", &[0, 2]));
+        assert!(!p.match_with_hint(b"/tmp/foofoobaz", &[0]));
+        assert!(!p.match_with_hint(b"/tmp/foofoobaz", &[0, 3, 0]));
+        assert!(!p.match_with_hint(b"/etc/passwd", &[0, 3]));
+    }
+
+    #[test]
+    fn simple_star_patterns() {
+        let p = Pattern::parse("/tmp/*").unwrap();
+        assert!(match_pattern(&p, b"/tmp/scratch123"));
+        assert!(match_pattern(&p, b"/tmp/"));
+        assert!(!match_pattern(&p, b"/etc/passwd"));
+        let hint = produce_hint(&p, b"/tmp/x").unwrap();
+        assert_eq!(hint, vec![1]);
+    }
+
+    #[test]
+    fn literal_only() {
+        let p = Pattern::parse("/dev/console").unwrap();
+        assert!(p.match_with_hint(b"/dev/console", &[]));
+        assert!(!p.match_with_hint(b"/dev/consol", &[]));
+        assert!(!p.match_with_hint(b"/dev/console2", &[]));
+    }
+
+    #[test]
+    fn hint_cannot_overrun_input() {
+        let p = Pattern::parse("*x").unwrap();
+        // Hint claims 100 bytes for * but input has 2.
+        assert!(!p.match_with_hint(b"ax", &[100]));
+        assert!(p.match_with_hint(b"ax", &[1]));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        let p = Pattern::parse("a*b*c").unwrap();
+        let input = b"aXbXbYc";
+        let hint = p.produce_hint(input).unwrap();
+        assert!(p.match_with_hint(input, &hint));
+    }
+
+    #[test]
+    fn parse_errors_and_roundtrip() {
+        assert_eq!(Pattern::parse("/tmp/{foo"), Err(PatternError::UnclosedBrace));
+        assert_eq!(Pattern::parse("{a{b}}"), Err(PatternError::BadBraceContents));
+        assert_eq!(Pattern::parse("{a*b}"), Err(PatternError::BadBraceContents));
+        let p = Pattern::parse("/tmp/{foo,bar}*baz").unwrap();
+        assert_eq!(p.to_text(), "/tmp/{foo,bar}*baz");
+        assert_eq!(Pattern::parse(&p.to_text()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_choice_alternative_allowed() {
+        // "{,x}" means optional "x".
+        let p = Pattern::parse("a{,x}b").unwrap();
+        assert!(match_pattern(&p, b"ab"));
+        assert!(match_pattern(&p, b"axb"));
+        assert!(!match_pattern(&p, b"ayb"));
+    }
+}

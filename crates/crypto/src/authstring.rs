@@ -1,0 +1,192 @@
+//! The authenticated string (AS) abstraction of §3.2.
+//!
+//! An AS is the tuple `{length, MAC, string}` laid out in application memory
+//! as `length` (4 bytes LE) followed by a 16-byte CMAC over the string
+//! contents followed by the contents themselves. System call arguments that
+//! the policy constrains to a string constant point at the *contents*; the 20
+//! bytes preceding that address hold `length` and `MAC`, which is how the
+//! kernel finds them at check time.
+
+use crate::cmac::{Mac, MAC_LEN};
+use crate::key::MacKey;
+
+/// Byte offset from the start of an AS blob to the string contents.
+pub const AS_HEADER_LEN: usize = 4 + MAC_LEN;
+
+/// An authenticated string: contents plus the MAC guaranteeing their
+/// integrity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthenticatedString {
+    contents: Vec<u8>,
+    mac: Mac,
+}
+
+/// Errors produced when parsing an AS blob out of raw memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseAsError {
+    /// The blob is shorter than the 20-byte header.
+    TruncatedHeader,
+    /// The header's length field extends past the available bytes.
+    TruncatedContents {
+        /// Length claimed by the header.
+        declared: usize,
+        /// Bytes actually present after the header.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ParseAsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseAsError::TruncatedHeader => write!(f, "authenticated string header truncated"),
+            ParseAsError::TruncatedContents { declared, available } => write!(
+                f,
+                "authenticated string contents truncated: declared {declared} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseAsError {}
+
+impl AuthenticatedString {
+    /// Builds an AS for `contents`, computing its MAC under `key`.
+    ///
+    /// Only the trusted installer does this; the kernel only verifies.
+    pub fn build(key: &MacKey, contents: impl Into<Vec<u8>>) -> Self {
+        let contents = contents.into();
+        let mac = key.mac(&contents);
+        AuthenticatedString { contents, mac }
+    }
+
+    /// The string contents.
+    pub fn contents(&self) -> &[u8] {
+        &self.contents
+    }
+
+    /// The MAC over the contents.
+    pub fn mac(&self) -> &Mac {
+        &self.mac
+    }
+
+    /// The declared length of the contents.
+    pub fn len(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Whether the contents are empty.
+    pub fn is_empty(&self) -> bool {
+        self.contents.is_empty()
+    }
+
+    /// Serialises to the in-memory layout `len ‖ mac ‖ contents`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(AS_HEADER_LEN + self.contents.len());
+        out.extend_from_slice(&(self.contents.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mac);
+        out.extend_from_slice(&self.contents);
+        out
+    }
+
+    /// Parses the layout produced by [`AuthenticatedString::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseAsError`] if the blob is truncated. Parsing does *not*
+    /// verify the MAC — an attacker controls application memory, so the
+    /// parsed value must still pass [`AuthenticatedString::verify`].
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseAsError> {
+        if bytes.len() < AS_HEADER_LEN {
+            return Err(ParseAsError::TruncatedHeader);
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let mut mac = [0u8; MAC_LEN];
+        mac.copy_from_slice(&bytes[4..AS_HEADER_LEN]);
+        let available = bytes.len() - AS_HEADER_LEN;
+        if len > available {
+            return Err(ParseAsError::TruncatedContents { declared: len, available });
+        }
+        let contents = bytes[AS_HEADER_LEN..AS_HEADER_LEN + len].to_vec();
+        Ok(AuthenticatedString { contents, mac })
+    }
+
+    /// Verifies that the MAC matches the contents under `key`.
+    pub fn verify(&self, key: &MacKey) -> bool {
+        key.verify(&self.contents, &self.mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MacKey {
+        MacKey::from_seed(7)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = AuthenticatedString::build(&key(), b"/dev/console".to_vec());
+        let bytes = s.to_bytes();
+        let parsed = AuthenticatedString::parse(&bytes).unwrap();
+        assert_eq!(parsed, s);
+        assert!(parsed.verify(&key()));
+        assert_eq!(parsed.contents(), b"/dev/console");
+        assert_eq!(parsed.len(), 12);
+        assert!(!parsed.is_empty());
+    }
+
+    #[test]
+    fn empty_string() {
+        let s = AuthenticatedString::build(&key(), Vec::new());
+        assert!(s.is_empty());
+        let parsed = AuthenticatedString::parse(&s.to_bytes()).unwrap();
+        assert!(parsed.verify(&key()));
+    }
+
+    #[test]
+    fn tampered_contents_fail_verification() {
+        let s = AuthenticatedString::build(&key(), b"/bin/ls".to_vec());
+        let mut bytes = s.to_bytes();
+        // Simulate the non-control-data attack: overwrite "ls" with "sh".
+        let n = bytes.len();
+        bytes[n - 2] = b's';
+        bytes[n - 1] = b'h';
+        let parsed = AuthenticatedString::parse(&bytes).unwrap();
+        assert_eq!(parsed.contents(), b"/bin/sh");
+        assert!(!parsed.verify(&key()));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let s = AuthenticatedString::build(&key(), b"x".to_vec());
+        assert!(!s.verify(&MacKey::from_seed(8)));
+    }
+
+    #[test]
+    fn truncated_header() {
+        assert_eq!(AuthenticatedString::parse(&[0u8; 19]), Err(ParseAsError::TruncatedHeader));
+    }
+
+    #[test]
+    fn truncated_contents() {
+        let s = AuthenticatedString::build(&key(), b"abcdef".to_vec());
+        let bytes = s.to_bytes();
+        let err = AuthenticatedString::parse(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert_eq!(err, ParseAsError::TruncatedContents { declared: 6, available: 5 });
+    }
+
+    #[test]
+    fn attacker_cannot_extend_length_undetected() {
+        // The attacker may rewrite the length field to make the kernel read
+        // past the real string (the DoS the paper warns about); parsing
+        // honours the declared length but verification then fails.
+        let s = AuthenticatedString::build(&key(), b"abc".to_vec());
+        let mut bytes = s.to_bytes();
+        bytes.extend_from_slice(b"XYZ");
+        bytes[0] = 6; // claim 6 bytes
+        let parsed = AuthenticatedString::parse(&bytes).unwrap();
+        assert_eq!(parsed.contents(), b"abcXYZ");
+        assert!(!parsed.verify(&key()));
+    }
+}

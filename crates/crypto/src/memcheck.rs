@@ -1,0 +1,161 @@
+//! The online memory checker used to keep *policy state* in untrusted
+//! application memory (§3.2).
+//!
+//! The control-flow policy needs the basic block of the most recently
+//! executed system call. Rather than keep per-process policy state in the
+//! kernel, the paper stores a `lastBlock` variable and a MAC (`lbMAC`) in
+//! application memory and keeps only a small counter in the kernel. The
+//! counter acts as a nonce: an attacker who snapshots an old
+//! `{lastBlock, lbMAC}` pair cannot replay it after the counter advances.
+
+use crate::cmac::{Mac, MAC_LEN};
+use crate::key::MacKey;
+
+/// Size in bytes of the policy-state cell in application memory:
+/// `lastBlock` (4 bytes LE) followed by `lbMAC` (16 bytes).
+pub const POLICY_STATE_LEN: usize = 4 + MAC_LEN;
+
+/// The policy-state cell stored in (untrusted) application memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyState {
+    /// Basic block id of the most recently executed system call
+    /// (0 before the first call).
+    pub last_block: u32,
+    /// MAC over `last_block ‖ counter`.
+    pub mac: Mac,
+}
+
+/// The trusted side of the memory checker: the per-process counter held in
+/// kernel space plus the key.
+///
+/// `verify` and `update` mirror steps 1 and 3–5 of the control-flow check in
+/// §3.4.
+#[derive(Debug)]
+pub struct MemoryChecker {
+    counter: u64,
+}
+
+fn state_message(last_block: u32, counter: u64) -> [u8; 12] {
+    let mut msg = [0u8; 12];
+    msg[..4].copy_from_slice(&last_block.to_le_bytes());
+    msg[4..].copy_from_slice(&counter.to_le_bytes());
+    msg
+}
+
+impl MemoryChecker {
+    /// A fresh checker with counter 0, as installed at `exec` time.
+    pub fn new() -> Self {
+        MemoryChecker { counter: 0 }
+    }
+
+    /// The current counter value (exposed for tests and cycle accounting).
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The initial application-side state the installer embeds in the
+    /// binary: `lastBlock = 0` authenticated against counter 0.
+    pub fn initial_state(key: &MacKey) -> PolicyState {
+        PolicyState { last_block: 0, mac: key.mac(&state_message(0, 0)) }
+    }
+
+    /// Checks that `state` read from application memory is authentic with
+    /// respect to the in-kernel counter.
+    pub fn verify(&self, key: &MacKey, state: &PolicyState) -> bool {
+        key.verify(&state_message(state.last_block, self.counter), &state.mac)
+    }
+
+    /// Advances the counter and produces the new authenticated state for
+    /// `new_block`, to be written back into application memory.
+    pub fn update(&mut self, key: &MacKey, new_block: u32) -> PolicyState {
+        self.counter += 1;
+        PolicyState { last_block: new_block, mac: key.mac(&state_message(new_block, self.counter)) }
+    }
+}
+
+impl Default for MemoryChecker {
+    fn default() -> Self {
+        MemoryChecker::new()
+    }
+}
+
+impl PolicyState {
+    /// Serialises to the in-memory layout `lastBlock ‖ lbMAC`.
+    pub fn to_bytes(&self) -> [u8; POLICY_STATE_LEN] {
+        let mut out = [0u8; POLICY_STATE_LEN];
+        out[..4].copy_from_slice(&self.last_block.to_le_bytes());
+        out[4..].copy_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the layout produced by [`PolicyState::to_bytes`].
+    ///
+    /// Returns `None` if fewer than [`POLICY_STATE_LEN`] bytes are available.
+    pub fn parse(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < POLICY_STATE_LEN {
+            return None;
+        }
+        let last_block = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+        let mut mac = [0u8; MAC_LEN];
+        mac.copy_from_slice(&bytes[4..POLICY_STATE_LEN]);
+        Some(PolicyState { last_block, mac })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MacKey {
+        MacKey::from_seed(99)
+    }
+
+    #[test]
+    fn initial_state_verifies() {
+        let checker = MemoryChecker::new();
+        let state = MemoryChecker::initial_state(&key());
+        assert!(checker.verify(&key(), &state));
+        assert_eq!(state.last_block, 0);
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let k = key();
+        let mut checker = MemoryChecker::new();
+        let s1 = checker.update(&k, 1234);
+        assert_eq!(s1.last_block, 1234);
+        assert!(checker.verify(&k, &s1));
+        let s2 = checker.update(&k, 2010);
+        assert!(checker.verify(&k, &s2));
+        assert_eq!(checker.counter(), 2);
+    }
+
+    #[test]
+    fn replay_of_old_state_is_rejected() {
+        let k = key();
+        let mut checker = MemoryChecker::new();
+        let old = checker.update(&k, 1);
+        let _new = checker.update(&k, 2);
+        // The attacker restores the snapshot taken after the first call.
+        assert!(!checker.verify(&k, &old));
+    }
+
+    #[test]
+    fn forged_last_block_is_rejected() {
+        let k = key();
+        let mut checker = MemoryChecker::new();
+        let mut state = checker.update(&k, 7);
+        state.last_block = 8;
+        assert!(!checker.verify(&k, &state));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let k = key();
+        let mut checker = MemoryChecker::new();
+        let state = checker.update(&k, 0xdead_beef);
+        let parsed = PolicyState::parse(&state.to_bytes()).unwrap();
+        assert_eq!(parsed, state);
+        assert!(PolicyState::parse(&[0u8; 19]).is_none());
+    }
+}

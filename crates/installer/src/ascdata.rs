@@ -1,0 +1,127 @@
+//! Builder for the `.asc` section: policy state cell, authenticated
+//! strings, predecessor sets, and call-MAC slots.
+
+use std::collections::HashMap;
+
+use asc_crypto::{AuthenticatedString, Mac, MacKey, MemoryChecker, AS_HEADER_LEN, MAC_LEN};
+
+/// Accumulates the `.asc` section contents. Addresses are assigned as data
+/// is appended; the caller fixes the base address up front.
+#[derive(Debug)]
+pub struct AscBuilder {
+    base: u32,
+    bytes: Vec<u8>,
+    /// Dedup: AS contents -> contents address.
+    strings: HashMap<Vec<u8>, (u32, u32, Mac)>,
+}
+
+impl AscBuilder {
+    /// A builder whose section will be loaded at `base`.
+    pub fn new(base: u32) -> AscBuilder {
+        AscBuilder { base, bytes: Vec::new(), strings: HashMap::new() }
+    }
+
+    fn cursor(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// Reserves and initialises the policy-state cell; returns its address
+    /// (`lbPtr`).
+    pub fn add_policy_state(&mut self, key: &MacKey) -> u32 {
+        let addr = self.cursor();
+        self.bytes.extend_from_slice(&MemoryChecker::initial_state(key).to_bytes());
+        addr
+    }
+
+    /// Adds (or reuses) an authenticated string; returns
+    /// `(contents address, length, MAC)` — the tuple the encoded call
+    /// covers. The pointer aims at the contents; the 20 preceding bytes
+    /// hold `len ‖ mac`.
+    pub fn add_string(&mut self, key: &MacKey, contents: &[u8]) -> (u32, u32, Mac) {
+        if let Some(&entry) = self.strings.get(contents) {
+            return entry;
+        }
+        let s = AuthenticatedString::build(key, contents.to_vec());
+        let blob = s.to_bytes();
+        let contents_addr = self.cursor() + AS_HEADER_LEN as u32;
+        self.bytes.extend_from_slice(&blob);
+        let entry = (contents_addr, contents.len() as u32, *s.mac());
+        self.strings.insert(contents.to_vec(), entry);
+        entry
+    }
+
+    /// Reserves a 16-byte call-MAC slot; returns its address.
+    pub fn reserve_mac(&mut self) -> u32 {
+        let addr = self.cursor();
+        self.bytes.extend_from_slice(&[0u8; MAC_LEN]);
+        addr
+    }
+
+    /// Fills a previously reserved MAC slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not returned by [`AscBuilder::reserve_mac`].
+    pub fn patch_mac(&mut self, addr: u32, mac: &Mac) {
+        let off = (addr - self.base) as usize;
+        self.bytes[off..off + MAC_LEN].copy_from_slice(mac);
+    }
+
+    /// Reserves one pattern-extras entry for the kernel's `hint_ptr`
+    /// protocol: `{pattern_contents_ptr, hint_len = 1, hint[0] = 0}`. The
+    /// hint word is filled in at *runtime* by installer-generated code.
+    /// Returns the entry's address. Entries for one call site must be
+    /// reserved consecutively; the first entry's address goes in `R12`.
+    pub fn reserve_pattern_extra(&mut self, pattern_contents_ptr: u32) -> u32 {
+        let addr = self.cursor();
+        self.bytes.extend_from_slice(&pattern_contents_ptr.to_le_bytes());
+        self.bytes.extend_from_slice(&1u32.to_le_bytes());
+        self.bytes.extend_from_slice(&0u32.to_le_bytes());
+        addr
+    }
+
+    /// Finalises the section bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_dedup() {
+        let key = MacKey::from_seed(5);
+        let mut b = AscBuilder::new(0x8000);
+        let lb = b.add_policy_state(&key);
+        assert_eq!(lb, 0x8000);
+        let (a1, l1, m1) = b.add_string(&key, b"/etc/motd");
+        assert_eq!(a1, 0x8000 + 20 + 20); // state cell + AS header
+        assert_eq!(l1, 9);
+        let (a2, _, _) = b.add_string(&key, b"/etc/motd");
+        assert_eq!(a1, a2, "identical strings deduplicated");
+        let (a3, _, m3) = b.add_string(&key, b"/tmp");
+        assert_ne!(a1, a3);
+        assert_ne!(m1, m3);
+        let mac_slot = b.reserve_mac();
+        b.patch_mac(mac_slot, &[0xAB; 16]);
+        let bytes = b.into_bytes();
+        let off = (mac_slot - 0x8000) as usize;
+        assert_eq!(&bytes[off..off + 16], &[0xAB; 16]);
+    }
+
+    #[test]
+    fn as_blob_parses_back() {
+        let key = MacKey::from_seed(5);
+        let mut b = AscBuilder::new(0x8000);
+        let (addr, len, mac) = b.add_string(&key, b"hello");
+        let bytes = b.into_bytes();
+        let header_off = (addr - 0x8000) as usize - AS_HEADER_LEN;
+        let parsed = AuthenticatedString::parse(&bytes[header_off..]).unwrap();
+        assert_eq!(parsed.contents(), b"hello");
+        assert_eq!(parsed.len() as u32, len);
+        assert_eq!(parsed.mac(), &mac);
+        assert!(parsed.verify(&key));
+    }
+}

@@ -1,0 +1,263 @@
+//! Argument classification (§4.1) and the Table 3 coverage statistics.
+
+use asc_analysis::dataflow::Value;
+use asc_analysis::SyscallSite;
+use asc_core::ArgPolicy;
+use asc_kernel::{Personality, SyscallSpec};
+use asc_object::{sections, Binary};
+
+/// Table 3's row for one program: argument coverage of the generated
+/// policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Distinct system call *sites* (post-inlining).
+    pub sites: usize,
+    /// Distinct system *calls* (numbers).
+    pub calls: usize,
+    /// Total arguments across all sites (by signature arity).
+    pub args: usize,
+    /// Output-only arguments (kernel writes results there).
+    pub out_params: usize,
+    /// Arguments statically determined and authenticated by the basic
+    /// approach (immediates + string literals).
+    pub auth: usize,
+    /// Arguments with a small set of possible constant values (the `mv`
+    /// extension statistic).
+    pub multi_value: usize,
+    /// fd-typed arguments whose value flows from an earlier syscall
+    /// return (the `fds` extension statistic).
+    pub fds: usize,
+}
+
+/// How one argument was classified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgClass {
+    /// Address of a known string constant.
+    String(Vec<u8>),
+    /// Some other known constant.
+    Immediate(u32),
+    /// A known constant that is an address (of a non-string object, or of
+    /// a string whose contents are dynamic); must be remapped if the
+    /// rewriter moves sections.
+    ImmediateAddr(u32),
+    /// One of a few known constants.
+    MultiValue(Vec<u32>),
+    /// Flows from a previous syscall's return value (fd candidate).
+    SyscallReturn,
+    /// Output-only pointer per the signature.
+    OutParam,
+    /// Statically unknown.
+    Unknown,
+}
+
+/// Reads a NUL-terminated printable string at `addr` from the binary's
+/// read-only data, if one is there. This is the "address of a known
+/// string" test: the constant must point into `.rodata` (string constants
+/// live there) and the bytes must be printable ASCII up to a NUL within a
+/// sane length.
+pub fn string_at(binary: &Binary, addr: u32) -> Option<Vec<u8>> {
+    let section = binary.section_by_name(sections::RODATA)?;
+    if !section.contains_addr(addr) {
+        return None;
+    }
+    let start = (addr - section.addr) as usize;
+    let mut out = Vec::new();
+    for i in start..section.data.len().min(start + 1024) {
+        let b = section.data[i];
+        if b == 0 {
+            return Some(out);
+        }
+        if !(0x09..=0x7e).contains(&b) {
+            return None;
+        }
+        out.push(b);
+    }
+    None
+}
+
+/// Classifies one argument of one site.
+pub fn classify_arg(
+    binary: &Binary,
+    spec: &SyscallSpec,
+    site: &SyscallSite,
+    index: usize,
+) -> ArgClass {
+    if index >= spec.nargs as usize {
+        return ArgClass::Unknown;
+    }
+    if spec.out_mask & (1 << index) != 0 {
+        return ArgClass::OutParam;
+    }
+    match &site.args[index] {
+        Value::Const(c) => ArgClass::Immediate(*c),
+        Value::Addr(c) => match string_at(binary, *c) {
+            Some(s) if spec.path_mask & (1 << index) != 0 || !s.is_empty() => ArgClass::String(s),
+            _ => ArgClass::ImmediateAddr(*c),
+        },
+        Value::Consts(cs) => ArgClass::MultiValue(cs.clone()),
+        Value::SyscallRet => ArgClass::SyscallReturn,
+        Value::Undefined | Value::Unknown => ArgClass::Unknown,
+    }
+}
+
+/// Classifies all arguments of a site and derives the basic-approach
+/// [`ArgPolicy`] for each, updating `stats`.
+pub fn classify_site(
+    binary: &Binary,
+    personality: Personality,
+    site: &SyscallSite,
+    capability_tracking: bool,
+    stats: &mut CoverageStats,
+) -> Option<(u16, Vec<ArgPolicy>, &'static SyscallSpec)> {
+    let nr = site.nr.as_const()? as u16;
+    let id = personality.id(nr)?;
+    let spec = asc_kernel::spec(id);
+    stats.sites += 1;
+    stats.args += spec.nargs as usize;
+    let mut policies = vec![ArgPolicy::Any; asc_core::MAX_ARGS];
+    for i in 0..spec.nargs as usize {
+        match classify_arg(binary, spec, site, i) {
+            ArgClass::String(s) => {
+                stats.auth += 1;
+                policies[i] = ArgPolicy::StringLit(s);
+            }
+            ArgClass::Immediate(c) => {
+                stats.auth += 1;
+                policies[i] = ArgPolicy::Immediate(c);
+            }
+            ArgClass::ImmediateAddr(c) => {
+                stats.auth += 1;
+                policies[i] = ArgPolicy::ImmediateAddr(c);
+            }
+            ArgClass::MultiValue(_) => stats.multi_value += 1,
+            ArgClass::SyscallReturn => {
+                if spec.fd_mask & (1 << i) != 0 {
+                    stats.fds += 1;
+                    if capability_tracking {
+                        policies[i] = ArgPolicy::Capability;
+                    }
+                }
+            }
+            ArgClass::OutParam => stats.out_params += 1,
+            ArgClass::Unknown => {}
+        }
+    }
+    Some((nr, policies, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_analysis::{ir::Unit, ProgramAnalysis};
+    use asc_asm::assemble;
+
+    fn analyze(src: &str) -> (Binary, ProgramAnalysis) {
+        let binary = assemble(src).unwrap();
+        let analysis = ProgramAnalysis::run(Unit::lift(&binary).unwrap());
+        (binary, analysis)
+    }
+
+    #[test]
+    fn string_detection() {
+        let (binary, _) = analyze(
+            "
+            .text
+        main: halt
+            .rodata
+        s1: .asciz \"/etc/motd\"
+        s2: .byte 1
+            .byte 2
+        ",
+        );
+        let s1 = binary.symbol("s1").unwrap().addr;
+        assert_eq!(string_at(&binary, s1), Some(b"/etc/motd".to_vec()));
+        // Mid-string pointer also yields a (suffix) string.
+        assert_eq!(string_at(&binary, s1 + 1), Some(b"etc/motd".to_vec()));
+        // Non-printable region is not a string.
+        let s2 = binary.symbol("s2").unwrap().addr;
+        assert_eq!(string_at(&binary, s2), None);
+        // Addresses outside .rodata are not strings.
+        assert_eq!(string_at(&binary, 0x1000), None);
+        assert_eq!(string_at(&binary, 0xdead_0000), None);
+    }
+
+    #[test]
+    fn open_call_classification() {
+        let (binary, analysis) = analyze(
+            "
+            .text
+        main:
+            movi r0, 5          ; SYS_open
+            movi r1, path
+            movi r2, 0
+            movi r3, 0x1b6
+            syscall
+            halt
+            .rodata
+        path: .asciz \"/etc/motd\"
+        ",
+        );
+        let site = &analysis.syscall_sites()[0];
+        let mut stats = CoverageStats::default();
+        let (nr, policies, spec) =
+            classify_site(&binary, Personality::Linux, site, false, &mut stats).unwrap();
+        assert_eq!(nr, 5);
+        assert_eq!(spec.name, "open");
+        assert_eq!(policies[0], ArgPolicy::StringLit(b"/etc/motd".to_vec()));
+        assert_eq!(policies[1], ArgPolicy::Immediate(0));
+        assert_eq!(policies[2], ArgPolicy::Immediate(0x1b6));
+        assert_eq!(stats.auth, 3);
+        assert_eq!(stats.args, 3);
+    }
+
+    #[test]
+    fn read_call_out_param_and_fd_flow() {
+        let (binary, analysis) = analyze(
+            "
+            .text
+        main:
+            movi r0, 5
+            movi r1, path
+            movi r2, 0
+            syscall
+            mov r4, r0
+            movi r0, 3          ; SYS_read
+            mov r1, r4          ; fd from open
+            movi r2, 0x5000     ; buffer (out param)
+            movi r3, 128
+            syscall
+            halt
+            .rodata
+        path: .asciz \"/x\"
+        ",
+        );
+        let site = &analysis.syscall_sites()[1];
+        let mut stats = CoverageStats::default();
+        let (nr, policies, _) =
+            classify_site(&binary, Personality::Linux, site, true, &mut stats).unwrap();
+        assert_eq!(nr, 3);
+        assert_eq!(policies[0], ArgPolicy::Capability, "fd arg tracked");
+        assert_eq!(policies[1], ArgPolicy::Any, "out param unconstrained");
+        assert_eq!(policies[2], ArgPolicy::Immediate(128));
+        assert_eq!(stats.out_params, 1);
+        assert_eq!(stats.fds, 1);
+        assert_eq!(stats.auth, 1);
+    }
+
+    #[test]
+    fn unknown_number_site_skipped() {
+        let (binary, analysis) = analyze(
+            "
+            .text
+        main:
+            ldw r0, [r1]
+            syscall
+            halt
+        ",
+        );
+        let site = &analysis.syscall_sites()[0];
+        let mut stats = CoverageStats::default();
+        assert!(classify_site(&binary, Personality::Linux, site, false, &mut stats).is_none());
+        assert_eq!(stats.sites, 0);
+    }
+}

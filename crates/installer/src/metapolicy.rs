@@ -1,0 +1,109 @@
+//! Metapolicies and policy templates (§5.2).
+//!
+//! A metapolicy states what *must be* protected per system call, rather
+//! than what *can be* protected automatically. When static analysis cannot
+//! determine a required argument, the installer emits a
+//! [`PolicyTemplate`] with holes for the administrator, who can supply
+//! values or patterns (from application knowledge or dynamic profiling)
+//! through [`Metapolicy::fill`]; filled holes become part of the complete
+//! ASC policy on the next install.
+
+use std::collections::BTreeMap;
+
+use asc_core::ArgPolicy;
+use asc_kernel::SyscallId;
+
+/// One metapolicy rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetapolicyRule {
+    /// Which syscall the rule applies to (`None` = every syscall).
+    pub syscall: Option<SyscallId>,
+    /// Bitmask of argument indices that must be constrained.
+    pub required_args: u8,
+}
+
+/// A metapolicy: rules plus administrator-supplied hole fills.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metapolicy {
+    rules: Vec<MetapolicyRule>,
+    fills: BTreeMap<(String, usize), ArgPolicy>,
+}
+
+impl Metapolicy {
+    /// An empty metapolicy (no requirements).
+    pub fn new() -> Metapolicy {
+        Metapolicy::default()
+    }
+
+    /// Adds a rule requiring the arguments in `required_args` (bitmask) to
+    /// be constrained for `syscall` (or all syscalls when `None`).
+    #[must_use]
+    pub fn require(mut self, syscall: Option<SyscallId>, required_args: u8) -> Metapolicy {
+        self.rules.push(MetapolicyRule { syscall, required_args });
+        self
+    }
+
+    /// Administrator fill: constrain argument `arg` of syscall `name`
+    /// wherever analysis left it unconstrained.
+    #[must_use]
+    pub fn fill(mut self, name: &str, arg: usize, policy: ArgPolicy) -> Metapolicy {
+        self.fills.insert((name.to_string(), arg), policy);
+        self
+    }
+
+    /// The union of required-argument masks applying to `id`.
+    pub fn required_for(&self, id: SyscallId) -> u8 {
+        self.rules
+            .iter()
+            .filter(|r| r.syscall.is_none() || r.syscall == Some(id))
+            .fold(0, |acc, r| acc | r.required_args)
+    }
+
+    /// The fill (if any) for `(syscall name, arg)`.
+    pub fn fill_for(&self, name: &str, arg: usize) -> Option<&ArgPolicy> {
+        self.fills.get(&(name.to_string(), arg))
+    }
+}
+
+/// An unmet metapolicy requirement at one call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemplateHole {
+    /// Argument index needing a hand-specified constraint.
+    pub arg: usize,
+}
+
+/// A policy template: a site whose policy does not yet satisfy the
+/// metapolicy. The administrator resolves it by adding
+/// [`Metapolicy::fill`] entries and re-running the installer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyTemplate {
+    /// Call-site address (input binary).
+    pub call_site: u32,
+    /// Canonical syscall name.
+    pub syscall: String,
+    /// Remaining holes.
+    pub holes: Vec<TemplateHole>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_masks_union() {
+        let mp = Metapolicy::new()
+            .require(Some(SyscallId::Open), 0b01)
+            .require(Some(SyscallId::Open), 0b10)
+            .require(None, 0b100);
+        assert_eq!(mp.required_for(SyscallId::Open), 0b111);
+        assert_eq!(mp.required_for(SyscallId::Read), 0b100);
+    }
+
+    #[test]
+    fn fills_lookup() {
+        let mp = Metapolicy::new().fill("open", 0, ArgPolicy::Pattern("/tmp/*".into()));
+        assert_eq!(mp.fill_for("open", 0), Some(&ArgPolicy::Pattern("/tmp/*".into())));
+        assert_eq!(mp.fill_for("open", 1), None);
+        assert_eq!(mp.fill_for("read", 0), None);
+    }
+}

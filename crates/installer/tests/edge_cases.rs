@@ -1,0 +1,283 @@
+//! Installer edge cases: control flow into rewritten prologues, multi-page
+//! relayout, multiple authenticated strings per site, and option
+//! interactions.
+
+use asc_asm::assemble;
+use asc_core::ArgPolicy;
+use asc_crypto::MacKey;
+use asc_installer::{Installer, InstallerOptions};
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_vm::{Machine, RunOutcome};
+
+fn key() -> MacKey {
+    MacKey::from_seed(0xED6E)
+}
+
+fn install(src: &str) -> (asc_object::Binary, asc_installer::InstallReport) {
+    let binary = assemble(src).expect("assembles");
+    let installer = Installer::new(key(), InstallerOptions::new(Personality::Linux));
+    installer.install(&binary, "edge").expect("installs")
+}
+
+fn run(binary: &asc_object::Binary) -> (RunOutcome, Kernel) {
+    let mut kernel = Kernel::new(KernelOptions::enforcing(Personality::Linux));
+    kernel.set_key(key());
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(binary, kernel).expect("loads");
+    let outcome = machine.run(100_000_000);
+    (outcome, machine.into_handler())
+}
+
+#[test]
+fn branch_targeting_a_syscall_lands_on_the_prologue() {
+    // A loop whose back edge targets the syscall instruction itself: after
+    // rewriting, the branch must land on the inserted argument loads, or
+    // the second iteration would trap with stale policy registers.
+    let (auth, _) = install(
+        "
+        .text
+        .entry main
+    main:
+        movi r4, 0
+    back:
+        movi r0, 20           ; getpid
+        syscall
+        addi r4, r4, 1
+        movi r5, 3
+        blt r4, r5, back
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ",
+    );
+    let (outcome, kernel) = run(&auth);
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(kernel.stats().verified, 4);
+}
+
+#[test]
+fn large_text_pushes_sections_across_pages() {
+    // Enough syscall sites that the inserted loads grow .text past its
+    // original page, forcing every later section to move; all relocations
+    // and policies must survive.
+    let mut body = String::new();
+    for i in 0..80 {
+        body.push_str(&format!(
+            "movi r0, 20\nsyscall\nmovi r2, msg{i}\nldb r3, [r2]\n",
+        ));
+    }
+    let mut data = String::new();
+    for i in 0..80 {
+        data.push_str(&format!("msg{i}: .asciz \"string number {i}\"\n"));
+    }
+    let src = format!(
+        "
+        .text
+        .entry main
+    main:
+        {body}
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .rodata
+        {data}
+    "
+    );
+    let plain = assemble(&src).unwrap();
+    let old_rodata = plain.section_by_name(".rodata").unwrap().addr;
+    let installer = Installer::new(key(), InstallerOptions::new(Personality::Linux));
+    let (auth, report) = installer.install(&plain, "big").unwrap();
+    let new_rodata = auth.section_by_name(".rodata").unwrap().addr;
+    assert!(new_rodata > old_rodata, "rodata must have moved");
+    assert_eq!(report.policy.sites(), 81);
+    let (outcome, kernel) = run(&auth);
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(kernel.stats().verified, 81);
+}
+
+#[test]
+fn multiple_string_arguments_in_one_call() {
+    // link(existing, new): both pathname arguments become authenticated
+    // strings and both registers get repointed.
+    let (auth, report) = install(
+        "
+        .text
+        .entry main
+    main:
+        movi r0, 9            ; link
+        movi r1, a
+        movi r2, b
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .rodata
+    a: .asciz \"/etc/motd\"
+    b: .asciz \"/etc/motd2\"
+    ",
+    );
+    let link = report.policy.iter().find(|p| p.syscall_nr == 9).unwrap();
+    assert_eq!(link.args[0], ArgPolicy::StringLit(b"/etc/motd".to_vec()));
+    assert_eq!(link.args[1], ArgPolicy::StringLit(b"/etc/motd2".to_vec()));
+    let (outcome, kernel) = run(&auth);
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert!(kernel.fs().read_file("/etc/motd2").is_ok());
+}
+
+#[test]
+fn duplicate_strings_share_one_authenticated_copy() {
+    let (auth, _) = install(
+        "
+        .text
+        .entry main
+    main:
+        movi r0, 33           ; access(\"/etc/motd\", 0)
+        movi r1, p1
+        movi r2, 0
+        syscall
+        movi r0, 106          ; stat(\"/etc/motd\", buf)
+        movi r1, p2
+        movi r2, st
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .rodata
+    p1: .asciz \"/etc/motd\"
+    p2: .asciz \"/etc/motd\"
+        .bss
+    st: .space 16
+    ",
+    );
+    let asc_section = auth.section_by_name(".asc").unwrap();
+    let hits = asc_section
+        .data
+        .windows(10)
+        .filter(|w| *w == b"/etc/motd\0")
+        .count();
+    assert_eq!(hits, 1, "identical string contents are stored once");
+    let (outcome, _) = run(&auth);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
+
+#[test]
+fn program_id_changes_macs_but_not_behaviour() {
+    let src = "
+        .text
+        .entry main
+    main:
+        movi r0, 20
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ";
+    let plain = assemble(src).unwrap();
+    let mk = |pid| {
+        Installer::new(key(), InstallerOptions::new(Personality::Linux).with_program_id(pid))
+            .install(&plain, "p")
+            .unwrap()
+            .0
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(
+        a.section_by_name(".asc").unwrap().data,
+        b.section_by_name(".asc").unwrap().data,
+        "different program ids must change the authenticated data"
+    );
+    for binary in [a, b] {
+        let (outcome, _) = run(&binary);
+        assert_eq!(outcome, RunOutcome::Exited(0));
+    }
+}
+
+#[test]
+fn cross_program_asc_sections_are_not_interchangeable() {
+    // Swap the .asc of two installs of the *same* program with different
+    // program ids: the block ids in R8 (baked into text) no longer match
+    // the MACs (baked into .asc) — killed.
+    let src = "
+        .text
+        .entry main
+    main:
+        movi r0, 20
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ";
+    let plain = assemble(src).unwrap();
+    let mk = |pid| {
+        Installer::new(key(), InstallerOptions::new(Personality::Linux).with_program_id(pid))
+            .install(&plain, "p")
+            .unwrap()
+            .0
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let mut franken = a.clone();
+    let asc_idx = franken.section_index(".asc").unwrap() as usize;
+    franken.sections_mut()[asc_idx].data =
+        b.section_by_name(".asc").unwrap().data.clone();
+    let (outcome, _) = run(&franken);
+    assert!(outcome.is_killed(), "{outcome:?}");
+}
+
+#[test]
+fn without_control_flow_r9_r10_are_zero() {
+    let src = "
+        .text
+        .entry main
+    main:
+        movi r0, 20
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ";
+    let plain = assemble(src).unwrap();
+    let installer = Installer::new(
+        key(),
+        InstallerOptions::new(Personality::Linux).without_control_flow(),
+    );
+    let (auth, report) = installer.install(&plain, "nocf").unwrap();
+    for p in report.policy.iter() {
+        assert!(p.predecessors.is_none());
+        assert!(!p.descriptor().control_flow_constrained());
+    }
+    let (outcome, kernel) = run(&auth);
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    // Cheaper verification than the control-flow variant.
+    let full = Installer::new(key(), InstallerOptions::new(Personality::Linux))
+        .install(&plain, "cf")
+        .unwrap()
+        .0;
+    let (_, kernel_full) = run(&full);
+    assert!(kernel.stats().verify_aes_blocks < kernel_full.stats().verify_aes_blocks);
+}
+
+#[test]
+fn policy_json_roundtrip() {
+    let (_, report) = install(
+        "
+        .text
+        .entry main
+    main:
+        movi r0, 5
+        movi r1, p
+        movi r2, 0
+        movi r3, 0
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .rodata
+    p: .asciz \"/etc/motd\"
+    ",
+    );
+    let json = serde_json::to_string_pretty(&report.policy).expect("serialises");
+    assert!(json.contains("/etc/motd") || json.contains("47")); // bytes or chars
+    let back: asc_core::ProgramPolicy = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, report.policy);
+}

@@ -1,0 +1,49 @@
+//! Per-instruction cycle costs for the deterministic performance model.
+//!
+//! The paper measures cycles with the Pentium `rdtsc` counter. The simulator
+//! instead charges deterministic costs per instruction; syscall trap and
+//! verification costs are charged by the kernel (see `asc-kernel::cost`).
+//! Only *relative* costs matter for reproducing the paper's overhead shapes.
+
+use crate::instr::Opcode;
+
+/// Base cycle cost of executing `op` (excluding kernel-side syscall work).
+pub fn base_cycles(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Nop | Halt => 1,
+        Movi | Mov => 1,
+        Add | Sub | And | Or | Xor | Shl | Shr => 1,
+        Addi | Andi | Ori | Xori | Shli | Shri => 1,
+        Mul | Muli => 3,
+        Divu | Remu => 12,
+        Ldw | Ldb => 2,
+        Stw | Stb => 2,
+        Push | Pop => 2,
+        Jmp | Jr => 1,
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => 1,
+        Call | Callr => 3,
+        Ret => 3,
+        // The user-side cost of reaching the trap; kernel adds the rest.
+        Syscall => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_positive_and_ordered() {
+        // Every opcode has a nonzero cost.
+        for b in 0..=38u8 {
+            if let Some(op) = Opcode::from_byte(b) {
+                assert!(base_cycles(op) >= 1, "{op:?}");
+            }
+        }
+        // Division is the most expensive ALU op; memory beats ALU.
+        assert!(base_cycles(Opcode::Divu) > base_cycles(Opcode::Mul));
+        assert!(base_cycles(Opcode::Mul) > base_cycles(Opcode::Add));
+        assert!(base_cycles(Opcode::Ldw) > base_cycles(Opcode::Add));
+    }
+}

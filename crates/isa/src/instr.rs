@@ -1,0 +1,509 @@
+//! SVM32 instruction encoding and decoding.
+//!
+//! Every instruction is exactly [`INSTR_LEN`] = 8 bytes:
+//! `opcode ‖ rd ‖ rs1 ‖ rs2 ‖ imm (4 bytes LE)`. Address operands always
+//! live in `imm`, which is what makes relocation-driven binary rewriting
+//! tractable for the installer.
+
+use crate::reg::Reg;
+
+/// Encoded length of every SVM32 instruction, in bytes.
+pub const INSTR_LEN: usize = 8;
+
+/// SVM32 opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// Stop the machine (exit with R0 as status if no `exit` syscall ran).
+    Halt = 1,
+    /// `rd := imm`.
+    Movi = 2,
+    /// `rd := rs1`.
+    Mov = 3,
+    /// `rd := rs1 + rs2`.
+    Add = 4,
+    /// `rd := rs1 - rs2`.
+    Sub = 5,
+    /// `rd := rs1 * rs2` (wrapping).
+    Mul = 6,
+    /// `rd := rs1 / rs2` (unsigned; 0 if rs2 == 0).
+    Divu = 7,
+    /// `rd := rs1 % rs2` (unsigned; 0 if rs2 == 0).
+    Remu = 8,
+    /// `rd := rs1 & rs2`.
+    And = 9,
+    /// `rd := rs1 | rs2`.
+    Or = 10,
+    /// `rd := rs1 ^ rs2`.
+    Xor = 11,
+    /// `rd := rs1 << (rs2 & 31)`.
+    Shl = 12,
+    /// `rd := rs1 >> (rs2 & 31)` (logical).
+    Shr = 13,
+    /// `rd := rs1 + imm` (wrapping; imm is two's complement).
+    Addi = 14,
+    /// `rd := rs1 & imm`.
+    Andi = 15,
+    /// `rd := rs1 | imm`.
+    Ori = 16,
+    /// `rd := rs1 ^ imm`.
+    Xori = 17,
+    /// `rd := rs1 << (imm & 31)`.
+    Shli = 18,
+    /// `rd := rs1 >> (imm & 31)` (logical).
+    Shri = 19,
+    /// `rd := rs1 * imm` (wrapping).
+    Muli = 20,
+    /// `rd := mem32[rs1 + imm]`.
+    Ldw = 21,
+    /// `mem32[rs1 + imm] := rs2`.
+    Stw = 22,
+    /// `rd := zext(mem8[rs1 + imm])`.
+    Ldb = 23,
+    /// `mem8[rs1 + imm] := rs2 & 0xff`.
+    Stb = 24,
+    /// `sp -= 4; mem32[sp] := rs1`.
+    Push = 25,
+    /// `rd := mem32[sp]; sp += 4`.
+    Pop = 26,
+    /// `pc := imm` (absolute).
+    Jmp = 27,
+    /// `pc := rs1` (indirect jump).
+    Jr = 28,
+    /// `if rs1 == rs2 then pc := imm`.
+    Beq = 29,
+    /// `if rs1 != rs2 then pc := imm`.
+    Bne = 30,
+    /// `if (i32)rs1 < (i32)rs2 then pc := imm`.
+    Blt = 31,
+    /// `if (i32)rs1 >= (i32)rs2 then pc := imm`.
+    Bge = 32,
+    /// `if rs1 < rs2 then pc := imm` (unsigned).
+    Bltu = 33,
+    /// `if rs1 >= rs2 then pc := imm` (unsigned).
+    Bgeu = 34,
+    /// `sp -= 4; mem32[sp] := pc + 8; pc := imm`.
+    Call = 35,
+    /// `sp -= 4; mem32[sp] := pc + 8; pc := rs1` (indirect call).
+    Callr = 36,
+    /// `pc := mem32[sp]; sp += 4`.
+    Ret = 37,
+    /// Trap into the kernel; syscall number in `R0` (the `int 0x80`
+    /// analogue).
+    Syscall = 38,
+}
+
+impl Opcode {
+    const MAX: u8 = Opcode::Syscall as u8;
+
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        if b > Opcode::MAX {
+            return None;
+        }
+        // SAFETY-free version: match through a table.
+        Some(match b {
+            0 => Opcode::Nop,
+            1 => Opcode::Halt,
+            2 => Opcode::Movi,
+            3 => Opcode::Mov,
+            4 => Opcode::Add,
+            5 => Opcode::Sub,
+            6 => Opcode::Mul,
+            7 => Opcode::Divu,
+            8 => Opcode::Remu,
+            9 => Opcode::And,
+            10 => Opcode::Or,
+            11 => Opcode::Xor,
+            12 => Opcode::Shl,
+            13 => Opcode::Shr,
+            14 => Opcode::Addi,
+            15 => Opcode::Andi,
+            16 => Opcode::Ori,
+            17 => Opcode::Xori,
+            18 => Opcode::Shli,
+            19 => Opcode::Shri,
+            20 => Opcode::Muli,
+            21 => Opcode::Ldw,
+            22 => Opcode::Stw,
+            23 => Opcode::Ldb,
+            24 => Opcode::Stb,
+            25 => Opcode::Push,
+            26 => Opcode::Pop,
+            27 => Opcode::Jmp,
+            28 => Opcode::Jr,
+            29 => Opcode::Beq,
+            30 => Opcode::Bne,
+            31 => Opcode::Blt,
+            32 => Opcode::Bge,
+            33 => Opcode::Bltu,
+            34 => Opcode::Bgeu,
+            35 => Opcode::Call,
+            36 => Opcode::Callr,
+            37 => Opcode::Ret,
+            38 => Opcode::Syscall,
+            _ => unreachable!("guarded by MAX"),
+        })
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "nop",
+            Opcode::Halt => "halt",
+            Opcode::Movi => "movi",
+            Opcode::Mov => "mov",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Divu => "divu",
+            Opcode::Remu => "remu",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Addi => "addi",
+            Opcode::Andi => "andi",
+            Opcode::Ori => "ori",
+            Opcode::Xori => "xori",
+            Opcode::Shli => "shli",
+            Opcode::Shri => "shri",
+            Opcode::Muli => "muli",
+            Opcode::Ldw => "ldw",
+            Opcode::Stw => "stw",
+            Opcode::Ldb => "ldb",
+            Opcode::Stb => "stb",
+            Opcode::Push => "push",
+            Opcode::Pop => "pop",
+            Opcode::Jmp => "jmp",
+            Opcode::Jr => "jr",
+            Opcode::Beq => "beq",
+            Opcode::Bne => "bne",
+            Opcode::Blt => "blt",
+            Opcode::Bge => "bge",
+            Opcode::Bltu => "bltu",
+            Opcode::Bgeu => "bgeu",
+            Opcode::Call => "call",
+            Opcode::Callr => "callr",
+            Opcode::Ret => "ret",
+            Opcode::Syscall => "syscall",
+        }
+    }
+
+    /// Whether this opcode ends a basic block (branches, jumps, calls,
+    /// returns, traps, halt).
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Jmp
+                | Opcode::Jr
+                | Opcode::Beq
+                | Opcode::Bne
+                | Opcode::Blt
+                | Opcode::Bge
+                | Opcode::Bltu
+                | Opcode::Bgeu
+                | Opcode::Call
+                | Opcode::Callr
+                | Opcode::Ret
+                | Opcode::Halt
+                | Opcode::Syscall
+        )
+    }
+
+    /// Whether `imm` holds a code address that must carry a relocation when
+    /// it refers to a label.
+    pub fn imm_is_code_target(self) -> bool {
+        matches!(
+            self,
+            Opcode::Jmp
+                | Opcode::Beq
+                | Opcode::Bne
+                | Opcode::Blt
+                | Opcode::Bge
+                | Opcode::Bltu
+                | Opcode::Bgeu
+                | Opcode::Call
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        )
+    }
+}
+
+/// A decoded SVM32 instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register.
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate / address operand.
+    pub imm: u32,
+}
+
+/// Error decoding an instruction from raw bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than 8 bytes available.
+    Truncated,
+    /// Unknown opcode byte — the region is not valid SVM32 code.
+    BadOpcode(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "invalid register byte {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instruction {
+    fn raw(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: u32) -> Instruction {
+        Instruction { op, rd, rs1, rs2, imm }
+    }
+
+    /// `nop`.
+    pub fn nop() -> Instruction {
+        Self::raw(Opcode::Nop, Reg::R0, Reg::R0, Reg::R0, 0)
+    }
+
+    /// `halt`.
+    pub fn halt() -> Instruction {
+        Self::raw(Opcode::Halt, Reg::R0, Reg::R0, Reg::R0, 0)
+    }
+
+    /// `rd := imm`.
+    pub fn movi(rd: Reg, imm: u32) -> Instruction {
+        Self::raw(Opcode::Movi, rd, Reg::R0, Reg::R0, imm)
+    }
+
+    /// `rd := rs1`.
+    pub fn mov(rd: Reg, rs1: Reg) -> Instruction {
+        Self::raw(Opcode::Mov, rd, rs1, Reg::R0, 0)
+    }
+
+    /// Three-register ALU operation.
+    pub fn alu(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+        Self::raw(op, rd, rs1, rs2, 0)
+    }
+
+    /// Register-immediate ALU operation.
+    pub fn alui(op: Opcode, rd: Reg, rs1: Reg, imm: u32) -> Instruction {
+        Self::raw(op, rd, rs1, Reg::R0, imm)
+    }
+
+    /// `rd := rs1 + imm`.
+    pub fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instruction {
+        Self::alui(Opcode::Addi, rd, rs1, imm as u32)
+    }
+
+    /// `rd := mem32[rs1 + imm]`.
+    pub fn ldw(rd: Reg, rs1: Reg, imm: i32) -> Instruction {
+        Self::raw(Opcode::Ldw, rd, rs1, Reg::R0, imm as u32)
+    }
+
+    /// `mem32[rs1 + imm] := rs2`.
+    pub fn stw(rs1: Reg, imm: i32, rs2: Reg) -> Instruction {
+        Self::raw(Opcode::Stw, Reg::R0, rs1, rs2, imm as u32)
+    }
+
+    /// `rd := zext(mem8[rs1 + imm])`.
+    pub fn ldb(rd: Reg, rs1: Reg, imm: i32) -> Instruction {
+        Self::raw(Opcode::Ldb, rd, rs1, Reg::R0, imm as u32)
+    }
+
+    /// `mem8[rs1 + imm] := rs2`.
+    pub fn stb(rs1: Reg, imm: i32, rs2: Reg) -> Instruction {
+        Self::raw(Opcode::Stb, Reg::R0, rs1, rs2, imm as u32)
+    }
+
+    /// `push rs1`.
+    pub fn push(rs1: Reg) -> Instruction {
+        Self::raw(Opcode::Push, Reg::R0, rs1, Reg::R0, 0)
+    }
+
+    /// `pop rd`.
+    pub fn pop(rd: Reg) -> Instruction {
+        Self::raw(Opcode::Pop, rd, Reg::R0, Reg::R0, 0)
+    }
+
+    /// `jmp imm`.
+    pub fn jmp(target: u32) -> Instruction {
+        Self::raw(Opcode::Jmp, Reg::R0, Reg::R0, Reg::R0, target)
+    }
+
+    /// `jr rs1`.
+    pub fn jr(rs1: Reg) -> Instruction {
+        Self::raw(Opcode::Jr, Reg::R0, rs1, Reg::R0, 0)
+    }
+
+    /// Conditional branch.
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, target: u32) -> Instruction {
+        debug_assert!(op.is_cond_branch());
+        Self::raw(op, Reg::R0, rs1, rs2, target)
+    }
+
+    /// `call imm`.
+    pub fn call(target: u32) -> Instruction {
+        Self::raw(Opcode::Call, Reg::R0, Reg::R0, Reg::R0, target)
+    }
+
+    /// `callr rs1`.
+    pub fn callr(rs1: Reg) -> Instruction {
+        Self::raw(Opcode::Callr, Reg::R0, rs1, Reg::R0, 0)
+    }
+
+    /// `ret`.
+    pub fn ret() -> Instruction {
+        Self::raw(Opcode::Ret, Reg::R0, Reg::R0, Reg::R0, 0)
+    }
+
+    /// `syscall`.
+    pub fn syscall() -> Instruction {
+        Self::raw(Opcode::Syscall, Reg::R0, Reg::R0, Reg::R0, 0)
+    }
+
+    /// Encodes to the fixed 8-byte format.
+    pub fn encode(&self) -> [u8; INSTR_LEN] {
+        let mut out = [0u8; INSTR_LEN];
+        out[0] = self.op as u8;
+        out[1] = self.rd.byte();
+        out[2] = self.rs1.byte();
+        out[3] = self.rs2.byte();
+        out[4..].copy_from_slice(&self.imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, an unknown opcode byte, or an
+    /// out-of-range register field.
+    pub fn decode(bytes: &[u8]) -> Result<Instruction, DecodeError> {
+        if bytes.len() < INSTR_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let op = Opcode::from_byte(bytes[0]).ok_or(DecodeError::BadOpcode(bytes[0]))?;
+        let rd = Reg::try_new(bytes[1]).ok_or(DecodeError::BadRegister(bytes[1]))?;
+        let rs1 = Reg::try_new(bytes[2]).ok_or(DecodeError::BadRegister(bytes[2]))?;
+        let rs2 = Reg::try_new(bytes[3]).ok_or(DecodeError::BadRegister(bytes[3]))?;
+        let imm = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        Ok(Instruction { op, rd, rs1, rs2, imm })
+    }
+
+    /// Signed view of the immediate.
+    pub fn simm(&self) -> i32 {
+        self.imm as i32
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Nop | Halt | Ret | Syscall => write!(f, "{m}"),
+            Movi => write!(f, "{m} {}, {:#x}", self.rd, self.imm),
+            Mov => write!(f, "{m} {}, {}", self.rd, self.rs1),
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Shl | Shr => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2)
+            }
+            Addi | Andi | Ori | Xori | Shli | Shri | Muli => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.simm())
+            }
+            Ldw | Ldb => write!(f, "{m} {}, [{}{:+}]", self.rd, self.rs1, self.simm()),
+            Stw | Stb => write!(f, "{m} [{}{:+}], {}", self.rs1, self.simm(), self.rs2),
+            Push => write!(f, "{m} {}", self.rs1),
+            Pop => write!(f, "{m} {}", self.rd),
+            Jmp | Call => write!(f, "{m} {:#x}", self.imm),
+            Jr | Callr => write!(f, "{m} {}", self.rs1),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(f, "{m} {}, {}, {:#x}", self.rs1, self.rs2, self.imm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_opcodes() {
+        for b in 0..=Opcode::MAX {
+            let op = Opcode::from_byte(b).unwrap();
+            let i = Instruction { op, rd: Reg::R3, rs1: Reg::R5, rs2: Reg::SP, imm: 0xdead_beef };
+            let decoded = Instruction::decode(&i.encode()).unwrap();
+            assert_eq!(decoded, i);
+        }
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(Instruction::decode(&[0u8; 7]), Err(DecodeError::Truncated));
+        let mut bytes = Instruction::nop().encode();
+        bytes[0] = 0xff;
+        assert_eq!(Instruction::decode(&bytes), Err(DecodeError::BadOpcode(0xff)));
+        let mut bytes = Instruction::nop().encode();
+        bytes[2] = 16;
+        assert_eq!(Instruction::decode(&bytes), Err(DecodeError::BadRegister(16)));
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Opcode::Syscall.is_terminator());
+        assert!(Opcode::Call.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(Opcode::Beq.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+        assert!(!Opcode::Movi.is_terminator());
+    }
+
+    #[test]
+    fn code_target_imms() {
+        assert!(Opcode::Jmp.imm_is_code_target());
+        assert!(Opcode::Call.imm_is_code_target());
+        assert!(Opcode::Beq.imm_is_code_target());
+        assert!(!Opcode::Movi.imm_is_code_target());
+        assert!(!Opcode::Jr.imm_is_code_target());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::movi(Reg::R0, 0x14).to_string(), "movi r0, 0x14");
+        assert_eq!(Instruction::syscall().to_string(), "syscall");
+        assert_eq!(Instruction::ldw(Reg::R1, Reg::SP, -4).to_string(), "ldw r1, [sp-4]");
+        assert_eq!(
+            Instruction::branch(Opcode::Bne, Reg::R1, Reg::R2, 0x1000).to_string(),
+            "bne r1, r2, 0x1000"
+        );
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let i = Instruction::addi(Reg::SP, Reg::SP, -64);
+        let d = Instruction::decode(&i.encode()).unwrap();
+        assert_eq!(d.simm(), -64);
+    }
+}

@@ -1,0 +1,47 @@
+//! SVM32: the simulated 32-bit instruction set architecture.
+//!
+//! The paper's prototype rewrites IA-32 binaries. IA-32 itself is not
+//! reproducible in scope, so the repository defines SVM32, a small
+//! register machine that preserves every property the paper's machinery
+//! depends on:
+//!
+//! * system calls are a trap instruction ([`Opcode::Syscall`]) with the call
+//!   number in a register (`R0`, the analogue of `EAX`) — the installer finds
+//!   syscalls exactly the way PLTO finds `int 0x80`;
+//! * `CALL` pushes the return address on the stack, so stack-smashing
+//!   attacks can redirect control flow just as on IA-32;
+//! * every instruction is 8 bytes and address operands live in a fixed
+//!   `imm` field, so relocatable binaries can be rewritten by fixing up
+//!   relocation targets after code motion (PLTO's relocation requirement);
+//! * decoding can fail ([`DecodeError`]), so "could not completely
+//!   disassemble" situations (Table 2's OpenBSD `close`) arise naturally.
+//!
+//! # Registers
+//!
+//! | register | role |
+//! |---|---|
+//! | `R0` | syscall number / return value (`EAX` analogue) |
+//! | `R1`–`R6` | function and syscall arguments |
+//! | `R7`–`R11` | the five authenticated-call arguments added by the installer |
+//! | `R12` | scratch |
+//! | `R13` | frame pointer |
+//! | `R14` | link scratch (CALL still pushes to the stack) |
+//! | `R15` | stack pointer |
+//!
+//! # Example
+//!
+//! ```
+//! use asc_isa::{Instruction, Opcode, Reg};
+//!
+//! let i = Instruction::movi(Reg::R0, 20); // R0 := 20 (e.g. SYS_getpid)
+//! let bytes = i.encode();
+//! assert_eq!(Instruction::decode(&bytes).unwrap(), i);
+//! ```
+
+pub mod cycles;
+pub mod instr;
+pub mod reg;
+
+pub use cycles::base_cycles;
+pub use instr::{DecodeError, Instruction, Opcode, INSTR_LEN};
+pub use reg::Reg;

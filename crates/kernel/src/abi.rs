@@ -1,0 +1,497 @@
+//! System call ABI: the symbolic syscall identifiers, per-call signatures,
+//! and the two OS personalities (Linux-like and OpenBSD-like numbering).
+//!
+//! Two personalities exist because the paper's policy-generation experiments
+//! run on both Linux and OpenBSD (Tables 1–2) and hinge on OS-specific ABI
+//! quirks that we reproduce:
+//!
+//! * numbering differs between the personalities, so a policy generated for
+//!   one OS is meaningless on the other;
+//! * OpenBSD's `mmap` is reached through `__syscall`, a generic indirect
+//!   system call whose first argument is the real call number — static
+//!   analysis therefore constrains `__syscall(SYS_mmap, ...)` while a
+//!   trained monitor records `mmap`;
+//! * OpenBSD uses `getdirentries` where Linux uses `getdents`, and has a
+//!   `sysconf`-as-syscall quirk.
+//!
+//! The [`SyscallSpec`] table also records the signature facts the
+//! installer's argument classification needs: which parameters are
+//! output-only (Table 3's `o/p` column), which are pathnames, which are
+//! file descriptors (the `fds` column), and which calls mint or revoke
+//! descriptors (capability tracking, §5.3).
+
+/// Symbolic, personality-independent syscall identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum SyscallId {
+    Exit,
+    Fork,
+    Read,
+    Write,
+    Open,
+    Close,
+    Waitpid,
+    Creat,
+    Link,
+    Unlink,
+    Execve,
+    Chdir,
+    Time,
+    Mknod,
+    Chmod,
+    Lchown,
+    Lseek,
+    Getpid,
+    Setuid,
+    Getuid,
+    Alarm,
+    Fstat,
+    Pause,
+    Utime,
+    Access,
+    Nice,
+    Sync,
+    Kill,
+    Rename,
+    Mkdir,
+    Rmdir,
+    Dup,
+    Pipe,
+    Times,
+    Brk,
+    Setgid,
+    Getgid,
+    Geteuid,
+    Getegid,
+    Ioctl,
+    Fcntl,
+    Setpgid,
+    Umask,
+    Chroot,
+    Dup2,
+    Getppid,
+    Getpgrp,
+    Setsid,
+    Sigaction,
+    Sigsuspend,
+    Sigpending,
+    Sethostname,
+    Setrlimit,
+    Getrlimit,
+    Getrusage,
+    Gettimeofday,
+    Settimeofday,
+    Symlink,
+    Readlink,
+    Mmap,
+    Munmap,
+    Truncate,
+    Ftruncate,
+    Fchmod,
+    Fchown,
+    Statfs,
+    Fstatfs,
+    Stat,
+    Lstat,
+    Socket,
+    Connect,
+    Bind,
+    Listen,
+    Accept,
+    Sendto,
+    Recvfrom,
+    Shutdown,
+    Setsockopt,
+    Getsockopt,
+    Nanosleep,
+    Uname,
+    Madvise,
+    Writev,
+    Readv,
+    Getdents,
+    Getdirentries,
+    Poll,
+    SchedYield,
+    ClockGettime,
+    Sysconf,
+    /// OpenBSD's generic indirect system call (`__syscall`): argument 0 is
+    /// the real call number, remaining arguments shift up by one.
+    IndirectSyscall,
+}
+
+/// Signature facts about one syscall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyscallSpec {
+    /// Symbolic identity.
+    pub id: SyscallId,
+    /// Canonical name (as printed in policies and tables).
+    pub name: &'static str,
+    /// Number of arguments.
+    pub nargs: u8,
+    /// Bit `i` set: argument `i` is an output-only pointer (the kernel
+    /// writes the result there).
+    pub out_mask: u8,
+    /// Bit `i` set: argument `i` is a pathname string.
+    pub path_mask: u8,
+    /// Bit `i` set: argument `i` is a file descriptor.
+    pub fd_mask: u8,
+    /// The return value is a new file descriptor (`open`, `socket`, ...).
+    pub returns_fd: bool,
+    /// Argument 0 ceases to be a valid descriptor afterwards (`close`).
+    pub closes_fd: bool,
+}
+
+macro_rules! spec {
+    ($id:ident, $name:literal, $nargs:literal, out=$out:literal, path=$path:literal,
+     fd=$fd:literal, rfd=$rfd:literal, cfd=$cfd:literal) => {
+        SyscallSpec {
+            id: SyscallId::$id,
+            name: $name,
+            nargs: $nargs,
+            out_mask: $out,
+            path_mask: $path,
+            fd_mask: $fd,
+            returns_fd: $rfd,
+            closes_fd: $cfd,
+        }
+    };
+}
+
+/// The master signature table.
+pub const SPECS: &[SyscallSpec] = &[
+    spec!(Exit, "exit", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Fork, "fork", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Read, "read", 3, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Write, "write", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Open, "open", 3, out = 0, path = 0b001, fd = 0, rfd = true, cfd = false),
+    spec!(Close, "close", 1, out = 0, path = 0, fd = 0b001, rfd = false, cfd = true),
+    spec!(Waitpid, "waitpid", 3, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Creat, "creat", 2, out = 0, path = 0b001, fd = 0, rfd = true, cfd = false),
+    spec!(Link, "link", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
+    spec!(Unlink, "unlink", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Execve, "execve", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Chdir, "chdir", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Time, "time", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Mknod, "mknod", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Chmod, "chmod", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Lchown, "lchown", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Lseek, "lseek", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Getpid, "getpid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Setuid, "setuid", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getuid, "getuid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Alarm, "alarm", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Fstat, "fstat", 2, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Pause, "pause", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Utime, "utime", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Access, "access", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Nice, "nice", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sync, "sync", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Kill, "kill", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Rename, "rename", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
+    spec!(Mkdir, "mkdir", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Rmdir, "rmdir", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Dup, "dup", 1, out = 0, path = 0, fd = 0b001, rfd = true, cfd = false),
+    spec!(Pipe, "pipe", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Times, "times", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Brk, "brk", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Setgid, "setgid", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getgid, "getgid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Geteuid, "geteuid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getegid, "getegid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Ioctl, "ioctl", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Fcntl, "fcntl", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Setpgid, "setpgid", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Umask, "umask", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Chroot, "chroot", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Dup2, "dup2", 2, out = 0, path = 0, fd = 0b011, rfd = true, cfd = false),
+    spec!(Getppid, "getppid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getpgrp, "getpgrp", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Setsid, "setsid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sigaction, "sigaction", 3, out = 0b100, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sigsuspend, "sigsuspend", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sigpending, "sigpending", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sethostname, "sethostname", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Setrlimit, "setrlimit", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getrlimit, "getrlimit", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Getrusage, "getrusage", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Gettimeofday, "gettimeofday", 2, out = 0b011, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Settimeofday, "settimeofday", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Symlink, "symlink", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
+    spec!(Readlink, "readlink", 3, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Mmap, "mmap", 6, out = 0, path = 0, fd = 0b010000, rfd = false, cfd = false),
+    spec!(Munmap, "munmap", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Truncate, "truncate", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Ftruncate, "ftruncate", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Fchmod, "fchmod", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Fchown, "fchown", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Statfs, "statfs", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Fstatfs, "fstatfs", 2, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Stat, "stat", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Lstat, "lstat", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
+    spec!(Socket, "socket", 3, out = 0, path = 0, fd = 0, rfd = true, cfd = false),
+    spec!(Connect, "connect", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Bind, "bind", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Listen, "listen", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Accept, "accept", 3, out = 0b110, path = 0, fd = 0b001, rfd = true, cfd = false),
+    spec!(Sendto, "sendto", 6, out = 0, path = 0, fd = 0b000001, rfd = false, cfd = false),
+    spec!(Recvfrom, "recvfrom", 6, out = 0b110010, path = 0, fd = 0b000001, rfd = false, cfd = false),
+    spec!(Shutdown, "shutdown", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Setsockopt, "setsockopt", 5, out = 0, path = 0, fd = 0b00001, rfd = false, cfd = false),
+    spec!(Getsockopt, "getsockopt", 5, out = 0b11000, path = 0, fd = 0b00001, rfd = false, cfd = false),
+    spec!(Nanosleep, "nanosleep", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Uname, "uname", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Madvise, "madvise", 3, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Writev, "writev", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Readv, "readv", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Getdents, "getdents", 3, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
+    spec!(Getdirentries, "getdirentries", 4, out = 0b1010, path = 0, fd = 0b0001, rfd = false, cfd = false),
+    spec!(Poll, "poll", 3, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(SchedYield, "sched_yield", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(ClockGettime, "clock_gettime", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(Sysconf, "sysconf", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(IndirectSyscall, "__syscall", 6, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+];
+
+/// Looks up the signature spec for an identifier.
+pub fn spec(id: SyscallId) -> &'static SyscallSpec {
+    SPECS.iter().find(|s| s.id == id).expect("every id has a spec")
+}
+
+/// The OS flavour a binary and kernel speak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Personality {
+    /// Linux-like numbering; `mmap` and `getdents` are direct syscalls.
+    Linux,
+    /// OpenBSD-like numbering; `mmap` goes through `__syscall`,
+    /// `getdirentries` replaces `getdents`, `sysconf` is a syscall.
+    OpenBsd,
+}
+
+impl Personality {
+    /// Short name used in policies and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Personality::Linux => "linux",
+            Personality::OpenBsd => "openbsd",
+        }
+    }
+
+    /// The syscall number for `id` under this personality, or `None` if
+    /// the personality does not provide the call directly.
+    pub fn nr(self, id: SyscallId) -> Option<u16> {
+        use SyscallId::*;
+        let table: &[(SyscallId, u16, u16)] = NR_TABLE;
+        // Personality-specific availability.
+        match (self, id) {
+            // Linux has no generic indirect syscall and no sysconf syscall.
+            (Personality::Linux, IndirectSyscall) | (Personality::Linux, Sysconf) => return None,
+            // Linux uses getdents, OpenBSD uses getdirentries.
+            (Personality::Linux, Getdirentries) | (Personality::OpenBsd, Getdents) => return None,
+            // OpenBSD implements these in libc (over setitimer,
+            // setpriority, sigsuspend), not as syscalls.
+            (Personality::OpenBsd, Alarm)
+            | (Personality::OpenBsd, Nice)
+            | (Personality::OpenBsd, Pause) => return None,
+            _ => {}
+        }
+        table.iter().find(|(i, _, _)| *i == id).map(|(_, linux, bsd)| match self {
+            Personality::Linux => *linux,
+            Personality::OpenBsd => *bsd,
+        })
+    }
+
+    /// Reverse lookup: the identifier carried by syscall number `nr`.
+    pub fn id(self, nr: u16) -> Option<SyscallId> {
+        NR_TABLE
+            .iter()
+            .find(|(id, linux, bsd)| {
+                (match self {
+                    Personality::Linux => *linux,
+                    Personality::OpenBsd => *bsd,
+                }) == nr
+                    && self.nr(*id).is_some()
+            })
+            .map(|(id, _, _)| *id)
+    }
+
+    /// The canonical name of syscall number `nr` ("unknown" if absent).
+    pub fn name_of(self, nr: u16) -> &'static str {
+        self.id(nr).map(|id| spec(id).name).unwrap_or("unknown")
+    }
+}
+
+/// `(id, linux_nr, openbsd_nr)`. The numbers are loosely modelled on the
+/// real tables (old Linux i386 numbers; OpenBSD numbers differ on purpose)
+/// — what matters for the experiments is that the two personalities
+/// disagree, not the specific values.
+const NR_TABLE: &[(SyscallId, u16, u16)] = {
+    use SyscallId::*;
+    &[
+        (IndirectSyscall, 0, 198),
+        (Exit, 1, 1),
+        (Fork, 2, 2),
+        (Read, 3, 3),
+        (Write, 4, 4),
+        (Open, 5, 5),
+        (Close, 6, 6),
+        (Waitpid, 7, 107),
+        (Creat, 8, 8),
+        (Link, 9, 9),
+        (Unlink, 10, 10),
+        (Execve, 11, 59),
+        (Chdir, 12, 12),
+        (Time, 13, 113),
+        (Mknod, 14, 14),
+        (Chmod, 15, 15),
+        (Lchown, 16, 16),
+        (Lseek, 19, 199),
+        (Getpid, 20, 20),
+        (Setuid, 23, 23),
+        (Getuid, 24, 24),
+        (Alarm, 27, 127),
+        (Fstat, 28, 62),
+        (Pause, 29, 129),
+        (Utime, 30, 130),
+        (Access, 33, 33),
+        (Nice, 34, 134),
+        (Sync, 36, 36),
+        (Kill, 37, 122),
+        (Rename, 38, 128),
+        (Mkdir, 39, 136),
+        (Rmdir, 40, 137),
+        (Dup, 41, 41),
+        (Pipe, 42, 263),
+        (Times, 43, 143),
+        (Brk, 45, 17),
+        (Setgid, 46, 181),
+        (Getgid, 47, 47),
+        (Geteuid, 49, 25),
+        (Getegid, 50, 43),
+        (Ioctl, 54, 54),
+        (Fcntl, 55, 92),
+        (Setpgid, 57, 82),
+        (Umask, 60, 160),
+        (Chroot, 61, 61),
+        (Dup2, 63, 90),
+        (Getppid, 64, 39),
+        (Getpgrp, 65, 81),
+        (Setsid, 66, 147),
+        (Sigaction, 67, 46),
+        (Sigsuspend, 72, 111),
+        (Sigpending, 73, 52),
+        (Sethostname, 74, 88),
+        (Setrlimit, 75, 195),
+        (Getrlimit, 76, 194),
+        (Getrusage, 77, 117),
+        (Gettimeofday, 78, 116),
+        (Settimeofday, 79, 131),
+        (Symlink, 83, 57),
+        (Readlink, 85, 58),
+        (Mmap, 90, 197),
+        (Munmap, 91, 73),
+        (Truncate, 92, 200),
+        (Ftruncate, 93, 201),
+        (Fchmod, 94, 124),
+        (Fchown, 95, 123),
+        (Statfs, 99, 63),
+        (Fstatfs, 100, 64),
+        (Stat, 106, 38),
+        (Lstat, 107, 40),
+        (Socket, 102, 97),
+        (Connect, 103, 98),
+        (Bind, 104, 104),
+        (Listen, 105, 106),
+        (Accept, 108, 30),
+        (Sendto, 109, 133),
+        (Recvfrom, 110, 29),
+        (Shutdown, 111, 205),
+        (Setsockopt, 112, 105),
+        (Getsockopt, 113, 118),
+        (Nanosleep, 162, 240),
+        (Uname, 122, 164),
+        (Madvise, 219, 75),
+        (Writev, 146, 121),
+        (Readv, 145, 120),
+        (Getdents, 141, 0),
+        (Getdirentries, 0, 196),
+        (Poll, 168, 252),
+        (SchedYield, 158, 298),
+        (ClockGettime, 265, 232),
+        (Sysconf, 0, 161),
+    ]
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_spec_reachable_and_consistent() {
+        for s in SPECS {
+            assert_eq!(spec(s.id).name, s.name);
+            assert!(s.nargs as usize <= 6, "{}", s.name);
+            // All masks fit within nargs bits.
+            let limit = if s.nargs == 0 { 0 } else { (1u16 << s.nargs) - 1 };
+            assert_eq!(s.out_mask as u16 & !limit, 0, "{} out_mask", s.name);
+            assert_eq!(s.path_mask as u16 & !limit, 0, "{} path_mask", s.name);
+            assert_eq!(s.fd_mask as u16 & !limit, 0, "{} fd_mask", s.name);
+        }
+    }
+
+    #[test]
+    fn personalities_disagree_and_are_injective() {
+        for p in [Personality::Linux, Personality::OpenBsd] {
+            let mut seen = HashSet::new();
+            for (id, _, _) in NR_TABLE {
+                if let Some(nr) = p.nr(*id) {
+                    assert!(seen.insert(nr), "{p:?} duplicate nr {nr} for {id:?}");
+                    assert_eq!(p.id(nr), Some(*id), "{p:?} reverse lookup for {id:?}");
+                }
+            }
+        }
+        // Representative disagreements (Table 1's point about portability):
+        assert_ne!(
+            Personality::Linux.nr(SyscallId::Mmap),
+            Personality::OpenBsd.nr(SyscallId::Mmap)
+        );
+        assert_ne!(
+            Personality::Linux.nr(SyscallId::Kill),
+            Personality::OpenBsd.nr(SyscallId::Kill)
+        );
+    }
+
+    #[test]
+    fn personality_specific_calls() {
+        assert_eq!(Personality::Linux.nr(SyscallId::IndirectSyscall), None);
+        assert_eq!(Personality::OpenBsd.nr(SyscallId::IndirectSyscall), Some(198));
+        assert_eq!(Personality::Linux.nr(SyscallId::Sysconf), None);
+        assert!(Personality::OpenBsd.nr(SyscallId::Sysconf).is_some());
+        assert!(Personality::Linux.nr(SyscallId::Getdents).is_some());
+        assert_eq!(Personality::Linux.nr(SyscallId::Getdirentries), None);
+        assert_eq!(Personality::OpenBsd.nr(SyscallId::Getdents), None);
+        assert!(Personality::OpenBsd.nr(SyscallId::Getdirentries).is_some());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let open_nr = Personality::Linux.nr(SyscallId::Open).unwrap();
+        assert_eq!(Personality::Linux.name_of(open_nr), "open");
+        assert_eq!(Personality::Linux.name_of(9999), "unknown");
+    }
+
+    #[test]
+    fn signature_facts_used_by_classification() {
+        let open = spec(SyscallId::Open);
+        assert!(open.returns_fd);
+        assert_eq!(open.path_mask, 1);
+        let close = spec(SyscallId::Close);
+        assert!(close.closes_fd);
+        assert_eq!(close.fd_mask, 1);
+        let read = spec(SyscallId::Read);
+        assert_eq!(read.out_mask, 0b010); // buf is output-only
+        assert_eq!(read.fd_mask, 0b001);
+        let gtod = spec(SyscallId::Gettimeofday);
+        assert_eq!(gtod.out_mask, 0b011);
+    }
+}

@@ -1,0 +1,575 @@
+//! The in-memory filesystem backing the simulated kernel.
+//!
+//! Supports directories, regular files, symbolic links (needed for the
+//! file-name-normalisation discussion of §5.4 and its TOCTOU example),
+//! permissions bits, and path resolution with `.`/`..`/symlink handling.
+
+use std::collections::BTreeMap;
+
+/// Index of an inode in the filesystem arena.
+pub type InodeId = usize;
+
+/// Maximum symlink traversals during resolution (loop defence).
+const MAX_LINK_DEPTH: usize = 8;
+
+/// One filesystem object.
+#[derive(Clone, Debug)]
+pub enum InodeKind {
+    /// Regular file contents.
+    File(Vec<u8>),
+    /// Directory entries, name → inode.
+    Dir(BTreeMap<String, InodeId>),
+    /// Symbolic link target (may be relative or absolute).
+    Symlink(String),
+}
+
+/// An inode: kind plus metadata.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// File/dir/symlink payload.
+    pub kind: InodeKind,
+    /// Permission bits (0o777-style; advisory in the simulator).
+    pub mode: u32,
+    /// Modification time (simulated microseconds).
+    pub mtime: u64,
+}
+
+/// Filesystem errors, mirroring errno values the syscalls translate to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component does not exist.
+    NotFound,
+    /// Component used as a directory is not one.
+    NotADirectory,
+    /// Target is a directory where a file was required.
+    IsADirectory,
+    /// Create target already exists.
+    AlreadyExists,
+    /// Directory not empty on rmdir.
+    NotEmpty,
+    /// Too many symlink traversals.
+    TooManyLinks,
+    /// Invalid argument (empty path etc.).
+    Invalid,
+}
+
+impl FsError {
+    /// Conventional negative errno encoding for syscall returns.
+    pub fn errno(self) -> u32 {
+        let e: i32 = match self {
+            FsError::NotFound => -2,        // ENOENT
+            FsError::NotADirectory => -20,  // ENOTDIR
+            FsError::IsADirectory => -21,   // EISDIR
+            FsError::AlreadyExists => -17,  // EEXIST
+            FsError::NotEmpty => -39,       // ENOTEMPTY
+            FsError::TooManyLinks => -40,   // ELOOP
+            FsError::Invalid => -22,        // EINVAL
+        };
+        e as u32
+    }
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::NotADirectory => "not a directory",
+            FsError::IsADirectory => "is a directory",
+            FsError::AlreadyExists => "file exists",
+            FsError::NotEmpty => "directory not empty",
+            FsError::TooManyLinks => "too many levels of symbolic links",
+            FsError::Invalid => "invalid argument",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The filesystem: an inode arena rooted at `/`.
+#[derive(Clone, Debug)]
+pub struct FileSystem {
+    inodes: Vec<Inode>,
+    root: InodeId,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        FileSystem::new()
+    }
+}
+
+impl FileSystem {
+    /// A filesystem with `/`, `/tmp`, `/etc`, `/dev`, `/home` and a couple
+    /// of well-known files.
+    pub fn new() -> FileSystem {
+        let mut fs = FileSystem {
+            inodes: vec![Inode {
+                kind: InodeKind::Dir(BTreeMap::new()),
+                mode: 0o755,
+                mtime: 0,
+            }],
+            root: 0,
+        };
+        for dir in ["/tmp", "/etc", "/dev", "/home", "/bin", "/usr"] {
+            fs.mkdir(dir, 0o755).expect("fresh tree");
+        }
+        fs.write_file("/etc/motd", b"welcome to svm32\n".to_vec()).expect("fresh tree");
+        fs.write_file("/etc/passwd", b"root:x:0:0:/home:/bin/sh\n".to_vec())
+            .expect("fresh tree");
+        fs.write_file("/dev/null", Vec::new()).expect("fresh tree");
+        fs.write_file("/dev/console", Vec::new()).expect("fresh tree");
+        fs.write_file("/bin/sh", b"#!shell\n".to_vec()).expect("fresh tree");
+        fs.write_file("/bin/ls", b"#!ls\n".to_vec()).expect("fresh tree");
+        fs
+    }
+
+    /// The root inode id.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Immutable inode access.
+    pub fn inode(&self, id: InodeId) -> &Inode {
+        &self.inodes[id]
+    }
+
+    /// Mutable inode access.
+    pub fn inode_mut(&mut self, id: InodeId) -> &mut Inode {
+        &mut self.inodes[id]
+    }
+
+    fn alloc(&mut self, inode: Inode) -> InodeId {
+        self.inodes.push(inode);
+        self.inodes.len() - 1
+    }
+
+    /// Splits a path into components relative to `cwd` (absolute paths
+    /// ignore `cwd`). Does not touch the filesystem.
+    fn components<'p>(path: &'p str, cwd: &'p str) -> Vec<&'p str> {
+        let joined: Vec<&str> = if path.starts_with('/') {
+            path.split('/').collect()
+        } else {
+            cwd.split('/').chain(path.split('/')).collect()
+        };
+        joined.into_iter().filter(|c| !c.is_empty()).collect()
+    }
+
+    /// Resolves `path` (relative to `cwd`) to an inode, following symlinks.
+    ///
+    /// # Errors
+    ///
+    /// Standard resolution errors ([`FsError::NotFound`], etc.).
+    pub fn resolve(&self, path: &str, cwd: &str) -> Result<InodeId, FsError> {
+        self.resolve_inner(path, cwd, true, 0).map(|(id, _)| id)
+    }
+
+    /// Resolves but does not follow a final symlink (for `readlink`,
+    /// `lstat`, `unlink`).
+    pub fn resolve_nofollow(&self, path: &str, cwd: &str) -> Result<InodeId, FsError> {
+        self.resolve_inner(path, cwd, false, 0).map(|(id, _)| id)
+    }
+
+    /// Resolves `path` to its canonical, symlink-free absolute name — the
+    /// §5.4 normalisation step policies compare against.
+    ///
+    /// # Errors
+    ///
+    /// Standard resolution errors.
+    pub fn normalize(&self, path: &str, cwd: &str) -> Result<String, FsError> {
+        let (_, canon) = self.resolve_inner(path, cwd, true, 0)?;
+        Ok(canon)
+    }
+
+    fn resolve_inner(
+        &self,
+        path: &str,
+        cwd: &str,
+        follow_last: bool,
+        depth: usize,
+    ) -> Result<(InodeId, String), FsError> {
+        if depth > MAX_LINK_DEPTH {
+            return Err(FsError::TooManyLinks);
+        }
+        let comps = Self::components(path, cwd);
+        let mut cur = self.root;
+        let mut canon: Vec<String> = Vec::new();
+        let n = comps.len();
+        for (i, comp) in comps.iter().enumerate() {
+            match *comp {
+                "." => continue,
+                ".." => {
+                    canon.pop();
+                    cur = self.resolve_canon(&canon)?;
+                    continue;
+                }
+                name => {
+                    let InodeKind::Dir(entries) = &self.inodes[cur].kind else {
+                        return Err(FsError::NotADirectory);
+                    };
+                    let &next = entries.get(name).ok_or(FsError::NotFound)?;
+                    let is_last = i == n - 1;
+                    if let InodeKind::Symlink(target) = &self.inodes[next].kind {
+                        if !is_last || follow_last {
+                            // Re-resolve from the link's directory.
+                            let base = format!("/{}", canon.join("/"));
+                            let (id, c) =
+                                self.resolve_inner(target, &base, follow_last, depth + 1)?;
+                            if is_last {
+                                return Ok((id, c));
+                            }
+                            // Continue resolution from the symlink target.
+                            let rest = comps[i + 1..].join("/");
+                            return self.resolve_inner(&rest, &c, follow_last, depth + 1);
+                        }
+                    }
+                    canon.push(name.to_string());
+                    cur = next;
+                }
+            }
+        }
+        Ok((cur, format!("/{}", canon.join("/"))))
+    }
+
+    /// Resolves an already-canonical component list (no links, no dots).
+    fn resolve_canon(&self, comps: &[String]) -> Result<InodeId, FsError> {
+        let mut cur = self.root;
+        for c in comps {
+            let InodeKind::Dir(entries) = &self.inodes[cur].kind else {
+                return Err(FsError::NotADirectory);
+            };
+            cur = *entries.get(c).ok_or(FsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(dir_id, name)`.
+    fn resolve_parent<'p>(
+        &self,
+        path: &'p str,
+        cwd: &str,
+    ) -> Result<(InodeId, &'p str), FsError> {
+        let trimmed = path.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Err(FsError::Invalid);
+        }
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(i) => (&trimmed[..i], &trimmed[i + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() || name == "." || name == ".." {
+            return Err(FsError::Invalid);
+        }
+        let dir_id = if dir.is_empty() {
+            if path.starts_with('/') {
+                self.root
+            } else {
+                self.resolve(cwd, "/")?
+            }
+        } else {
+            self.resolve(dir, cwd)?
+        };
+        if !matches!(self.inodes[dir_id].kind, InodeKind::Dir(_)) {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((dir_id, name))
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] if the name is taken, plus resolution
+    /// errors.
+    pub fn mkdir(&mut self, path: &str, mode: u32) -> Result<InodeId, FsError> {
+        self.create(path, "/", InodeKind::Dir(BTreeMap::new()), mode)
+    }
+
+    /// Creates an entry of the given kind under its parent.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] or resolution errors.
+    pub fn create(
+        &mut self,
+        path: &str,
+        cwd: &str,
+        kind: InodeKind,
+        mode: u32,
+    ) -> Result<InodeId, FsError> {
+        let (dir_id, name) = self.resolve_parent(path, cwd)?;
+        let InodeKind::Dir(entries) = &self.inodes[dir_id].kind else {
+            return Err(FsError::NotADirectory);
+        };
+        if entries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        let name = name.to_string();
+        let id = self.alloc(Inode { kind, mode, mtime: 0 });
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        entries.insert(name, id);
+        Ok(id)
+    }
+
+    /// Creates or truncates a regular file with the given contents
+    /// (host-side convenience for setting up test fixtures).
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors.
+    pub fn write_file(&mut self, path: &str, contents: Vec<u8>) -> Result<InodeId, FsError> {
+        match self.resolve(path, "/") {
+            Ok(id) => match &mut self.inodes[id].kind {
+                InodeKind::File(data) => {
+                    *data = contents;
+                    Ok(id)
+                }
+                _ => Err(FsError::IsADirectory),
+            },
+            Err(FsError::NotFound) => self.create(path, "/", InodeKind::File(contents), 0o644),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads a file's contents (host-side convenience).
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors, [`FsError::IsADirectory`] for non-files.
+    pub fn read_file(&self, path: &str) -> Result<&[u8], FsError> {
+        let id = self.resolve(path, "/")?;
+        match &self.inodes[id].kind {
+            InodeKind::File(data) => Ok(data),
+            _ => Err(FsError::IsADirectory),
+        }
+    }
+
+    /// Creates a symlink at `path` pointing to `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`] or resolution errors.
+    pub fn symlink(&mut self, target: &str, path: &str, cwd: &str) -> Result<InodeId, FsError> {
+        self.create(path, cwd, InodeKind::Symlink(target.to_string()), 0o777)
+    }
+
+    /// Creates a hard link.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors; linking directories is [`FsError::IsADirectory`].
+    pub fn link(&mut self, existing: &str, new: &str, cwd: &str) -> Result<(), FsError> {
+        let id = self.resolve(existing, cwd)?;
+        if matches!(self.inodes[id].kind, InodeKind::Dir(_)) {
+            return Err(FsError::IsADirectory);
+        }
+        let (dir_id, name) = self.resolve_parent(new, cwd)?;
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else {
+            return Err(FsError::NotADirectory);
+        };
+        if entries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        entries.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Removes a non-directory entry.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] for directories, plus resolution errors.
+    pub fn unlink(&mut self, path: &str, cwd: &str) -> Result<(), FsError> {
+        let (dir_id, name) = self.resolve_parent(path, cwd)?;
+        let InodeKind::Dir(entries) = &self.inodes[dir_id].kind else {
+            return Err(FsError::NotADirectory);
+        };
+        let &id = entries.get(name).ok_or(FsError::NotFound)?;
+        if matches!(self.inodes[id].kind, InodeKind::Dir(_)) {
+            return Err(FsError::IsADirectory);
+        }
+        let name = name.to_string();
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        entries.remove(&name);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotEmpty`] if it has entries, [`FsError::NotADirectory`]
+    /// for non-directories, plus resolution errors.
+    pub fn rmdir(&mut self, path: &str, cwd: &str) -> Result<(), FsError> {
+        let (dir_id, name) = self.resolve_parent(path, cwd)?;
+        let InodeKind::Dir(entries) = &self.inodes[dir_id].kind else {
+            return Err(FsError::NotADirectory);
+        };
+        let &id = entries.get(name).ok_or(FsError::NotFound)?;
+        match &self.inodes[id].kind {
+            InodeKind::Dir(children) if children.is_empty() => {}
+            InodeKind::Dir(_) => return Err(FsError::NotEmpty),
+            _ => return Err(FsError::NotADirectory),
+        }
+        let name = name.to_string();
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        entries.remove(&name);
+        Ok(())
+    }
+
+    /// Renames an entry (same simple semantics as `mv` within the tree).
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors; the destination is replaced if it exists.
+    pub fn rename(&mut self, from: &str, to: &str, cwd: &str) -> Result<(), FsError> {
+        let (from_dir, from_name) = self.resolve_parent(from, cwd)?;
+        let InodeKind::Dir(entries) = &self.inodes[from_dir].kind else {
+            return Err(FsError::NotADirectory);
+        };
+        let &id = entries.get(from_name).ok_or(FsError::NotFound)?;
+        let (to_dir, to_name) = self.resolve_parent(to, cwd)?;
+        let from_name = from_name.to_string();
+        let to_name = to_name.to_string();
+        {
+            let InodeKind::Dir(e) = &mut self.inodes[from_dir].kind else { unreachable!() };
+            e.remove(&from_name);
+        }
+        {
+            let InodeKind::Dir(e) = &mut self.inodes[to_dir].kind else {
+                return Err(FsError::NotADirectory);
+            };
+            e.insert(to_name, id);
+        }
+        Ok(())
+    }
+
+    /// Directory listing (sorted names), for `getdents`/`getdirentries`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`] plus resolution errors.
+    pub fn list_dir(&self, id: InodeId) -> Result<Vec<String>, FsError> {
+        match &self.inodes[id].kind {
+            InodeKind::Dir(entries) => Ok(entries.keys().cloned().collect()),
+            _ => Err(FsError::NotADirectory),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_exist() {
+        let fs = FileSystem::new();
+        assert!(fs.resolve("/etc/motd", "/").is_ok());
+        assert!(fs.resolve("/tmp", "/").is_ok());
+        assert_eq!(fs.read_file("/etc/motd").unwrap(), b"welcome to svm32\n");
+        assert_eq!(fs.resolve("/nope", "/"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn relative_paths_and_dots() {
+        let mut fs = FileSystem::new();
+        fs.mkdir("/home/user", 0o755).unwrap();
+        fs.write_file("/home/user/x.txt", b"x".to_vec()).unwrap();
+        assert!(fs.resolve("x.txt", "/home/user").is_ok());
+        assert!(fs.resolve("./x.txt", "/home/user").is_ok());
+        assert!(fs.resolve("../user/x.txt", "/home/user").is_ok());
+        assert_eq!(fs.normalize("../user/./x.txt", "/home/user").unwrap(), "/home/user/x.txt");
+        assert_eq!(fs.normalize("/../etc/motd", "/").unwrap(), "/etc/motd");
+    }
+
+    #[test]
+    fn symlink_resolution_and_normalization() {
+        let mut fs = FileSystem::new();
+        // The §5.4 attack setup: /tmp/foo -> /etc/passwd.
+        fs.symlink("/etc/passwd", "/tmp/foo", "/").unwrap();
+        let direct = fs.resolve("/etc/passwd", "/").unwrap();
+        assert_eq!(fs.resolve("/tmp/foo", "/").unwrap(), direct);
+        // Normalisation exposes the real target, so a policy comparing
+        // normalised names sees /etc/passwd, not /tmp/foo.
+        assert_eq!(fs.normalize("/tmp/foo", "/").unwrap(), "/etc/passwd");
+        // nofollow sees the link itself.
+        let link_id = fs.resolve_nofollow("/tmp/foo", "/").unwrap();
+        assert!(matches!(fs.inode(link_id).kind, InodeKind::Symlink(_)));
+    }
+
+    #[test]
+    fn symlink_loops_detected() {
+        let mut fs = FileSystem::new();
+        fs.symlink("/tmp/b", "/tmp/a", "/").unwrap();
+        fs.symlink("/tmp/a", "/tmp/b", "/").unwrap();
+        assert_eq!(fs.resolve("/tmp/a", "/"), Err(FsError::TooManyLinks));
+    }
+
+    #[test]
+    fn symlink_in_the_middle_of_a_path() {
+        let mut fs = FileSystem::new();
+        fs.mkdir("/data", 0o755).unwrap();
+        fs.write_file("/data/f", b"payload".to_vec()).unwrap();
+        fs.symlink("/data", "/tmp/d", "/").unwrap();
+        assert_eq!(fs.read_file("/tmp/d/f").unwrap(), b"payload");
+        assert_eq!(fs.normalize("/tmp/d/f", "/").unwrap(), "/data/f");
+    }
+
+    #[test]
+    fn unlink_rmdir_rules() {
+        let mut fs = FileSystem::new();
+        fs.write_file("/tmp/f", b"".to_vec()).unwrap();
+        fs.mkdir("/tmp/d", 0o755).unwrap();
+        fs.write_file("/tmp/d/inner", b"".to_vec()).unwrap();
+        assert_eq!(fs.unlink("/tmp/d", "/"), Err(FsError::IsADirectory));
+        assert_eq!(fs.rmdir("/tmp/d", "/"), Err(FsError::NotEmpty));
+        fs.unlink("/tmp/d/inner", "/").unwrap();
+        fs.rmdir("/tmp/d", "/").unwrap();
+        fs.unlink("/tmp/f", "/").unwrap();
+        assert_eq!(fs.resolve("/tmp/f", "/"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut fs = FileSystem::new();
+        fs.write_file("/tmp/a", b"A".to_vec()).unwrap();
+        fs.write_file("/tmp/b", b"B".to_vec()).unwrap();
+        fs.rename("/tmp/a", "/tmp/b", "/").unwrap();
+        assert_eq!(fs.read_file("/tmp/b").unwrap(), b"A");
+        assert_eq!(fs.resolve("/tmp/a", "/"), Err(FsError::NotFound));
+        fs.rename("/tmp/b", "/etc/moved", "/").unwrap();
+        assert_eq!(fs.read_file("/etc/moved").unwrap(), b"A");
+    }
+
+    #[test]
+    fn hard_links_share_inode() {
+        let mut fs = FileSystem::new();
+        fs.write_file("/tmp/orig", b"shared".to_vec()).unwrap();
+        fs.link("/tmp/orig", "/tmp/alias", "/").unwrap();
+        let a = fs.resolve("/tmp/orig", "/").unwrap();
+        let b = fs.resolve("/tmp/alias", "/").unwrap();
+        assert_eq!(a, b);
+        fs.unlink("/tmp/orig", "/").unwrap();
+        assert_eq!(fs.read_file("/tmp/alias").unwrap(), b"shared");
+    }
+
+    #[test]
+    fn list_dir_sorted() {
+        let mut fs = FileSystem::new();
+        fs.write_file("/tmp/z", b"".to_vec()).unwrap();
+        fs.write_file("/tmp/a", b"".to_vec()).unwrap();
+        let id = fs.resolve("/tmp", "/").unwrap();
+        assert_eq!(fs.list_dir(id).unwrap(), vec!["a".to_string(), "z".to_string()]);
+        let f = fs.resolve("/tmp/a", "/").unwrap();
+        assert_eq!(fs.list_dir(f), Err(FsError::NotADirectory));
+    }
+
+    #[test]
+    fn create_errors() {
+        let mut fs = FileSystem::new();
+        assert_eq!(fs.mkdir("/tmp", 0o755), Err(FsError::AlreadyExists));
+        assert_eq!(fs.mkdir("/missing/dir", 0o755), Err(FsError::NotFound));
+        assert_eq!(fs.mkdir("/etc/motd/sub", 0o755), Err(FsError::NotADirectory));
+        assert_eq!(fs.mkdir("/", 0o755), Err(FsError::Invalid));
+    }
+}

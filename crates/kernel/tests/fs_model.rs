@@ -1,0 +1,129 @@
+//! Model-based property test for the in-memory filesystem: a random
+//! sequence of operations applied both to the real [`FileSystem`] and to a
+//! trivial path→contents model must agree on observable state.
+
+use std::collections::BTreeMap;
+
+use asc_kernel::{FileSystem, FsError};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    WriteFile(u8, Vec<u8>),
+    Mkdir(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+}
+
+fn file_name(i: u8) -> String {
+    format!("/tmp/f{}", i % 8)
+}
+
+fn dir_name(i: u8) -> String {
+    format!("/tmp/d{}", i % 4)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(i, d)| Op::WriteFile(i, d)),
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::Unlink),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn filesystem_agrees_with_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut fs = FileSystem::new();
+        // Model: file path -> "slot" id; slot id -> contents (hard links
+        // share a slot).
+        let mut links: BTreeMap<String, usize> = BTreeMap::new();
+        let mut slots: Vec<Vec<u8>> = Vec::new();
+        let mut dirs: Vec<String> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::WriteFile(i, data) => {
+                    let path = file_name(*i);
+                    match fs.write_file(&path, data.clone()) {
+                        Ok(_) => {
+                            match links.get(&path) {
+                                Some(&slot) => slots[slot] = data.clone(),
+                                None => {
+                                    slots.push(data.clone());
+                                    links.insert(path, slots.len() - 1);
+                                }
+                            }
+                        }
+                        Err(e) => prop_assert!(
+                            matches!(e, FsError::IsADirectory),
+                            "unexpected write_file error {e:?}"
+                        ),
+                    }
+                }
+                Op::Mkdir(i) => {
+                    let path = dir_name(*i);
+                    let expected_ok = !dirs.contains(&path);
+                    let got = fs.mkdir(&path, 0o755);
+                    prop_assert_eq!(got.is_ok(), expected_ok);
+                    if expected_ok {
+                        dirs.push(path);
+                    }
+                }
+                Op::Unlink(i) => {
+                    let path = file_name(*i);
+                    let expected_ok = links.contains_key(&path);
+                    let got = fs.unlink(&path, "/");
+                    prop_assert_eq!(got.is_ok(), expected_ok, "unlink {}", path);
+                    links.remove(&path);
+                }
+                Op::Rename(a, b) => {
+                    let from = file_name(*a);
+                    let to = file_name(*b);
+                    if from == to {
+                        continue; // rename-to-self: semantics uninteresting
+                    }
+                    let expected_ok = links.contains_key(&from);
+                    let got = fs.rename(&from, &to, "/");
+                    prop_assert_eq!(got.is_ok(), expected_ok);
+                    if expected_ok {
+                        let slot = links.remove(&from).expect("checked");
+                        links.insert(to, slot);
+                    }
+                }
+                Op::Link(a, b) => {
+                    let from = file_name(*a);
+                    let to = file_name(*b);
+                    let expected_ok =
+                        links.contains_key(&from) && !links.contains_key(&to) && from != to;
+                    let got = fs.link(&from, &to, "/");
+                    prop_assert_eq!(got.is_ok(), expected_ok, "link {} {}", from, to);
+                    if expected_ok {
+                        let slot = links[&from];
+                        links.insert(to, slot);
+                    }
+                }
+            }
+        }
+
+        // Final agreement on every possible name.
+        for i in 0..8u8 {
+            let path = file_name(i);
+            match links.get(&path) {
+                Some(&slot) => {
+                    prop_assert_eq!(fs.read_file(&path).expect("model says exists"),
+                                    &slots[slot][..], "{}", path);
+                }
+                None => prop_assert!(fs.read_file(&path).is_err(), "{} should be gone", path),
+            }
+        }
+        for d in &dirs {
+            prop_assert!(fs.resolve(d, "/").is_ok());
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Integration tests: unmodified guest programs (assembled from SVM32
+//! source) running against the simulated kernel — the baseline substrate
+//! every experiment builds on.
+
+use asc_asm::assemble;
+use asc_kernel::{Kernel, KernelOptions, Personality, SyscallId};
+use asc_vm::{Machine, RunOutcome};
+
+fn run(src: &str, stdin: &[u8]) -> (RunOutcome, Kernel) {
+    let binary = assemble(src).expect("assembles");
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+    kernel.set_stdin(stdin.to_vec());
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).expect("loads");
+    let outcome = machine.run(100_000_000);
+    (outcome, machine.into_handler())
+}
+
+const PRELUDE: &str = "
+    .equ SYS_EXIT, 1
+    .equ SYS_READ, 3
+    .equ SYS_WRITE, 4
+    .equ SYS_OPEN, 5
+    .equ SYS_CLOSE, 6
+    .equ SYS_UNLINK, 10
+    .equ SYS_GETPID, 20
+    .equ SYS_MKDIR, 39
+    .equ SYS_BRK, 45
+    .equ SYS_GETTIMEOFDAY, 78
+    .equ SYS_SOCKET, 102
+    .equ SYS_SENDTO, 109
+    .equ SYS_RECVFROM, 110
+    .equ SYS_GETDENTS, 141
+";
+
+#[test]
+fn hello_world_to_stdout() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_WRITE
+        movi r1, 1
+        movi r2, msg
+        movi r3, 14
+        syscall
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+        .rodata
+    msg: .ascii \"hello, world!\\n\"
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.stdout(), b"hello, world!\n");
+    assert_eq!(kernel.trace().len(), 2);
+    assert_eq!(kernel.trace()[0].id, SyscallId::Write);
+}
+
+#[test]
+fn open_read_file_roundtrip() {
+    // cat /etc/motd to stdout.
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_OPEN
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        syscall
+        mov r4, r0            ; fd
+        movi r0, SYS_READ
+        mov r1, r4
+        movi r2, buf
+        movi r3, 64
+        syscall
+        mov r5, r0            ; n
+        movi r0, SYS_WRITE
+        movi r1, 1
+        movi r2, buf
+        mov r3, r5
+        syscall
+        movi r0, SYS_CLOSE
+        mov r1, r4
+        syscall
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+        .rodata
+    path: .asciz \"/etc/motd\"
+        .bss
+    buf: .space 64
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.stdout(), b"welcome to svm32\n");
+}
+
+#[test]
+fn stdin_echo() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_READ
+        movi r1, 0
+        movi r2, buf
+        movi r3, 32
+        syscall
+        mov r4, r0
+        movi r0, SYS_WRITE
+        movi r1, 1
+        movi r2, buf
+        mov r3, r4
+        syscall
+        movi r0, SYS_EXIT
+        mov r1, r4
+        syscall
+        .bss
+    buf: .space 32
+    "
+        ),
+        b"ping",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(4));
+    assert_eq!(kernel.stdout(), b"ping");
+}
+
+#[test]
+fn create_write_then_reopen() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_OPEN
+        movi r1, path
+        movi r2, 0x241        ; O_WRONLY|O_CREAT|O_TRUNC
+        movi r3, 0x1b6
+        syscall
+        mov r4, r0
+        movi r0, SYS_WRITE
+        mov r1, r4
+        movi r2, data
+        movi r3, 5
+        syscall
+        movi r0, SYS_CLOSE
+        mov r1, r4
+        syscall
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+        .rodata
+    path: .asciz \"/tmp/out.txt\"
+    data: .ascii \"12345\"
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.fs().read_file("/tmp/out.txt").unwrap(), b"12345");
+}
+
+#[test]
+fn mkdir_and_unlink() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_MKDIR
+        movi r1, dirpath
+        movi r2, 0x1ed
+        syscall
+        mov r6, r0
+        movi r0, SYS_UNLINK
+        movi r1, filepath
+        syscall
+        movi r0, SYS_EXIT
+        mov r1, r6
+        syscall
+        .rodata
+    dirpath: .asciz \"/tmp/newdir\"
+    filepath: .asciz \"/etc/motd\"
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert!(kernel.fs().resolve("/tmp/newdir", "/").is_ok());
+    assert!(kernel.fs().resolve("/etc/motd", "/").is_err());
+}
+
+#[test]
+fn socket_loopback() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_SOCKET
+        movi r1, 2
+        movi r2, 1
+        movi r3, 0
+        syscall
+        mov r4, r0
+        movi r0, SYS_SENDTO
+        mov r1, r4
+        movi r2, msg
+        movi r3, 4
+        syscall
+        movi r0, SYS_RECVFROM
+        mov r1, r4
+        movi r2, buf
+        movi r3, 16
+        syscall
+        mov r5, r0
+        movi r0, SYS_WRITE
+        movi r1, 1
+        movi r2, buf
+        mov r3, r5
+        syscall
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+        .rodata
+    msg: .ascii \"pong\"
+        .bss
+    buf: .space 16
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.stdout(), b"pong");
+}
+
+#[test]
+fn brk_extends_heap() {
+    let (outcome, _) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_BRK
+        movi r1, 0
+        syscall
+        mov r4, r0            ; current brk
+        addi r1, r4, 0x2000
+        movi r0, SYS_BRK
+        syscall
+        stw [r4+0x1000], r4   ; touch newly mapped page
+        ldw r5, [r4+0x1000]
+        movi r0, SYS_EXIT
+        movi r1, 0
+        bne r4, r5, fail
+        syscall
+    fail:
+        movi r1, 1
+        syscall
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
+
+#[test]
+fn getdents_lists_directory() {
+    let (outcome, kernel) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r0, SYS_OPEN
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        syscall
+        mov r4, r0
+        movi r0, SYS_GETDENTS
+        mov r1, r4
+        movi r2, buf
+        movi r3, 256
+        syscall
+        mov r5, r0
+        movi r0, SYS_WRITE
+        movi r1, 1
+        movi r2, buf
+        mov r3, r5
+        syscall
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+        .rodata
+    path: .asciz \"/etc\"
+        .bss
+    buf: .space 256
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    let out = kernel.stdout();
+    // Records: {len u32}{name}; /etc contains motd and passwd.
+    let text = String::from_utf8_lossy(out);
+    assert!(text.contains("motd"), "{text:?}");
+    assert!(text.contains("passwd"), "{text:?}");
+}
+
+#[test]
+fn unknown_syscall_returns_enosys_when_not_enforcing() {
+    let (outcome, _) = run(
+        "
+        .text
+    main:
+        movi r0, 999
+        syscall
+        mov r2, r0
+        movi r0, 1
+        movi r1, 0
+        movi r3, 0xffffffda   ; -38
+        beq r2, r3, ok
+        movi r1, 1
+    ok:
+        syscall
+    ",
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
+
+#[test]
+fn bsd_personality_uses_different_numbers() {
+    // Linux write=4; on OpenBSD 4 is also write, but kill differs: Linux 37
+    // vs BSD 122. Calling 37 on BSD must not be kill.
+    let binary = assemble(
+        "
+        .text
+    main:
+        movi r0, 122      ; BSD kill
+        movi r1, 1
+        movi r2, 0
+        syscall
+        mov r4, r0
+        movi r0, 1
+        mov r1, r4
+        syscall
+    ",
+    )
+    .unwrap();
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::OpenBsd));
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).unwrap();
+    let outcome = machine.run(1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    let kernel = machine.into_handler();
+    assert_eq!(kernel.trace()[0].id, SyscallId::Kill);
+}
+
+#[test]
+fn bsd_indirect_syscall_resolves_to_mmap() {
+    // __syscall(SYS_mmap=197, 0, 0x3000, ...) — the Table 2 quirk.
+    let binary = assemble(
+        "
+        .text
+    main:
+        movi r0, 198      ; __syscall
+        movi r1, 197      ; SYS_mmap
+        movi r2, 0
+        movi r3, 0x3000
+        syscall
+        mov r4, r0        ; mapped address
+        stw [r4], r4      ; touch it
+        movi r0, 1
+        movi r1, 0
+        syscall
+    ",
+    )
+    .unwrap();
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::OpenBsd));
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).unwrap();
+    let outcome = machine.run(1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    let kernel = machine.into_handler();
+    // The trace records the *effective* call — what Systrace-style
+    // training sees ("this indirection is hidden from users").
+    assert_eq!(kernel.trace()[0].id, SyscallId::Mmap);
+    assert_eq!(kernel.trace()[0].raw_nr, 198);
+}
+
+#[test]
+fn syscall_costs_show_in_cycles() {
+    // getpid is ~1100+40 cycles of kernel time; 100 getpids ≈ 114k cycles
+    // plus loop overhead.
+    let (outcome, _) = run(
+        &format!(
+            "{PRELUDE}
+        .text
+    main:
+        movi r4, 0
+        movi r5, 100
+    loop:
+        movi r0, SYS_GETPID
+        syscall
+        addi r4, r4, 1
+        bne r4, r5, loop
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+    "
+        ),
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
+
+#[test]
+fn execve_records_request() {
+    let (outcome, kernel) = run(
+        "
+        .text
+    main:
+        movi r0, 11
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        syscall
+        .rodata
+    path: .asciz \"/bin/ls\"
+    ",
+        b"",
+    );
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.exec_requests(), &["/bin/ls".to_string()]);
+}
+
+#[test]
+fn symlinked_open_is_normalized() {
+    let binary = assemble(
+        "
+        .text
+    main:
+        movi r0, 5
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        syscall
+        mov r4, r0
+        movi r0, 3
+        mov r1, r4
+        movi r2, buf
+        movi r3, 32
+        syscall
+        mov r5, r0
+        movi r0, 4
+        movi r1, 1
+        movi r2, buf
+        mov r3, r5
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .rodata
+    path: .asciz \"/tmp/link-to-motd\"
+        .bss
+    buf: .space 32
+    ",
+    )
+    .unwrap();
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+    kernel.fs_mut().symlink("/etc/motd", "/tmp/link-to-motd", "/").unwrap();
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).unwrap();
+    let outcome = machine.run(1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(machine.into_handler().stdout(), b"welcome to svm32\n");
+}

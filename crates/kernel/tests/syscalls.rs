@@ -1,0 +1,510 @@
+//! Focused semantics tests for individual system calls, driven by small
+//! assembly guests (the kernel is only reachable through the trap path).
+
+use asc_asm::assemble;
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_vm::{Machine, RunOutcome};
+
+fn run_with(src: &str, stdin: &[u8], prep: impl FnOnce(&mut Kernel)) -> (RunOutcome, Kernel) {
+    let binary = assemble(src).expect("assembles");
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+    kernel.set_stdin(stdin.to_vec());
+    kernel.set_brk(binary.highest_addr());
+    prep(&mut kernel);
+    let mut machine = Machine::load(&binary, kernel).expect("loads");
+    let outcome = machine.run(50_000_000);
+    (outcome, machine.into_handler())
+}
+
+fn run(src: &str) -> (RunOutcome, Kernel) {
+    run_with(src, b"", |_| {})
+}
+
+/// Exit with the value of an expression computed in r1.
+fn exit_with(body: &str, extra_sections: &str) -> String {
+    format!(
+        "
+        .text
+        .entry main
+    main:
+        {body}
+        movi r0, 1
+        syscall
+        {extra_sections}
+    "
+    )
+}
+
+#[test]
+fn lseek_whence_modes() {
+    // Write 10 bytes, then SEEK_SET 4 / SEEK_CUR +2 / SEEK_END -1.
+    let src = exit_with(
+        "
+        movi r0, 5
+        movi r1, path
+        movi r2, 0x241
+        movi r3, 0x1b6
+        syscall
+        mov r6, r0
+        movi r0, 4
+        mov r1, r6
+        movi r2, data
+        movi r3, 10
+        syscall
+        ; SEEK_SET 4
+        movi r0, 19
+        mov r1, r6
+        movi r2, 4
+        movi r3, 0
+        syscall
+        mov r4, r0            ; 4
+        ; SEEK_CUR +2
+        movi r0, 19
+        mov r1, r6
+        movi r2, 2
+        movi r3, 1
+        syscall
+        shli r4, r4, 8
+        or r4, r4, r0         ; 4<<8 | 6
+        ; SEEK_END -1
+        movi r0, 19
+        mov r1, r6
+        movi r2, 0xffffffff
+        movi r3, 2
+        syscall
+        shli r4, r4, 8
+        or r1, r4, r0         ; | 9
+        ",
+        "
+        .rodata
+    path: .asciz \"/tmp/f\"
+    data: .ascii \"0123456789\"
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited((4 << 16) | (6 << 8) | 9));
+}
+
+#[test]
+fn dup2_redirects() {
+    // dup2(fd, 7) then write via 7.
+    let src = exit_with(
+        "
+        movi r0, 5
+        movi r1, path
+        movi r2, 0x241
+        movi r3, 0x1b6
+        syscall
+        mov r6, r0
+        movi r0, 63            ; dup2
+        mov r1, r6
+        movi r2, 7
+        syscall
+        movi r0, 4
+        movi r1, 7
+        movi r2, msg
+        movi r3, 3
+        syscall
+        movi r1, 0
+        ",
+        "
+        .rodata
+    path: .asciz \"/tmp/d\"
+    msg: .ascii \"abc\"
+    ",
+    );
+    let (outcome, kernel) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.fs().read_file("/tmp/d").unwrap(), b"abc");
+}
+
+#[test]
+fn writev_gathers() {
+    let src = exit_with(
+        "
+        movi r12, iov
+        movi r5, a
+        stw [r12], r5
+        movi r5, 3
+        stw [r12+4], r5
+        movi r5, b
+        stw [r12+8], r5
+        movi r5, 4
+        stw [r12+12], r5
+        movi r0, 146          ; writev(1, iov, 2)
+        movi r1, 1
+        mov r2, r12
+        movi r3, 2
+        syscall
+        mov r1, r0            ; total bytes
+        ",
+        "
+        .rodata
+    a: .ascii \"one\"
+    b: .ascii \"/two\"
+        .bss
+    iov: .space 16
+    ",
+    );
+    let (outcome, kernel) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(7));
+    assert_eq!(kernel.stdout(), b"one/two");
+}
+
+#[test]
+fn pipe_roundtrip() {
+    let src = exit_with(
+        "
+        movi r0, 42            ; pipe(fds)
+        movi r1, fds
+        syscall
+        movi r12, fds
+        ldw r4, [r12]          ; read end
+        ldw r5, [r12+4]        ; write end
+        movi r0, 4
+        mov r1, r5
+        movi r2, msg
+        movi r3, 5
+        syscall
+        movi r0, 3
+        mov r1, r4
+        movi r2, buf
+        movi r3, 16
+        syscall
+        mov r6, r0             ; bytes read
+        movi r0, 4             ; echo to stdout
+        movi r1, 1
+        movi r2, buf
+        mov r3, r6
+        syscall
+        mov r1, r6
+        ",
+        "
+        .rodata
+    msg: .ascii \"piped\"
+        .bss
+    fds: .space 8
+    buf: .space 16
+    ",
+    );
+    let (outcome, kernel) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(5));
+    assert_eq!(kernel.stdout(), b"piped");
+}
+
+#[test]
+fn truncate_and_ftruncate() {
+    let src = exit_with(
+        "
+        movi r0, 5
+        movi r1, path
+        movi r2, 0x241
+        movi r3, 0x1b6
+        syscall
+        mov r6, r0
+        movi r0, 4
+        mov r1, r6
+        movi r2, msg
+        movi r3, 8
+        syscall
+        movi r0, 93            ; ftruncate(fd, 3)
+        mov r1, r6
+        movi r2, 3
+        syscall
+        movi r1, 0
+        ",
+        "
+        .rodata
+    path: .asciz \"/tmp/t\"
+    msg: .ascii \"12345678\"
+    ",
+    );
+    let (outcome, kernel) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.fs().read_file("/tmp/t").unwrap(), b"123");
+}
+
+#[test]
+fn readlink_returns_target() {
+    let src = exit_with(
+        "
+        movi r0, 85
+        movi r1, lnk
+        movi r2, buf
+        movi r3, 32
+        syscall
+        mov r6, r0
+        movi r0, 4
+        movi r1, 1
+        movi r2, buf
+        mov r3, r6
+        syscall
+        mov r1, r6
+        ",
+        "
+        .rodata
+    lnk: .asciz \"/tmp/mylink\"
+        .bss
+    buf: .space 32
+    ",
+    );
+    let (outcome, kernel) = run_with(&src, b"", |k| {
+        k.fs_mut().symlink("/etc/motd", "/tmp/mylink", "/").unwrap();
+    });
+    assert_eq!(outcome, RunOutcome::Exited(9));
+    assert_eq!(kernel.stdout(), b"/etc/motd");
+}
+
+#[test]
+fn stat_reports_kind_and_size() {
+    // stat("/etc/motd"): kind 0 (file), size 17.
+    let src = exit_with(
+        "
+        movi r0, 106
+        movi r1, path
+        movi r2, st
+        syscall
+        movi r12, st
+        ldw r4, [r12]          ; kind
+        ldw r5, [r12+4]        ; size
+        shli r4, r4, 8
+        or r1, r4, r5
+        ",
+        "
+        .rodata
+    path: .asciz \"/etc/motd\"
+        .bss
+    st: .space 16
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(17)); // kind 0 << 8 | 17
+}
+
+#[test]
+fn nanosleep_advances_time() {
+    // gettimeofday, nanosleep 3s, gettimeofday: delta >= 3.
+    let src = exit_with(
+        "
+        movi r0, 78
+        movi r1, tv
+        movi r2, 0
+        syscall
+        movi r12, tv
+        ldw r4, [r12]          ; secs before
+        movi r12, req
+        movi r5, 3
+        stw [r12], r5
+        movi r5, 0
+        stw [r12+4], r5
+        movi r0, 162           ; nanosleep
+        movi r1, req
+        movi r2, 0
+        syscall
+        movi r0, 78
+        movi r1, tv
+        movi r2, 0
+        syscall
+        movi r12, tv
+        ldw r5, [r12]          ; secs after
+        sub r1, r5, r4
+        ",
+        "
+        .bss
+    tv: .space 8
+    req: .space 8
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(3));
+}
+
+#[test]
+fn uname_identifies_personality() {
+    let src = exit_with(
+        "
+        movi r0, 122
+        movi r1, buf
+        syscall
+        movi r12, buf
+        ldb r1, [r12]          ; first byte of sysname
+        ",
+        "
+        .bss
+    buf: .space 32
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(b'S' as u32)); // "SVMLinux"
+}
+
+#[test]
+fn bad_fd_operations_return_ebadf() {
+    let src = exit_with(
+        "
+        movi r0, 3             ; read(99, ...)
+        movi r1, 99
+        movi r2, buf
+        movi r3, 4
+        syscall
+        mov r1, r0
+        ",
+        "
+        .bss
+    buf: .space 4
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited((-9i32) as u32));
+}
+
+#[test]
+fn open_missing_without_creat_fails() {
+    let src = exit_with(
+        "
+        movi r0, 5
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        syscall
+        mov r1, r0
+        ",
+        "
+        .rodata
+    path: .asciz \"/no/such/file\"
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited((-2i32) as u32)); // ENOENT
+}
+
+#[test]
+fn append_mode_appends() {
+    let src = exit_with(
+        "
+        movi r0, 5
+        movi r1, path
+        movi r2, 0x441         ; O_WRONLY|O_CREAT|O_APPEND
+        movi r3, 0x1b6
+        syscall
+        mov r6, r0
+        movi r0, 4
+        mov r1, r6
+        movi r2, msg
+        movi r3, 2
+        syscall
+        movi r1, 0
+        ",
+        "
+        .rodata
+    path: .asciz \"/tmp/log\"
+    msg: .ascii \"+x\"
+    ",
+    );
+    let (outcome, kernel) = run_with(&src, b"", |k| {
+        k.fs_mut().write_file("/tmp/log", b"old".to_vec()).unwrap();
+    });
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.fs().read_file("/tmp/log").unwrap(), b"old+x");
+}
+
+#[test]
+fn chdir_affects_relative_paths() {
+    let src = exit_with(
+        "
+        movi r0, 12            ; chdir(\"/etc\")
+        movi r1, dir
+        syscall
+        movi r0, 5             ; open(\"motd\") — relative
+        movi r1, rel
+        movi r2, 0
+        movi r3, 0
+        syscall
+        mov r6, r0
+        movi r0, 3
+        mov r1, r6
+        movi r2, buf
+        movi r3, 7
+        syscall
+        mov r1, r0
+        ",
+        "
+        .rodata
+    dir: .asciz \"/etc\"
+    rel: .asciz \"motd\"
+        .bss
+    buf: .space 8
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(7));
+}
+
+#[test]
+fn mmap_returns_usable_memory() {
+    let src = exit_with(
+        "
+        movi r0, 90            ; mmap(0, 0x2000, ...)
+        movi r1, 0
+        movi r2, 0x2000
+        movi r3, 3
+        movi r4, 2
+        syscall
+        mov r6, r0
+        movi r5, 0xabcd
+        stw [r6+0x1ffc], r5
+        ldw r4, [r6+0x1ffc]
+        sub r1, r4, r5         ; 0 when readback matches
+        ",
+        "",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
+
+#[test]
+fn sockets_queue_per_descriptor() {
+    // Two sockets: data sent on one must not arrive on the other.
+    let src = exit_with(
+        "
+        movi r0, 102
+        movi r1, 2
+        movi r2, 1
+        movi r3, 0
+        syscall
+        mov r6, r0             ; sock A
+        movi r0, 102
+        movi r1, 2
+        movi r2, 1
+        movi r3, 0
+        syscall
+        mov r5, r0             ; sock B
+        movi r0, 109           ; sendto(A, msg, 4)
+        mov r1, r6
+        movi r2, msg
+        movi r3, 4
+        syscall
+        movi r0, 110           ; recvfrom(B, buf, 8) -> 0 bytes
+        mov r1, r5
+        movi r2, buf
+        movi r3, 8
+        syscall
+        mov r4, r0
+        movi r0, 110           ; recvfrom(A, buf, 8) -> 4 bytes
+        mov r1, r6
+        movi r2, buf
+        movi r3, 8
+        syscall
+        shli r1, r4, 8
+        or r1, r1, r0          ; 0 << 8 | 4
+        ",
+        "
+        .rodata
+    msg: .ascii \"ping\"
+        .bss
+    buf: .space 8
+    ",
+    );
+    let (outcome, _) = run(&src);
+    assert_eq!(outcome, RunOutcome::Exited(4));
+}

@@ -1,0 +1,115 @@
+//! Abstract syntax tree.
+
+/// Binary operators (all unsigned 32-bit semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(u32),
+    /// String literal; evaluates to the address of the NUL-terminated
+    /// bytes in `.rodata`.
+    Str(Vec<u8>),
+    /// Variable / constant / array-name reference.
+    Ident(String),
+    /// `base[index]` — byte load; `base` may be an array name or any
+    /// address-valued expression.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call (user function, libc symbol, or intrinsic).
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name;` / `var name = expr;` — scalar local.
+    Var(String, Option<Expr>),
+    /// `var name[SIZE];` — local byte array.
+    VarArray(String, u32),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `base[index] = expr;` — byte store.
+    IndexAssign(Expr, Expr, Expr),
+    /// Bare expression (typically a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return expr;`
+    Return(Option<Expr>),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Name (also the assembly label).
+    pub name: String,
+    /// Parameter names (at most 6).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition line (for errors).
+    pub line: usize,
+}
+
+/// Top-level items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// `const NAME = value;`
+    Const(String, u32),
+    /// `global name;` — zero-initialised u32.
+    Global(String),
+    /// `global name[SIZE];` — zero-initialised byte array.
+    GlobalArray(String, u32),
+    /// `str NAME = "...";` — named string constant.
+    StrConst(String, Vec<u8>),
+    /// A function.
+    Func(Function),
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,243 @@
+//! Lexer for the guest language.
+
+/// A compilation error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, hex, or char).
+    Num(u32),
+    /// String literal (unescaped bytes).
+    Str(Vec<u8>),
+    /// Punctuation / operator, e.g. `"+"`, `"<<"`, `"&&"`.
+    Punct(&'static str),
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", "[", "]", ",", ";", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!", "~",
+];
+
+/// Tokenises `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or stray characters.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1).is_some_and(|&b| b == b'x' || b == b'X') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &source[start + 2..i];
+                    let n = u32::from_str_radix(text, 16)
+                        .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                    out.push(Spanned { token: Token::Num(n), line });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n = source[start..i]
+                        .parse::<u32>()
+                        .map_err(|_| CompileError::new(line, "bad number"))?;
+                    out.push(Spanned { token: Token::Num(n), line });
+                }
+            }
+            b'\'' => {
+                let (b, consumed) = match bytes.get(i + 1) {
+                    Some(b'\\') => {
+                        let esc = bytes
+                            .get(i + 2)
+                            .ok_or_else(|| CompileError::new(line, "dangling char escape"))?;
+                        let b = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            _ => return Err(CompileError::new(line, "unknown char escape")),
+                        };
+                        (b, 4)
+                    }
+                    Some(&b) => (b, 3),
+                    None => return Err(CompileError::new(line, "unterminated char literal")),
+                };
+                if bytes.get(i + consumed - 1) != Some(&b'\'') {
+                    return Err(CompileError::new(line, "unterminated char literal"));
+                }
+                out.push(Spanned { token: Token::Num(b as u32), line });
+                i += consumed;
+            }
+            b'"' => {
+                let mut s = Vec::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(CompileError::new(line, "unterminated string"))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or_else(|| CompileError::new(line, "dangling escape"))?;
+                            s.push(match esc {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                b'0' => 0,
+                                b'\\' => b'\\',
+                                b'"' => b'"',
+                                _ => return Err(CompileError::new(line, "unknown escape")),
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { token: Token::Ident(source[start..i].to_string()), line });
+            }
+            _ => {
+                let rest = &source[i..];
+                let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+                    return Err(CompileError::new(line, format!("stray character `{}`", c as char)));
+                };
+                out.push(Spanned { token: Token::Punct(p), line });
+                i += p.len();
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            toks("foo 42 0x2A 'A' '\\n'"),
+            vec![
+                Token::Ident("foo".into()),
+                Token::Num(42),
+                Token::Num(42),
+                Token::Num(65),
+                Token::Num(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a<<b <= == != && || < ="),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<"),
+                Token::Ident("b".into()),
+                Token::Punct("<="),
+                Token::Punct("=="),
+                Token::Punct("!="),
+                Token::Punct("&&"),
+                Token::Punct("||"),
+                Token::Punct("<"),
+                Token::Punct("="),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            toks("\"a\\nb\" // comment\nx"),
+            vec![Token::Str(b"a\nb".to_vec()), Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = tokenize("a\nb\n  c").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("'x").is_err());
+        assert!(tokenize("@").is_err());
+    }
+}

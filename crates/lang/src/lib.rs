@@ -1,0 +1,65 @@
+//! A small C-like language compiled to SVM32 assembly.
+//!
+//! The paper's guest programs (bison, calc, screen, tar, gzip, the
+//! SPECint-2000 subset...) are C programs compiled with gcc. Their
+//! analogues in this repository are written in this language, which exists
+//! so the workloads have realistic *shape* for the static analyses: real
+//! call graphs, libc-style stubs, string constants in `.rodata`, constant
+//! and non-constant syscall arguments, cold error paths, and so on.
+//!
+//! # Language
+//!
+//! ```text
+//! // line comments
+//! const N = 64;                 // compile-time constant
+//! global counter;               // u32 global (zero-initialised)
+//! global table[256];            // global byte array
+//! str BANNER = "hello\n";       // string constant; value = its address
+//!
+//! fn add(a, b) { return a + b; }
+//!
+//! fn main() {
+//!     var x = add(2, 3);        // locals are u32 words
+//!     var buf[32];              // local byte array (value = its address)
+//!     if (x >= 5 && x != 9) { x = x << 1; } else { x = 0; }
+//!     while (x) { x = x - 1; if (x == 2) { break; } }
+//!     buf[0] = 'A';             // byte load/store through arrays
+//!     poke(buf + 4, x);         // word store intrinsic (peek/pokeb/peekb)
+//!     write(1, BANNER, 6);      // unresolved calls become libc references
+//!     return x;
+//! }
+//! ```
+//!
+//! Everything is an unsigned 32-bit word; comparisons are unsigned;
+//! arrays are byte arrays whose name evaluates to their address. Functions
+//! take up to 6 parameters (registers `R1..=R6`). The compiler emits a
+//! `_start` that calls `main` and passes its result to the libc `exit`.
+//!
+//! # Example
+//!
+//! ```
+//! let asm = asc_lang::compile("fn main() { return 41 + 1; }")?;
+//! assert!(asm.contains("_start"));
+//! # Ok::<(), asc_lang::CompileError>(())
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Function, Item, Program, Stmt, UnOp};
+pub use codegen::compile_program;
+pub use lexer::{CompileError, Token};
+pub use parser::parse;
+
+/// Compiles source text to SVM32 assembly.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a line number on lexical, syntax, or
+/// semantic errors.
+pub fn compile(source: &str) -> Result<String, CompileError> {
+    let program = parse(source)?;
+    compile_program(&program)
+}

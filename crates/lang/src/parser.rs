@@ -1,0 +1,409 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, CompileError, Spanned, Token};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parses source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on syntax errors.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = tokenize(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while !p.done() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Result<Token, CompileError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|s| s.token.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.next()? {
+            Token::Punct(q) if q == p => Ok(()),
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, CompileError> {
+        match self.next()? {
+            Token::Num(n) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "const" => {
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let value = self.number()?;
+                self.eat_punct(";")?;
+                Ok(Item::Const(name, value))
+            }
+            "global" => {
+                let name = self.ident()?;
+                if self.try_punct("[") {
+                    let size = self.number()?;
+                    self.eat_punct("]")?;
+                    self.eat_punct(";")?;
+                    Ok(Item::GlobalArray(name, size))
+                } else {
+                    self.eat_punct(";")?;
+                    Ok(Item::Global(name))
+                }
+            }
+            "str" => {
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let value = match self.next()? {
+                    Token::Str(s) => s,
+                    other => return Err(self.err(format!("expected string, found {other:?}"))),
+                };
+                self.eat_punct(";")?;
+                Ok(Item::StrConst(name, value))
+            }
+            "fn" => {
+                let line = self.line();
+                let name = self.ident()?;
+                self.eat_punct("(")?;
+                let mut params = Vec::new();
+                if !self.try_punct(")") {
+                    loop {
+                        params.push(self.ident()?);
+                        if self.try_punct(")") {
+                            break;
+                        }
+                        self.eat_punct(",")?;
+                    }
+                }
+                if params.len() > 6 {
+                    return Err(self.err("functions take at most 6 parameters"));
+                }
+                let body = self.block()?;
+                Ok(Item::Func(Function { name, params, body, line }))
+            }
+            other => Err(self.err(format!("expected item, found `{other}`"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Token::Ident(kw)) => match kw.as_str() {
+                "var" | "let" => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    if self.try_punct("[") {
+                        let size = self.number()?;
+                        self.eat_punct("]")?;
+                        self.eat_punct(";")?;
+                        return Ok(Stmt::VarArray(name, size));
+                    }
+                    let init = if self.try_punct("=") { Some(self.expr()?) } else { None };
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Var(name, init))
+                }
+                "if" => {
+                    self.pos += 1;
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let then = self.block()?;
+                    let els = if matches!(self.peek(), Some(Token::Ident(k)) if k == "else") {
+                        self.pos += 1;
+                        if matches!(self.peek(), Some(Token::Ident(k)) if k == "if") {
+                            vec![self.stmt()?]
+                        } else {
+                            self.block()?
+                        }
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If(cond, then, els))
+                }
+                "while" => {
+                    self.pos += 1;
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(cond, body))
+                }
+                "break" => {
+                    self.pos += 1;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.pos += 1;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Continue)
+                }
+                "return" => {
+                    self.pos += 1;
+                    if self.try_punct(";") {
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let e = self.expr()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Return(Some(e)))
+                    }
+                }
+                _ => self.assign_or_expr(),
+            },
+            _ => self.assign_or_expr(),
+        }
+    }
+
+    fn assign_or_expr(&mut self) -> Result<Stmt, CompileError> {
+        let e = self.expr()?;
+        if self.try_punct("=") {
+            let rhs = self.expr()?;
+            self.eat_punct(";")?;
+            match e {
+                Expr::Ident(name) => Ok(Stmt::Assign(name, rhs)),
+                Expr::Index(base, index) => Ok(Stmt::IndexAssign(*base, *index, rhs)),
+                _ => Err(self.err("invalid assignment target")),
+            }
+        } else {
+            self.eat_punct(";")?;
+            Ok(Stmt::Expr(e))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(Token::Punct(p)) = self.peek() else { break };
+            let Some((op, prec)) = bin_op(p) else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.try_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.try_punct("!") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.try_punct("~") {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.try_punct("[") {
+                let index = self.expr()?;
+                self.eat_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(index));
+            } else if matches!(e, Expr::Ident(_)) && self.try_punct("(") {
+                let Expr::Ident(name) = e else { unreachable!() };
+                let mut args = Vec::new();
+                if !self.try_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.try_punct(")") {
+                            break;
+                        }
+                        self.eat_punct(",")?;
+                    }
+                }
+                if args.len() > 6 {
+                    return Err(self.err("calls take at most 6 arguments"));
+                }
+                e = Expr::Call(name, args);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.next()? {
+            Token::Num(n) => Ok(Expr::Num(n)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Ident(name) => Ok(Expr::Ident(name)),
+            Token::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// `(operator, precedence)`; higher binds tighter. C-like ordering.
+fn bin_op(p: &str) -> Option<(BinOp, u8)> {
+    Some(match p {
+        "||" => (BinOp::LogOr, 1),
+        "&&" => (BinOp::LogAnd, 2),
+        "|" => (BinOp::Or, 3),
+        "^" => (BinOp::Xor, 4),
+        "&" => (BinOp::And, 5),
+        "==" => (BinOp::Eq, 6),
+        "!=" => (BinOp::Ne, 6),
+        "<" => (BinOp::Lt, 7),
+        "<=" => (BinOp::Le, 7),
+        ">" => (BinOp::Gt, 7),
+        ">=" => (BinOp::Ge, 7),
+        "<<" => (BinOp::Shl, 8),
+        ">>" => (BinOp::Shr, 8),
+        "+" => (BinOp::Add, 9),
+        "-" => (BinOp::Sub, 9),
+        "*" => (BinOp::Mul, 10),
+        "/" => (BinOp::Div, 10),
+        "%" => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items() {
+        let p = parse(
+            r#"
+            const N = 10;
+            global g;
+            global table[64];
+            str S = "hi";
+            fn f(a, b) { return a + b; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 5);
+        assert_eq!(p.items[0], Item::Const("N".into(), 10));
+        assert_eq!(p.items[2], Item::GlobalArray("table".into(), 64));
+        let Item::Func(f) = &p.items[4] else { panic!() };
+        assert_eq!(f.params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f() { return 1 + 2 * 3 == 7 && 1 < 2; }").unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        // (((1 + (2*3)) == 7) && (1 < 2))
+        let Expr::Bin(BinOp::LogAnd, lhs, rhs) = e else { panic!("{e:?}") };
+        assert!(matches!(**lhs, Expr::Bin(BinOp::Eq, _, _)));
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn statements() {
+        let p = parse(
+            r#"
+            fn f(x) {
+                var a = 1;
+                var buf[16];
+                buf[a] = 'Z';
+                a = buf[0];
+                if (x) { a = a + 1; } else if (a) { a = 2; }
+                while (a != 0) { a = a - 1; break; continue; }
+                g(a, 2);
+                return;
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert_eq!(f.body.len(), 8);
+        assert!(matches!(f.body[2], Stmt::IndexAssign(..)));
+        assert!(matches!(f.body[4], Stmt::If(..)));
+    }
+
+    #[test]
+    fn nested_calls_and_index_chains() {
+        let p = parse("fn f() { return g(h(1), t[i + 1]) * 2; }").unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("fn f( { }").is_err());
+        assert!(parse("fn f() { 1 + ; }").is_err());
+        assert!(parse("fn f() { (1 = 2); }").is_err());
+        assert!(parse("bogus x;").is_err());
+        assert!(parse("fn f(a,b,c,d,e,f,g) {}").is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Guest-language edge cases: nesting, scoping, and operator corners that
+//! the workloads lean on.
+
+use asc_asm::assemble_many;
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_vm::{Machine, RunOutcome};
+
+const TEST_LIBC: &str = "
+    .text
+exit:
+    movi r0, 1
+    syscall
+    ret
+write:
+    movi r0, 4
+    syscall
+    ret
+";
+
+fn exit_code(src: &str) -> u32 {
+    let asm = asc_lang::compile(src).expect("compiles");
+    let binary = assemble_many(&[asm.as_str(), TEST_LIBC]).expect("assembles");
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).expect("loads");
+    match machine.run(200_000_000) {
+        RunOutcome::Exited(c) => c,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_loops_with_break_levels() {
+    // break/continue bind to the innermost loop.
+    let src = r#"
+        fn main() {
+            var total = 0;
+            var i = 0;
+            while (i < 5) {
+                var j = 0;
+                while (1) {
+                    j = j + 1;
+                    if (j > i) { break; }
+                    if (j == 2) { continue; }
+                    total = total + 1;
+                }
+                i = i + 1;
+            }
+            return total;    // j==2 skipped: i=2..4 contribute (1,2,3)-1 each
+        }
+    "#;
+    // i=0: inner breaks immediately (j=1>0) -> 0
+    // i=1: j=1 counts -> 1
+    // i=2: j=1 counts, j=2 skipped -> 1
+    // i=3: j=1, j=3 count -> 2 ; i=4: j=1,3,4 -> 3
+    assert_eq!(exit_code(src), 7);
+}
+
+#[test]
+fn recursion_with_arrays_in_frame() {
+    // Each recursion level gets its own array slice.
+    let src = r#"
+        fn fill(depth) {
+            var buf[8];
+            var i = 0;
+            while (i < 8) { buf[i] = depth; i = i + 1; }
+            if (depth == 0) { return buf[3]; }
+            var below = fill(depth - 1);
+            return buf[3] * 10 + below;     // frames must not alias
+        }
+        fn main() { return fill(3); }
+    "#;
+    // fill(0)=0, fill(1)=10, fill(2)=30, fill(3)=60. If recursion levels
+    // shared one frame, the deeper calls would have clobbered buf[3].
+    assert_eq!(exit_code(src), 60);
+}
+
+#[test]
+fn chained_comparisons_and_precedence() {
+    assert_eq!(exit_code("fn main() { return 1 < 2 == 1; }"), 1);
+    assert_eq!(exit_code("fn main() { return (3 & 1) == 1; }"), 1);
+    assert_eq!(exit_code("fn main() { return 1 | 2 == 2; }"), 1 | 1);
+    assert_eq!(exit_code("fn main() { return 2 + 3 << 1; }"), 10);
+}
+
+#[test]
+fn unary_chains() {
+    assert_eq!(exit_code("fn main() { return !!5; }"), 1);
+    assert_eq!(exit_code("fn main() { return -(-7); }"), 7);
+    assert_eq!(exit_code("fn main() { return ~~9; }"), 9);
+    assert_eq!(exit_code("fn main() { return !(1 == 2); }"), 1);
+}
+
+#[test]
+fn global_array_as_scratch_between_calls() {
+    let src = r#"
+        global shared[16];
+        fn put(i, v) { shared[i] = v; return 0; }
+        fn get(i) { return shared[i]; }
+        fn main() {
+            put(0, 11);
+            put(15, 22);
+            return get(0) + get(15);
+        }
+    "#;
+    assert_eq!(exit_code(src), 33);
+}
+
+#[test]
+fn expression_statement_calls_discard_values() {
+    let src = r#"
+        global n;
+        fn bump() { n = n + 1; return n; }
+        fn main() {
+            bump();
+            bump();
+            bump();
+            return n;
+        }
+    "#;
+    assert_eq!(exit_code(src), 3);
+}
+
+#[test]
+fn index_into_call_result() {
+    // base[index] where base is an arbitrary address expression.
+    let src = r#"
+        global tab[8];
+        fn base() { return tab + 2; }
+        fn main() {
+            tab[2] = 40;
+            tab[5] = 2;
+            return base()[0] + base()[3];
+        }
+    "#;
+    assert_eq!(exit_code(src), 42);
+}
+
+#[test]
+fn while_condition_side_effects() {
+    let src = r#"
+        global countdown;
+        fn dec() { countdown = countdown - 1; return countdown; }
+        fn main() {
+            countdown = 5;
+            var iters = 0;
+            while (dec()) { iters = iters + 1; }
+            return iters;
+        }
+    "#;
+    assert_eq!(exit_code(src), 4);
+}
+
+#[test]
+fn shadowing_params_forbidden_but_distinct_fns_independent() {
+    assert!(asc_lang::compile("fn f(a) { var a; }").is_err());
+    // Same local name in different functions is fine.
+    assert_eq!(
+        exit_code("fn f() { var x = 1; return x; } fn g() { var x = 2; return x; } fn main() { return f() + g(); }"),
+        3
+    );
+}
+
+#[test]
+fn big_frame_with_many_locals() {
+    let mut body = String::new();
+    for i in 0..60 {
+        body.push_str(&format!("var v{i} = {i};\n"));
+    }
+    let mut sum = String::from("return 0");
+    for i in 0..60 {
+        sum.push_str(&format!(" + v{i}"));
+    }
+    sum.push(';');
+    let src = format!("fn main() {{ {body} {sum} }}");
+    assert_eq!(exit_code(&src), (0..60).sum::<u32>());
+}
+
+#[test]
+fn comparison_result_is_plain_value() {
+    assert_eq!(exit_code("fn main() { return (3 > 2) * 10 + (2 > 3); }"), 10);
+}

@@ -1,0 +1,304 @@
+//! Execution tests: compile guest-language programs, link a minimal libc,
+//! run on the simulated kernel, and check observable behaviour.
+
+use asc_asm::assemble_many;
+use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_vm::{Machine, RunOutcome};
+
+/// Minimal libc (Linux personality numbers) for these tests.
+const TEST_LIBC: &str = "
+    .text
+exit:
+    movi r0, 1
+    syscall
+    ret
+write:
+    movi r0, 4
+    syscall
+    ret
+read:
+    movi r0, 3
+    syscall
+    ret
+open:
+    movi r0, 5
+    syscall
+    ret
+close:
+    movi r0, 6
+    syscall
+    ret
+getpid:
+    movi r0, 20
+    syscall
+    ret
+";
+
+fn run(src: &str, stdin: &[u8]) -> (RunOutcome, Kernel) {
+    let asm = asc_lang::compile(src).expect("compiles");
+    let binary = assemble_many(&[asm.as_str(), TEST_LIBC]).expect("assembles");
+    let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
+    kernel.set_stdin(stdin.to_vec());
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(&binary, kernel).expect("loads");
+    let outcome = machine.run(200_000_000);
+    (outcome, machine.into_handler())
+}
+
+fn exit_code(src: &str) -> u32 {
+    match run(src, b"") {
+        (RunOutcome::Exited(c), _) => c,
+        (other, k) => panic!("{other:?} (stdout: {:?})", String::from_utf8_lossy(k.stdout())),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(exit_code("fn main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(exit_code("fn main() { return (2 + 3) * 4; }"), 20);
+    assert_eq!(exit_code("fn main() { return 100 / 7; }"), 14);
+    assert_eq!(exit_code("fn main() { return 100 % 7; }"), 2);
+    assert_eq!(exit_code("fn main() { return 1 << 5; }"), 32);
+    assert_eq!(exit_code("fn main() { return 0xF0 >> 4; }"), 15);
+    assert_eq!(exit_code("fn main() { return (0xFF & 0x0F) | 0x30; }"), 0x3F);
+    assert_eq!(exit_code("fn main() { return 5 ^ 3; }"), 6);
+    assert_eq!(exit_code("fn main() { return -1 >> 28; }"), 15);
+    assert_eq!(exit_code("fn main() { return ~0 >> 28; }"), 15);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(exit_code("fn main() { return 3 < 5; }"), 1);
+    assert_eq!(exit_code("fn main() { return 5 < 3; }"), 0);
+    assert_eq!(exit_code("fn main() { return 5 <= 5; }"), 1);
+    assert_eq!(exit_code("fn main() { return 5 > 3; }"), 1);
+    assert_eq!(exit_code("fn main() { return 3 >= 5; }"), 0);
+    assert_eq!(exit_code("fn main() { return 4 == 4; }"), 1);
+    assert_eq!(exit_code("fn main() { return 4 != 4; }"), 0);
+    assert_eq!(exit_code("fn main() { return 1 && 2; }"), 1);
+    assert_eq!(exit_code("fn main() { return 1 && 0; }"), 0);
+    assert_eq!(exit_code("fn main() { return 0 || 3; }"), 1);
+    assert_eq!(exit_code("fn main() { return 0 || 0; }"), 0);
+    assert_eq!(exit_code("fn main() { return !0; }"), 1);
+    assert_eq!(exit_code("fn main() { return !7; }"), 0);
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    // The right operand must not run when the left decides.
+    let src = r#"
+        global hits;
+        fn bump() { hits = hits + 1; return 1; }
+        fn main() {
+            var t = 0 && bump();
+            t = 1 || bump();
+            t = 1 && bump();
+            t = 0 || bump();
+            return hits;
+        }
+    "#;
+    assert_eq!(exit_code(src), 2);
+}
+
+#[test]
+fn control_flow() {
+    let src = r#"
+        fn main() {
+            var sum = 0;
+            var i = 1;
+            while (i <= 10) {
+                if (i % 2 == 0) { sum = sum + i; }
+                i = i + 1;
+            }
+            return sum;    // 2+4+6+8+10
+        }
+    "#;
+    assert_eq!(exit_code(src), 30);
+}
+
+#[test]
+fn break_and_continue() {
+    let src = r#"
+        fn main() {
+            var n = 0;
+            var i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 100) { break; }
+                if (i % 3 != 0) { continue; }
+                n = n + 1;
+            }
+            return n;      // multiples of 3 in 1..=100
+        }
+    "#;
+    assert_eq!(exit_code(src), 33);
+}
+
+#[test]
+fn functions_recursion() {
+    let src = r#"
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(12); }
+    "#;
+    assert_eq!(exit_code(src), 144);
+}
+
+#[test]
+fn six_parameters() {
+    let src = r#"
+        fn f(a, b, c, d, e, g) { return a + b * 2 + c * 3 + d * 4 + e * 5 + g * 6; }
+        fn main() { return f(1, 1, 1, 1, 1, 1); }
+    "#;
+    assert_eq!(exit_code(src), 21);
+}
+
+#[test]
+fn globals_and_arrays() {
+    let src = r#"
+        global counter;
+        global table[16];
+        fn main() {
+            counter = 5;
+            counter = counter + 2;
+            table[3] = 'x';
+            table[4] = table[3] + 1;
+            return counter * 100 + table[4];   // 700 + 'y'
+        }
+    "#;
+    assert_eq!(exit_code(src), 700 + b'y' as u32);
+}
+
+#[test]
+fn local_arrays_and_intrinsics() {
+    let src = r#"
+        fn main() {
+            var buf[16];
+            buf[0] = 65;
+            poke(buf + 4, 0xDEAD);
+            var w = peek(buf + 4);
+            pokeb(buf + 1, buf[0] + 1);
+            return (w == 0xDEAD) * 100 + peekb(buf + 1);  // 100 + 66
+        }
+    "#;
+    assert_eq!(exit_code(src), 166);
+}
+
+#[test]
+fn string_literals_and_write() {
+    let src = r#"
+        str GREETING = "hey ";
+        fn main() {
+            write(1, GREETING, 4);
+            write(1, "you\n", 4);
+            return 0;
+        }
+    "#;
+    let (outcome, kernel) = run(src, b"");
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.stdout(), b"hey you\n");
+}
+
+#[test]
+fn read_stdin_loop() {
+    let src = r#"
+        fn main() {
+            var buf[8];
+            var total = 0;
+            var n = read(0, buf, 8);
+            while (n != 0) {
+                var i = 0;
+                while (i < n) {
+                    total = total + buf[i];
+                    i = i + 1;
+                }
+                n = read(0, buf, 8);
+            }
+            return total;
+        }
+    "#;
+    let (outcome, _) = run(src, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    assert_eq!(outcome, RunOutcome::Exited(55));
+}
+
+#[test]
+fn open_read_file() {
+    let src = r#"
+        fn main() {
+            let fd = open("/etc/motd", 0, 0);
+            var buf[32];
+            let n = read(fd, buf, 32);
+            write(1, buf, n);
+            close(fd);
+            return 0;
+        }
+    "#;
+    let (outcome, kernel) = run(src, b"");
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(kernel.stdout(), b"welcome to svm32\n");
+}
+
+#[test]
+fn string_dedup_in_rodata() {
+    let asm = asc_lang::compile(
+        r#"fn main() { write(1, "same", 4); write(1, "same", 4); return 0; }"#,
+    )
+    .unwrap();
+    assert_eq!(asm.matches("\"same\"").count(), 1, "literal interned once:\n{asm}");
+}
+
+#[test]
+fn const_items() {
+    let src = r#"
+        const WIDTH = 6;
+        const HEIGHT = 7;
+        fn main() { return WIDTH * HEIGHT; }
+    "#;
+    assert_eq!(exit_code(src), 42);
+}
+
+#[test]
+fn else_if_chain() {
+    let src = r#"
+        fn grade(x) {
+            if (x >= 90) { return 4; }
+            else if (x >= 80) { return 3; }
+            else if (x >= 70) { return 2; }
+            else { return 0; }
+        }
+        fn main() { return grade(95) * 100 + grade(85) * 10 + grade(50); }
+    "#;
+    assert_eq!(exit_code(src), 430);
+}
+
+#[test]
+fn semantic_errors() {
+    assert!(asc_lang::compile("fn main() { return x; }").is_err());
+    assert!(asc_lang::compile("fn main() { x = 1; }").is_err());
+    assert!(asc_lang::compile("fn main() { var a; var a; }").is_err());
+    assert!(asc_lang::compile("fn f() {} fn f() {}").is_err());
+    assert!(asc_lang::compile("fn main() { break; }").is_err());
+    assert!(asc_lang::compile("const C = 1; fn main() { C = 2; }").is_err());
+    assert!(asc_lang::compile("global g[4]; fn main() { g = 2; }").is_err());
+}
+
+#[test]
+fn fallthrough_returns_zero() {
+    assert_eq!(exit_code("fn main() { var x = 9; }"), 0);
+}
+
+#[test]
+fn nested_call_arguments_evaluate_in_order() {
+    let src = r#"
+        global log;
+        fn tag(v) { log = log * 10 + v; return v; }
+        fn three(a, b, c) { return a * 100 + b * 10 + c; }
+        fn main() {
+            var r = three(tag(1), tag(2), tag(3));
+            return (log == 123) * 1000 + r;
+        }
+    "#;
+    assert_eq!(exit_code(src), 1123);
+}

@@ -1,0 +1,50 @@
+//! SOF — the Simple Object Format, the repository's ELF analogue.
+//!
+//! The paper's installer requires *relocatable* binaries: PLTO moves code
+//! and data, so every stored address must be marked so it can be fixed up.
+//! SOF keeps that requirement front and centre: a [`Binary`] carries
+//! [`Section`]s, [`Symbol`]s and [`Relocation`]s, where each relocation
+//! marks a 4-byte little-endian field (an instruction immediate or a data
+//! word) that holds an address into the binary.
+//!
+//! The installer consumes a relocatable SOF binary and emits a
+//! non-relocatable *authenticated* binary (mirroring the paper: "our
+//! installer outputs nonrelocatable statically linked binaries, since our
+//! policies include the absolute locations of all system calls").
+//!
+//! # Example
+//!
+//! ```
+//! use asc_object::{Binary, Section, SectionFlags};
+//!
+//! let mut b = Binary::new(0x1000);
+//! b.push_section(Section::new(".text", 0x1000, vec![0u8; 16], SectionFlags::RX));
+//! let bytes = b.to_bytes();
+//! let parsed = asc_object::Binary::from_bytes(&bytes)?;
+//! assert_eq!(parsed.entry(), 0x1000);
+//! # Ok::<(), asc_object::SofError>(())
+//! ```
+
+mod binary;
+mod format;
+
+pub use binary::{Binary, Relocation, Section, SectionFlags, Symbol, SymbolKind};
+pub use format::SofError;
+
+/// Conventional load address of the first section.
+pub const LOAD_BASE: u32 = 0x1000;
+
+/// Conventional names of the standard sections.
+pub mod sections {
+    /// Executable code.
+    pub const TEXT: &str = ".text";
+    /// Read-only data (string literals).
+    pub const RODATA: &str = ".rodata";
+    /// Initialised writable data.
+    pub const DATA: &str = ".data";
+    /// Zero-initialised writable data.
+    pub const BSS: &str = ".bss";
+    /// Authenticated-call data added by the installer: call MACs,
+    /// authenticated strings, predecessor sets, the policy-state cell.
+    pub const ASC: &str = ".asc";
+}

@@ -1,0 +1,360 @@
+//! Flat byte-addressable memory with page-granular protection.
+
+use asc_object::{Binary, SectionFlags};
+
+/// Page size for protection granularity.
+pub const PAGE_SIZE: u32 = 0x1000;
+
+/// Per-page access permissions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// No access (unmapped).
+    pub const NONE: PageFlags = PageFlags(0);
+    /// Readable.
+    pub const R: PageFlags = PageFlags(1);
+    /// Readable + writable.
+    pub const RW: PageFlags = PageFlags(1 | 2);
+    /// Readable + executable.
+    pub const RX: PageFlags = PageFlags(1 | 4);
+    /// Readable + writable + executable (the stack).
+    pub const RWX: PageFlags = PageFlags(1 | 2 | 4);
+
+    /// Whether reads are allowed.
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether writes are allowed.
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Whether instruction fetch is allowed.
+    pub fn executable(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Whether the page is mapped at all.
+    pub fn mapped(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Converts section flags to page flags.
+    pub fn from_section(flags: SectionFlags) -> PageFlags {
+        let mut bits = 0;
+        if flags.contains(SectionFlags::READ) {
+            bits |= 1;
+        }
+        if flags.contains(SectionFlags::WRITE) {
+            bits |= 2;
+        }
+        if flags.contains(SectionFlags::EXEC) {
+            bits |= 4;
+        }
+        PageFlags(bits)
+    }
+}
+
+/// An access violation or out-of-range access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemFault {
+    /// Address beyond the end of physical memory.
+    OutOfRange {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Read from a non-readable or unmapped page.
+    NoRead {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Write to a non-writable or unmapped page.
+    NoWrite {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Instruction fetch from a non-executable or unmapped page.
+    NoExec {
+        /// The faulting address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::OutOfRange { addr } => write!(f, "address {addr:#x} out of range"),
+            MemFault::NoRead { addr } => write!(f, "read fault at {addr:#x}"),
+            MemFault::NoWrite { addr } => write!(f, "write fault at {addr:#x}"),
+            MemFault::NoExec { addr } => write!(f, "exec fault at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The simulated physical memory of one process.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    pages: Vec<PageFlags>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mapped = self.pages.iter().filter(|p| p.mapped()).count();
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .field("mapped_pages", &mapped)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates zeroed, fully unmapped memory of `size` bytes (rounded up to
+    /// a whole number of pages).
+    pub fn new(size: u32) -> Memory {
+        let pages = size.div_ceil(PAGE_SIZE) as usize;
+        Memory { bytes: vec![0; pages * PAGE_SIZE as usize], pages: vec![PageFlags::NONE; pages] }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Loads a binary's sections and maps their pages; maps a stack of
+    /// `stack_size` bytes (RWX — see crate docs) at the top of memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::OutOfRange`] if any section or the stack does not
+    /// fit.
+    pub fn load(&mut self, binary: &Binary, stack_size: u32) -> Result<(), MemFault> {
+        for section in binary.sections() {
+            let end = section.addr + section.mem_size;
+            if end > self.size() {
+                return Err(MemFault::OutOfRange { addr: end });
+            }
+            let start = section.addr as usize;
+            self.bytes[start..start + section.data.len()].copy_from_slice(&section.data);
+            // Zero-fill the bss tail.
+            for b in &mut self.bytes[start + section.data.len()..start + section.mem_size as usize]
+            {
+                *b = 0;
+            }
+            self.protect(section.addr, section.mem_size, PageFlags::from_section(section.flags));
+        }
+        let stack_base = self.size() - stack_size;
+        self.protect(stack_base, stack_size, PageFlags::RWX);
+        Ok(())
+    }
+
+    /// Initial stack pointer (top of memory, 16-byte aligned).
+    pub fn initial_sp(&self) -> u32 {
+        self.size() & !0xf
+    }
+
+    /// Sets protection for the pages covering `[addr, addr+len)`.
+    pub fn protect(&mut self, addr: u32, len: u32, flags: PageFlags) {
+        if len == 0 {
+            return;
+        }
+        let first = (addr / PAGE_SIZE) as usize;
+        let last = ((addr + len - 1) / PAGE_SIZE) as usize;
+        for p in first..=last.min(self.pages.len() - 1) {
+            self.pages[p] = flags;
+        }
+    }
+
+    /// Protection flags of the page containing `addr`.
+    pub fn flags_at(&self, addr: u32) -> PageFlags {
+        self.pages
+            .get((addr / PAGE_SIZE) as usize)
+            .copied()
+            .unwrap_or(PageFlags::NONE)
+    }
+
+    fn check(&self, addr: u32, len: u32, need: fn(PageFlags) -> bool, fault: fn(u32) -> MemFault) -> Result<(), MemFault> {
+        if addr as u64 + len as u64 > self.size() as u64 {
+            return Err(MemFault::OutOfRange { addr });
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for p in first..=last {
+            if !need(self.pages[p as usize]) {
+                return Err(fault(p * PAGE_SIZE));
+            }
+        }
+        Ok(())
+    }
+
+    /// User-mode byte read.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemFault> {
+        self.check(addr, 1, PageFlags::readable, |a| MemFault::NoRead { addr: a })?;
+        Ok(self.bytes[addr as usize])
+    }
+
+    /// User-mode byte write.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemFault> {
+        self.check(addr, 1, PageFlags::writable, |a| MemFault::NoWrite { addr: a })?;
+        self.bytes[addr as usize] = value;
+        Ok(())
+    }
+
+    /// User-mode 32-bit read (little-endian, unaligned allowed).
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        self.check(addr, 4, PageFlags::readable, |a| MemFault::NoRead { addr: a })?;
+        let i = addr as usize;
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("4 bytes")))
+    }
+
+    /// User-mode 32-bit write.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
+        self.check(addr, 4, PageFlags::writable, |a| MemFault::NoWrite { addr: a })?;
+        let i = addr as usize;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Instruction fetch: returns the 8 instruction bytes at `pc`.
+    pub fn fetch(&self, pc: u32) -> Result<&[u8], MemFault> {
+        self.check(pc, asc_isa::INSTR_LEN as u32, PageFlags::executable, |a| MemFault::NoExec {
+            addr: a,
+        })?;
+        Ok(&self.bytes[pc as usize..pc as usize + asc_isa::INSTR_LEN])
+    }
+
+    /// Kernel-mode read: bounds-checked but ignores page protection
+    /// (the kernel may read any mapped user memory).
+    pub fn kread(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
+        self.check(addr, len, PageFlags::mapped, |a| MemFault::NoRead { addr: a })?;
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Kernel-mode 32-bit read.
+    pub fn kread_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        let b = self.kread(addr, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Kernel-mode write: bounds-checked but ignores page protection (the
+    /// kernel updates the policy state inside the application's `.asc`
+    /// section and fills output buffers).
+    pub fn kwrite(&mut self, addr: u32, data: &[u8]) -> Result<(), MemFault> {
+        self.check(addr, data.len() as u32, PageFlags::mapped, |a| MemFault::NoWrite { addr: a })?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Kernel-mode read of a NUL-terminated string, capped at `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the string runs off mapped memory or exceeds `max` bytes
+    /// without a terminator (the kernel defends itself against unterminated
+    /// strings, as real kernels must).
+    pub fn kread_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.kread(addr + i, 1)?[0];
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+        }
+        Err(MemFault::NoRead { addr: addr + max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asc_object::{Section, SectionFlags};
+
+    fn mem_with_binary() -> Memory {
+        let mut b = Binary::new(0x1000);
+        b.push_section(Section::new(".text", 0x1000, vec![0xAA; 64], SectionFlags::RX));
+        b.push_section(Section::new(".data", 0x2000, vec![1, 2, 3, 4], SectionFlags::RW));
+        b.push_section(Section::zeroed(".bss", 0x3000, 32, SectionFlags::RW));
+        let mut m = Memory::new(1 << 20);
+        m.load(&b, 0x4000).unwrap();
+        m
+    }
+
+    #[test]
+    fn load_and_protection() {
+        let m = mem_with_binary();
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xAA);
+        assert_eq!(m.read_u32(0x2000).unwrap(), 0x04030201);
+        assert_eq!(m.read_u8(0x3000).unwrap(), 0);
+        // text not writable
+        let mut m2 = m.clone();
+        assert_eq!(m2.write_u8(0x1000, 0), Err(MemFault::NoWrite { addr: 0x1000 }));
+        // data not executable
+        assert_eq!(m.fetch(0x2000), Err(MemFault::NoExec { addr: 0x2000 }));
+        // text executable
+        assert!(m.fetch(0x1000).is_ok());
+        // unmapped page
+        assert_eq!(m.read_u8(0x9000), Err(MemFault::NoRead { addr: 0x9000 }));
+    }
+
+    #[test]
+    fn stack_is_rwx() {
+        let m = mem_with_binary();
+        let sp = m.initial_sp();
+        let stack_page = sp - 8;
+        assert!(m.flags_at(stack_page).writable());
+        assert!(m.flags_at(stack_page).executable());
+    }
+
+    #[test]
+    fn out_of_range() {
+        let m = mem_with_binary();
+        assert!(matches!(m.read_u32(m.size() - 2), Err(MemFault::OutOfRange { .. })));
+        let mut m2 = m.clone();
+        assert!(matches!(m2.write_u32(m.size(), 1), Err(MemFault::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn kernel_access_ignores_protection() {
+        let mut m = mem_with_binary();
+        // Kernel can write into .text (e.g. nothing stops it), and read .data.
+        m.kwrite(0x1000, &[1, 2, 3]).unwrap();
+        assert_eq!(m.kread(0x1000, 3).unwrap(), &[1, 2, 3]);
+        // But not unmapped pages.
+        assert!(m.kwrite(0x9000, &[0]).is_err());
+    }
+
+    #[test]
+    fn kread_cstr() {
+        let mut m = mem_with_binary();
+        m.kwrite(0x2000, b"hi\0").unwrap();
+        assert_eq!(m.kread_cstr(0x2000, 100).unwrap(), b"hi");
+        // Unterminated within cap:
+        m.kwrite(0x2000, &[b'x'; 4]).unwrap();
+        assert!(m.kread_cstr(0x2000, 3).is_err());
+    }
+
+    #[test]
+    fn unaligned_word_access() {
+        let mut m = mem_with_binary();
+        m.write_u32(0x2001, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(0x2001).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn cross_page_check() {
+        let m = mem_with_binary();
+        // A 4-byte read straddling the .bss page into unmapped space.
+        let boundary = 0x3000 + 0x1000 - 2;
+        assert!(m.read_u32(boundary).is_err());
+        // Whereas straddling two mapped readable pages succeeds.
+        assert!(m.read_u32(0x1000 + 0x1000 - 2).is_ok());
+    }
+}

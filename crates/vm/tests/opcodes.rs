@@ -1,0 +1,231 @@
+//! Exhaustive opcode-semantics tests: every arithmetic edge the guest
+//! compiler and the attack payloads rely on.
+
+use asc_asm::assemble;
+use asc_vm::{Machine, RunOutcome, SyscallHandler, TrapContext, TrapOutcome};
+
+/// Exit-only kernel: syscall 1 = exit(R1).
+#[derive(Debug, Default)]
+struct ExitKernel;
+
+impl SyscallHandler for ExitKernel {
+    fn syscall(&mut self, ctx: &mut TrapContext<'_>) -> TrapOutcome {
+        TrapOutcome::Exit(ctx.reg(asc_isa::Reg::R1))
+    }
+}
+
+fn eval(body: &str) -> u32 {
+    let src = format!(
+        "
+        .text
+        .entry main
+    main:
+        {body}
+        movi r0, 1
+        syscall
+    "
+    );
+    let binary = assemble(&src).expect("assembles");
+    let mut m = Machine::load(&binary, ExitKernel).expect("loads");
+    match m.run(1_000_000) {
+        RunOutcome::Exited(v) => v,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    assert_eq!(eval("movi r2, 7\nmovi r3, 0\ndivu r1, r2, r3"), 0);
+    assert_eq!(eval("movi r2, 7\nmovi r3, 0\nremu r1, r2, r3"), 0);
+}
+
+#[test]
+fn division_normal() {
+    assert_eq!(eval("movi r2, 100\nmovi r3, 7\ndivu r1, r2, r3"), 14);
+    assert_eq!(eval("movi r2, 100\nmovi r3, 7\nremu r1, r2, r3"), 2);
+}
+
+#[test]
+fn shifts_mask_to_five_bits() {
+    assert_eq!(eval("movi r2, 1\nmovi r3, 33\nshl r1, r2, r3"), 2);
+    assert_eq!(eval("movi r2, 0x80000000\nmovi r3, 63\nshr r1, r2, r3"), 1);
+    assert_eq!(eval("movi r2, 1\nshli r1, r2, 32"), 1);
+}
+
+#[test]
+fn wrapping_arithmetic() {
+    assert_eq!(eval("movi r2, 0xffffffff\nmovi r3, 2\nadd r1, r2, r3"), 1);
+    assert_eq!(eval("movi r2, 0\nmovi r3, 1\nsub r1, r2, r3"), 0xffff_ffff);
+    assert_eq!(eval("movi r2, 0x10000\nmovi r3, 0x10000\nmul r1, r2, r3"), 0);
+    assert_eq!(eval("movi r2, 0xffffffff\nmuli r1, r2, 3"), 0xffff_fffd);
+}
+
+#[test]
+fn signed_vs_unsigned_branches() {
+    // -1 < 1 signed, but not unsigned.
+    let signed = eval(
+        "movi r2, 0xffffffff
+         movi r3, 1
+         movi r1, 0
+         blt r2, r3, .taken
+         jmp .done
+     .taken:
+         movi r1, 1
+     .done:",
+    );
+    assert_eq!(signed, 1);
+    let unsigned = eval(
+        "movi r2, 0xffffffff
+         movi r3, 1
+         movi r1, 0
+         bltu r2, r3, .taken
+         jmp .done
+     .taken:
+         movi r1, 1
+     .done:",
+    );
+    assert_eq!(unsigned, 0);
+    // bge/bgeu complements.
+    assert_eq!(
+        eval(
+            "movi r2, 0xffffffff
+             movi r3, 1
+             movi r1, 0
+             bge r2, r3, .t
+             jmp .d
+         .t: movi r1, 1
+         .d:"
+        ),
+        0
+    );
+    assert_eq!(
+        eval(
+            "movi r2, 0xffffffff
+             movi r3, 1
+             movi r1, 0
+             bgeu r2, r3, .t
+             jmp .d
+         .t: movi r1, 1
+         .d:"
+        ),
+        1
+    );
+}
+
+#[test]
+fn bitwise_ops() {
+    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nand r1, r2, r3"), 0x0ff0 & 0xf0f0);
+    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nor r1, r2, r3"), 0xfff0);
+    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nxor r1, r2, r3"), 0xff00);
+    assert_eq!(eval("movi r2, 0xff\nandi r1, r2, 0x0f"), 0x0f);
+    assert_eq!(eval("movi r2, 0xf0\nori r1, r2, 0x0f"), 0xff);
+    assert_eq!(eval("movi r2, 0xff\nxori r1, r2, 0xffffffff"), 0xffff_ff00);
+}
+
+#[test]
+fn byte_memory_ops_zero_extend() {
+    let v = eval(
+        "addi sp, sp, -8
+         movi r2, 0x1ff
+         stb [sp], r2          ; stores 0xff
+         ldb r1, [sp]",
+    );
+    assert_eq!(v, 0xff);
+}
+
+#[test]
+fn callr_and_jr() {
+    let v = eval(
+        "movi r2, .target
+         callr r2
+         mov r1, r0
+         jmp .out
+     .target:
+         movi r0, 77
+         ret
+     .out:",
+    );
+    assert_eq!(v, 77);
+}
+
+#[test]
+fn nested_calls_preserve_stack_discipline() {
+    let v = eval(
+        "movi r1, 3
+         call .f
+         mov r1, r0
+         jmp .end
+     .f:
+         push r1
+         addi r1, r1, 1
+         movi r2, 5
+         beq r1, r2, .base
+         call .f
+         pop r1
+         addi r0, r0, 1
+         ret
+     .base:
+         pop r1
+         movi r0, 100
+         ret
+     .end:",
+    );
+    assert_eq!(v, 101);
+}
+
+#[test]
+fn stack_overflow_into_unmapped_faults() {
+    let src = "
+        .text
+        .entry main
+    main:
+        push r0
+        jmp main
+    ";
+    let binary = assemble(src).unwrap();
+    let mut m = Machine::load_with(&binary, ExitKernel, 1 << 20, 0x2000).unwrap();
+    let outcome = m.run(100_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Fault(_)),
+        "pushing forever must eventually fault: {outcome:?}"
+    );
+}
+
+#[test]
+fn jump_to_unmapped_is_exec_fault() {
+    let v = assemble(".text\n.entry main\nmain: jmp 0x500000").unwrap();
+    let mut m = Machine::load(&v, ExitKernel).unwrap();
+    assert!(matches!(
+        m.run(1000),
+        RunOutcome::Fault(asc_vm::MemFault::NoExec { .. })
+    ));
+}
+
+#[test]
+fn cycle_accounting_is_deterministic() {
+    let src = "
+        .text
+        .entry main
+    main:
+        movi r2, 0
+        movi r3, 1000
+    .loop:
+        addi r2, r2, 1
+        bne r2, r3, .loop
+        movi r1, 0
+        movi r0, 1
+        syscall
+    ";
+    let binary = assemble(src).unwrap();
+    let run = || {
+        let mut m = Machine::load(&binary, ExitKernel).unwrap();
+        m.run(10_000_000);
+        (m.cycles(), m.instret())
+    };
+    let (c1, i1) = run();
+    let (c2, i2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(i1, i2);
+    // 2 setup + 2000 loop + 2 exit setup + 1 syscall.
+    assert_eq!(i1, 2 + 2000 + 3);
+}

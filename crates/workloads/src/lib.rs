@@ -1,0 +1,158 @@
+//! Guest workloads: the analogue programs the experiments run.
+//!
+//! The paper evaluates on real Unix programs (bison, calc, screen, tar for
+//! policy experiments; a SPECint-2000 subset plus syscall-heavy tools for
+//! performance; an Andrew-style multiprogram benchmark). The analogues
+//! here are written in the guest language (`asc-lang`), linked against the
+//! per-personality mini-libc, and engineered to have the same *profile*:
+//! which system calls they reference, which of those training inputs
+//! exercise, and their CPU-vs-syscall balance.
+//!
+//! # Example
+//!
+//! ```
+//! use asc_kernel::Personality;
+//! use asc_workloads::{build, program, run_plain};
+//!
+//! let spec = program("bison").expect("registered");
+//! let binary = build(spec, Personality::Linux)?;
+//! let (outcome, kernel) = run_plain(spec, &binary, Personality::Linux);
+//! assert!(outcome.is_success());
+//! # Ok::<(), asc_workloads::BuildError>(())
+//! ```
+
+pub mod libc;
+mod programs;
+pub mod tools;
+
+pub use programs::{program, programs, ProgramKind, ProgramSpec};
+
+use asc_kernel::{FileSystem, Kernel, KernelOptions, Personality};
+use asc_object::Binary;
+use asc_vm::{Machine, RunOutcome};
+
+/// Errors building a workload.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// Guest-language compilation failed.
+    Compile(String),
+    /// Assembly failed.
+    Assemble(String),
+    /// Unresolved symbols at link time.
+    Link(Vec<String>),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::Assemble(e) => write!(f, "assemble error: {e}"),
+            BuildError::Link(missing) => write!(f, "unresolved symbols: {missing:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Compiles guest-language source and links it with the helpers and the
+/// personality's libc into a relocatable binary.
+///
+/// # Errors
+///
+/// [`BuildError`] on compile, link, or assemble failures.
+pub fn build_source(source: &str, personality: Personality) -> Result<Binary, BuildError> {
+    let mut full = String::from(source);
+    full.push_str(libc::HELPERS);
+    let asm = asc_lang::compile(&full).map_err(|e| BuildError::Compile(e.to_string()))?;
+    let stubs = libc::link_stubs(&asm, personality).map_err(BuildError::Link)?;
+    asc_asm::assemble_many(&[asm.as_str(), stubs.as_str()])
+        .map_err(|e| BuildError::Assemble(e.to_string()))
+}
+
+/// Builds a registered workload.
+///
+/// # Errors
+///
+/// [`BuildError`] on compile, link, or assemble failures.
+pub fn build(spec: &ProgramSpec, personality: Personality) -> Result<Binary, BuildError> {
+    build_source(spec.source, personality)
+}
+
+/// Prepares a kernel for `spec`: training fixture files plus stdin.
+pub fn kernel_for(spec: &ProgramSpec, personality: Personality, enforce: bool) -> Kernel {
+    let mut fs = FileSystem::new();
+    (spec.setup_fs)(&mut fs);
+    let opts = if enforce {
+        KernelOptions::enforcing(personality)
+    } else {
+        KernelOptions::plain(personality)
+    };
+    let mut kernel = Kernel::with_fs(opts, fs);
+    kernel.set_stdin(spec.stdin.to_vec());
+    kernel
+}
+
+/// Cycle budget large enough for every workload.
+pub const RUN_BUDGET: u64 = 3_000_000_000;
+
+/// Runs a built workload on a plain (non-enforcing) kernel.
+pub fn run_plain(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+) -> (RunOutcome, Kernel) {
+    let mut kernel = kernel_for(spec, personality, false);
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
+    let outcome = machine.run(RUN_BUDGET);
+    (outcome, machine.into_handler())
+}
+
+/// Full measurement record from a run (the `rdtsc`-style numbers the
+/// performance tables consume).
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The kernel (trace, stats, captured output).
+    pub kernel: Kernel,
+    /// Total simulated cycles (user + kernel + verification).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+}
+
+/// Runs a built workload and reports cycle counts. `key` switches the
+/// kernel to enforcing mode.
+pub fn measure(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: Option<asc_crypto::MacKey>,
+) -> RunReport {
+    let mut kernel = kernel_for(spec, personality, key.is_some());
+    if let Some(key) = key {
+        kernel.set_key(key);
+    }
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
+    let outcome = machine.run(RUN_BUDGET);
+    let cycles = machine.cycles();
+    let instret = machine.instret();
+    RunReport { outcome, kernel: machine.into_handler(), cycles, instret }
+}
+
+/// Runs a built (authenticated) workload on an enforcing kernel with the
+/// given key.
+pub fn run_enforcing(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: asc_crypto::MacKey,
+) -> (RunOutcome, Kernel) {
+    let mut kernel = kernel_for(spec, personality, true);
+    kernel.set_key(key);
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
+    let outcome = machine.run(RUN_BUDGET);
+    (outcome, machine.into_handler())
+}

@@ -1,0 +1,424 @@
+//! The Andrew-style multiprogram benchmark (§4.3): a series of routine
+//! file-manipulation tasks performed by general-purpose tools, each tool a
+//! separate guest program run against a shared filesystem.
+//!
+//! Tools take their "command line" as a single stdin line (the guest
+//! language has no argv). One full iteration performs file creation,
+//! directory creation, copying, permission checking, archival,
+//! compression, decompression, sorting, moving, and deletion — roughly
+//! 12,000 system calls, as in the paper.
+
+use asc_kernel::FileSystem;
+
+/// A benchmark tool: name + guest source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tool {
+    /// Tool name.
+    pub name: &'static str,
+    /// Guest-language source.
+    pub source: &'static str,
+}
+
+/// One step of the benchmark: which tool to run with which stdin.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Tool name (see [`TOOLS`]).
+    pub tool: &'static str,
+    /// The stdin line(s) handed to the tool.
+    pub stdin: String,
+}
+
+const READ_LINE_HELPERS: &str = r#"
+fn read_line(buf, max) {
+    var n = 0;
+    var ch[1];
+    while (n < max - 1) {
+        if (read(0, ch, 1) != 1) { break; }
+        if (ch[0] == 10) { break; }
+        buf[n] = ch[0];
+        n = n + 1;
+    }
+    buf[n] = 0;
+    return n;
+}
+
+// Splits "a b" in buf: returns offset of second word, NUL-terminating the
+// first. 0 if there is no second word.
+fn split2(buf) {
+    var i = 0;
+    while (buf[i] != 0 && buf[i] != ' ') { i = i + 1; }
+    if (buf[i] == 0) { return 0; }
+    buf[i] = 0;
+    return i + 1;
+}
+"#;
+
+const MKDIR_TOOL: &str = r#"
+fn main() {
+    var line[96];
+    while (read_line(line, 96) != 0) {
+        if (mkdir(line, 493) != 0) { write(2, "mkdir failed\n", 13); return 1; }
+    }
+    return 0;
+}
+"#;
+
+const CP_TOOL: &str = r#"
+fn main() {
+    var line[128];
+    var buf[1024];
+    while (read_line(line, 128) != 0) {
+        var second = split2(line);
+        if (second == 0) { return 1; }
+        let src = open(line, 0, 0);
+        if (src > 0x7fffffff) { write(2, "cp: no source\n", 14); return 1; }
+        let dst = open(line + second, 0x241, 420);
+        var n = read(src, buf, 1024);
+        while (n != 0 && n < 0x80000000) {
+            write(dst, buf, n);
+            n = read(src, buf, 1024);
+        }
+        close(src);
+        close(dst);
+    }
+    return 0;
+}
+"#;
+
+const CAT_TOOL: &str = r#"
+fn main() {
+    var line[128];
+    var buf[1024];
+    while (read_line(line, 128) != 0) {
+        let fd = open(line, 0, 0);
+        if (fd > 0x7fffffff) { write(2, "cat: no file\n", 13); return 1; }
+        var n = read(fd, buf, 1024);
+        while (n != 0 && n < 0x80000000) {
+            write(1, buf, n);
+            n = read(fd, buf, 1024);
+        }
+        close(fd);
+    }
+    return 0;
+}
+"#;
+
+const MV_TOOL: &str = r#"
+fn main() {
+    var line[128];
+    while (read_line(line, 128) != 0) {
+        var second = split2(line);
+        if (second == 0) { return 1; }
+        if (rename(line, line + second) != 0) { write(2, "mv failed\n", 10); return 1; }
+    }
+    return 0;
+}
+"#;
+
+const RM_TOOL: &str = r#"
+fn main() {
+    var line[96];
+    while (read_line(line, 96) != 0) {
+        if (line[0] == 'd' && line[1] == ' ') {
+            if (rmdir(line + 2) != 0) { return 1; }
+        } else {
+            if (unlink(line) != 0) { return 1; }
+        }
+    }
+    return 0;
+}
+"#;
+
+const CHMOD_TOOL: &str = r#"
+fn main() {
+    var line[96];
+    var st[16];
+    while (read_line(line, 96) != 0) {
+        if (chmod(line, 420) != 0) { return 1; }
+        if (access(line, 4) != 0) { return 1; }
+        stat(line, st);
+    }
+    return 0;
+}
+"#;
+
+const TAR_TOOL: &str = r#"
+fn main() {
+    // First line: archive path; rest: member files.
+    var arch[96];
+    if (read_line(arch, 96) == 0) { return 1; }
+    let out = open(arch, 0x241, 420);
+    var line[96];
+    var hdr[64];
+    var buf[1024];
+    while (read_line(line, 96) != 0) {
+        var st[16];
+        if (stat(line, st) != 0) { return 1; }
+        bzero(hdr, 64);
+        bcopy(line, hdr, strlen(line));
+        poke(hdr + 48, peek(st + 4));
+        write(out, hdr, 64);
+        let fd = open(line, 0, 0);
+        var n = read(fd, buf, 1024);
+        while (n != 0 && n < 0x80000000) {
+            write(out, buf, n);
+            n = read(fd, buf, 1024);
+        }
+        close(fd);
+    }
+    close(out);
+    return 0;
+}
+"#;
+
+const GZIP_TOOL: &str = r#"
+global crc;
+fn main() {
+    var line[128];
+    var inbuf[1024];
+    var outbuf[2112];
+    while (read_line(line, 128) != 0) {
+        var second = split2(line);
+        if (second == 0) { return 1; }
+        let src = open(line, 0, 0);
+        let dst = open(line + second, 0x241, 420);
+        var n = read(src, inbuf, 1024);
+        while (n != 0 && n < 0x80000000) {
+            var w = 0;
+            var i = 0;
+            while (i < n) {
+                var c = inbuf[i];
+                crc = (crc << 1) + c * 31 + (crc >> 27);
+                var runlen = 1;
+                while (i + runlen < n && inbuf[i + runlen] == c && runlen < 255) {
+                    runlen = runlen + 1;
+                }
+                if (runlen >= 4 || c == 0xfe) {
+                    outbuf[w] = 0xfe;
+                    outbuf[w + 1] = c;
+                    outbuf[w + 2] = runlen;
+                    w = w + 3;
+                    i = i + runlen;
+                } else {
+                    outbuf[w] = c;
+                    w = w + 1;
+                    i = i + 1;
+                }
+            }
+            write(dst, outbuf, w);
+            n = read(src, inbuf, 1024);
+        }
+        close(src);
+        close(dst);
+    }
+    return 0;
+}
+"#;
+
+const GUNZIP_TOOL: &str = r#"
+global crc;
+fn main() {
+    var line[128];
+    var inbuf[1024];
+    var outbuf[4096];
+    while (read_line(line, 128) != 0) {
+        var second = split2(line);
+        if (second == 0) { return 1; }
+        let src = open(line, 0, 0);
+        let dst = open(line + second, 0x241, 420);
+        var n = read(src, inbuf, 1024);
+        while (n != 0 && n < 0x80000000) {
+            var w = 0;
+            var i = 0;
+            while (i < n) {
+                var c = inbuf[i];
+                crc = (crc << 1) + c * 31 + (crc >> 27);
+                if (c == 0xfe) {
+                    if (i + 2 < n) {
+                        var ch = inbuf[i + 1];
+                        var cnt = inbuf[i + 2];
+                        var k = 0;
+                        while (k < cnt) { outbuf[w] = ch; w = w + 1; k = k + 1; }
+                        i = i + 3;
+                    } else {
+                        // Escape split across chunks: rewind the file.
+                        lseek(src, 0 - (n - i), 1);
+                        i = n;
+                    }
+                } else {
+                    outbuf[w] = c;
+                    w = w + 1;
+                    i = i + 1;
+                }
+            }
+            write(dst, outbuf, w);
+            n = read(src, inbuf, 1024);
+        }
+        close(src);
+        close(dst);
+    }
+    return 0;
+}
+"#;
+
+const SORT_TOOL: &str = r#"
+global data[16384];
+global lines[2048];    // offsets
+
+fn main() {
+    var path[96];
+    if (read_line(path, 96) == 0) { return 1; }
+    var out[96];
+    if (read_line(out, 96) == 0) { return 1; }
+    let fd = open(path, 0, 0);
+    var total = 0;
+    var n = read(fd, data, 4096);
+    while (n != 0 && n < 0x80000000 && total < 12288) {
+        total = total + n;
+        n = read(fd, data + total, 4096);
+    }
+    close(fd);
+    // Index the lines.
+    var nlines = 0;
+    var i = 0;
+    poke(lines, 0);
+    while (i < total) {
+        if (data[i] == 10) {
+            data[i] = 0;
+            nlines = nlines + 1;
+            poke(lines + nlines * 4, i + 1);
+        }
+        i = i + 1;
+    }
+    // Selection sort on line offsets (byte-wise strcmp).
+    var a = 0;
+    while (a < nlines) {
+        var best = a;
+        var b = a + 1;
+        while (b < nlines) {
+            var pa = data + peek(lines + best * 4);
+            var pb = data + peek(lines + b * 4);
+            var k = 0;
+            while (pa[k] != 0 && pa[k] == pb[k]) { k = k + 1; }
+            if (pb[k] < pa[k]) { best = b; }
+            b = b + 1;
+        }
+        var t = peek(lines + a * 4);
+        poke(lines + a * 4, peek(lines + best * 4));
+        poke(lines + best * 4, t);
+        a = a + 1;
+    }
+    let o = open(out, 0x241, 420);
+    a = 0;
+    while (a < nlines) {
+        var p = data + peek(lines + a * 4);
+        write(o, p, strlen(p));
+        write(o, "\n", 1);
+        a = a + 1;
+    }
+    close(o);
+    return 0;
+}
+"#;
+
+/// The benchmark's tool suite.
+pub const TOOLS: &[Tool] = &[
+    Tool { name: "mkdirs", source: MKDIR_TOOL },
+    Tool { name: "cp", source: CP_TOOL },
+    Tool { name: "cat", source: CAT_TOOL },
+    Tool { name: "mv", source: MV_TOOL },
+    Tool { name: "rm", source: RM_TOOL },
+    Tool { name: "chmod", source: CHMOD_TOOL },
+    Tool { name: "tar", source: TAR_TOOL },
+    Tool { name: "gzip", source: GZIP_TOOL },
+    Tool { name: "gunzip", source: GUNZIP_TOOL },
+    Tool { name: "sort", source: SORT_TOOL },
+];
+
+/// Looks up a tool and returns its full source (with stdin helpers).
+pub fn tool_source(name: &str) -> Option<String> {
+    TOOLS
+        .iter()
+        .find(|t| t.name == name)
+        .map(|t| format!("{}{}", t.source, READ_LINE_HELPERS))
+}
+
+/// Number of corpus files one iteration manipulates.
+pub const CORPUS_FILES: usize = 12;
+
+/// Seeds the corpus the benchmark manipulates.
+pub fn setup_corpus(fs: &mut FileSystem) {
+    fs.mkdir("/home/corpus", 0o755).ok();
+    for i in 0..CORPUS_FILES {
+        let mut data = Vec::new();
+        for line in 0..2000 {
+            data.extend_from_slice(
+                format!(
+                    "file{i} line {:04} payload {}\n",
+                    (line * 37 + i) % 1000,
+                    "x".repeat(line % 23 + 3)
+                )
+                .as_bytes(),
+            );
+        }
+        fs.write_file(&format!("/home/corpus/f{i}.txt"), data).expect("fixture");
+    }
+}
+
+/// The step list for one benchmark iteration.
+pub fn iteration_plan() -> Vec<Step> {
+    let mut steps = Vec::new();
+    // Directory creation.
+    steps.push(Step {
+        tool: "mkdirs",
+        stdin: "/home/work\n/home/work/a\n/home/work/b\n/home/work/c\n".into(),
+    });
+    // File creation (copying the corpus in).
+    let mut cp = String::new();
+    for i in 0..CORPUS_FILES {
+        cp.push_str(&format!("/home/corpus/f{i}.txt /home/work/a/f{i}.txt\n"));
+    }
+    steps.push(Step { tool: "cp", stdin: cp });
+    // Concatenation / reading.
+    let mut cat = String::new();
+    for i in 0..CORPUS_FILES {
+        cat.push_str(&format!("/home/work/a/f{i}.txt\n"));
+    }
+    steps.push(Step { tool: "cat", stdin: cat.clone() });
+    // Permission checking.
+    steps.push(Step { tool: "chmod", stdin: cat.clone() });
+    // Archival.
+    let mut tar = String::from("/home/work/b/all.tar\n");
+    tar.push_str(&cat);
+    steps.push(Step { tool: "tar", stdin: tar });
+    // Compression + decompression.
+    steps.push(Step {
+        tool: "gzip",
+        stdin: "/home/work/b/all.tar /home/work/b/all.tar.gz\n".into(),
+    });
+    steps.push(Step {
+        tool: "gunzip",
+        stdin: "/home/work/b/all.tar.gz /home/work/b/all.tar2\n".into(),
+    });
+    // Sorting.
+    steps.push(Step {
+        tool: "sort",
+        stdin: "/home/work/a/f0.txt\n/home/work/c/sorted.txt\n".into(),
+    });
+    // Moving.
+    let mut mv = String::new();
+    for i in 0..CORPUS_FILES {
+        mv.push_str(&format!("/home/work/a/f{i}.txt /home/work/c/g{i}.txt\n"));
+    }
+    steps.push(Step { tool: "mv", stdin: mv });
+    // Deletion.
+    let mut rm = String::new();
+    for i in 0..CORPUS_FILES {
+        rm.push_str(&format!("/home/work/c/g{i}.txt\n"));
+    }
+    rm.push_str("/home/work/b/all.tar\n/home/work/b/all.tar.gz\n/home/work/b/all.tar2\n");
+    rm.push_str("/home/work/c/sorted.txt\n");
+    rm.push_str("d /home/work/a\nd /home/work/b\nd /home/work/c\nd /home/work\n");
+    steps.push(Step { tool: "rm", stdin: rm });
+    steps
+}

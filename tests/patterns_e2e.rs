@@ -1,0 +1,157 @@
+//! End-to-end §5.1: pattern policies installed into a real binary and
+//! enforced by the kernel. The administrator's metapolicy requires open's
+//! path to be constrained; static analysis cannot determine the
+//! dynamically computed name, so the administrator fills the hole with
+//! the pattern `/tmp/*`. The installer generates the runtime
+//! hint-producing code; the kernel verifies the pattern AS and the hint.
+
+use asc::core::ArgPolicy;
+use asc::crypto::MacKey;
+use asc::installer::{Installer, InstallerOptions, Metapolicy};
+use asc::kernel::{Kernel, KernelOptions, Personality, SyscallId};
+use asc::vm::{Machine, RunOutcome};
+
+fn key() -> MacKey {
+    MacKey::from_seed(0x9A77E2)
+}
+
+/// The guest: builds a temp-file name from stdin input and opens it.
+/// (An attacker controlling stdin would love to open /etc/passwd.)
+const GUEST: &str = r#"
+    fn main() {
+        var name[64];
+        name[0] = '/'; name[1] = 't'; name[2] = 'm'; name[3] = 'p';
+        name[4] = '/';
+        // Suffix read from stdin (dynamic, analysis can't constrain it).
+        var n = read(0, name + 5, 32);
+        if (n != 0 && name[5 + n - 1] == 10) { name[5 + n - 1] = 0; }
+        else { name[5 + n] = 0; }
+        let fd = open(name, 0x241, 420);
+        if (fd > 0x7fffffff) { return 2; }
+        write(fd, "data", 4);
+        close(fd);
+        return 0;
+    }
+"#;
+
+fn install_with_pattern() -> asc::object::Binary {
+    let plain = asc::workloads::build_source(GUEST, Personality::Linux).expect("builds");
+    let metapolicy = Metapolicy::new()
+        .require(Some(SyscallId::Open), 0b001)
+        .fill("open", 0, ArgPolicy::Pattern("/tmp/*".into()));
+    let installer = Installer::new(
+        key(),
+        InstallerOptions::new(Personality::Linux).with_metapolicy(metapolicy),
+    );
+    let (auth, report) = installer.install(&plain, "tmpwriter").expect("installs");
+    assert!(report.templates.is_empty(), "the fill satisfied the metapolicy");
+    let open_policy = report
+        .policy
+        .iter()
+        .find(|p| p.syscall_nr == 5 && p.args[0] != ArgPolicy::Any)
+        .expect("constrained open");
+    assert_eq!(open_policy.args[0], ArgPolicy::Pattern("/tmp/*".into()));
+    auth
+}
+
+fn run(auth: &asc::object::Binary, stdin: &[u8]) -> (RunOutcome, Kernel) {
+    let mut kernel = Kernel::new(KernelOptions::enforcing(Personality::Linux));
+    kernel.set_key(key());
+    kernel.set_stdin(stdin.to_vec());
+    kernel.set_brk(auth.highest_addr());
+    let mut machine = Machine::load(auth, kernel).expect("loads");
+    let outcome = machine.run(10_000_000);
+    (outcome, machine.into_handler())
+}
+
+#[test]
+fn matching_path_is_allowed() {
+    let auth = install_with_pattern();
+    let (outcome, kernel) = run(&auth, b"scratch.txt\n");
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(kernel.fs().read_file("/tmp/scratch.txt").unwrap(), b"data");
+}
+
+#[test]
+fn empty_suffix_matches_star() {
+    let auth = install_with_pattern();
+    // "/tmp/" matches "/tmp/*" (star matches empty) — but opening a
+    // directory for writing fails in the kernel; policy-wise it passes.
+    let (outcome, kernel) = run(&auth, b"\n");
+    // The open returns EISDIR, so the guest exits 2 — but no policy kill.
+    assert_eq!(outcome, RunOutcome::Exited(2), "alerts: {:?}", kernel.alerts());
+    assert!(kernel.alerts().is_empty());
+}
+
+#[test]
+fn escaping_the_prefix_is_killed() {
+    // The §5.4-style escape attempt: "../etc/owned" makes the full path
+    // "/tmp/../etc/owned". The *pattern* check still passes (it is a
+    // textual match against /tmp/*), which is exactly why the paper pairs
+    // patterns with file-name normalisation — but a NUL injection that
+    // rewrites the buffer start cannot work because the generated hint
+    // code and the kernel both see the same argument bytes.
+    // A direct mismatch, though, is killed:
+    let auth = install_with_pattern();
+    // Overwrite the guest's buffer-building: feed 32 bytes so that the
+    // name is still /tmp/-prefixed; then tamper the argument register
+    // path by corrupting the first byte of the buffer post-read is not
+    // possible from stdin alone. Instead, attack the pattern itself:
+    let mut tampered = auth.clone();
+    let idx = tampered.section_index(".asc").unwrap() as usize;
+    let sec = &mut tampered.sections_mut()[idx];
+    // Find "/tmp/*" in .asc and rewrite it to "/etc/*".
+    let pos = sec
+        .data
+        .windows(6)
+        .position(|w| w == b"/tmp/*")
+        .expect("pattern stored in .asc");
+    sec.data[pos..pos + 5].copy_from_slice(b"/etc/");
+    let (outcome, kernel) = run(&tampered, b"x\n");
+    assert!(outcome.is_killed(), "{outcome:?}");
+    assert!(kernel.alerts()[0].contains("bad pattern"), "{:?}", kernel.alerts());
+}
+
+#[test]
+fn non_matching_argument_is_killed() {
+    // Force a mismatch honestly: install a *stricter* pattern than the
+    // program's behaviour — the administrator constrains open to
+    // /tmp/log-*, but the program builds /tmp/<stdin>.
+    let plain = asc::workloads::build_source(GUEST, Personality::Linux).expect("builds");
+    let metapolicy = Metapolicy::new()
+        .require(Some(SyscallId::Open), 0b001)
+        .fill("open", 0, ArgPolicy::Pattern("/tmp/log-*".into()));
+    let installer = Installer::new(
+        key(),
+        InstallerOptions::new(Personality::Linux).with_metapolicy(metapolicy),
+    );
+    let (auth, _) = installer.install(&plain, "tmpwriter").expect("installs");
+    // Compliant input: suffix starts with "log-".
+    let (outcome, kernel) = run(&auth, b"log-1\n");
+    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    // Non-compliant input: pattern mismatch at the open.
+    let (outcome, kernel) = run(&auth, b"evil\n");
+    assert!(outcome.is_killed(), "{outcome:?}");
+    assert!(
+        kernel.alerts()[0].contains("pattern mismatch"),
+        "{:?}",
+        kernel.alerts()
+    );
+}
+
+#[test]
+fn unsupported_pattern_forms_degrade_with_warning() {
+    let plain = asc::workloads::build_source(GUEST, Personality::Linux).expect("builds");
+    let metapolicy = Metapolicy::new()
+        .require(Some(SyscallId::Open), 0b001)
+        .fill("open", 0, ArgPolicy::Pattern("/tmp/{a,b}*".into()));
+    let installer = Installer::new(
+        key(),
+        InstallerOptions::new(Personality::Linux).with_metapolicy(metapolicy),
+    );
+    let (auth, report) = installer.install(&plain, "tmpwriter").expect("installs");
+    assert!(report.warnings.iter().any(|w| w.contains("not of the supported")));
+    // Still runs (the argument just isn't pattern-constrained).
+    let (outcome, _) = run(&auth, b"anything\n");
+    assert_eq!(outcome, RunOutcome::Exited(0));
+}
