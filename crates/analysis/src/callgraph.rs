@@ -34,16 +34,17 @@ pub fn call_graph(unit: &Unit) -> BTreeMap<u32, Vec<u32>> {
     }
     entries.sort_unstable();
     entries.dedup();
-    let func_of = |addr: u32| -> Option<u32> {
-        entries.iter().rev().find(|&&e| e <= addr).copied()
-    };
+    let func_of =
+        |addr: u32| -> Option<u32> { entries.iter().rev().find(|&&e| e <= addr).copied() };
     let mut graph: BTreeMap<u32, Vec<u32>> = entries.iter().map(|&e| (e, Vec::new())).collect();
     for item in &unit.items {
         let IrItem::Instr(i) = item else { continue };
         if i.instr.op != Opcode::Call {
             continue;
         }
-        let Some(site_addr) = i.orig_addr else { continue };
+        let Some(site_addr) = i.orig_addr else {
+            continue;
+        };
         if let Some(caller) = func_of(site_addr) {
             graph.entry(caller).or_default().push(i.instr.imm);
         }
@@ -67,7 +68,9 @@ fn detect_stub(unit: &Unit, addr: u32) -> Option<Stub> {
     let mut body = Vec::new();
     let mut has_syscall = false;
     for idx in start..unit.items.len() {
-        let IrItem::Instr(ins) = &unit.items[idx] else { return None };
+        let IrItem::Instr(ins) = &unit.items[idx] else {
+            return None;
+        };
         match ins.instr.op {
             Opcode::Ret => {
                 if !has_syscall || body.len() > MAX_STUB_LEN {
@@ -133,9 +136,7 @@ pub fn inline_stubs(unit: &mut Unit) -> Vec<(String, usize)> {
     let mut new_items = Vec::with_capacity(unit.items.len());
     for item in unit.items.drain(..) {
         match &item {
-            IrItem::Instr(i)
-                if i.instr.op == Opcode::Call && stubs.contains_key(&i.instr.imm) =>
-            {
+            IrItem::Instr(i) if i.instr.op == Opcode::Call && stubs.contains_key(&i.instr.imm) => {
                 let stub = &stubs[&i.instr.imm];
                 *counts.entry(stub.name.clone()).or_default() += 1;
                 for (k, body_instr) in stub.body.iter().enumerate() {
@@ -212,7 +213,9 @@ mod tests {
             .count();
         assert_eq!(syscalls, 4);
         // The first inlined instruction keeps the call's address.
-        let IrItem::Instr(first_inlined) = &unit.items[1] else { panic!() };
+        let IrItem::Instr(first_inlined) = &unit.items[1] else {
+            panic!()
+        };
         assert_eq!(first_inlined.instr.op, Opcode::Movi);
         assert_eq!(first_inlined.instr.rd, Reg::R0);
         assert_eq!(first_inlined.instr.imm, 5);
@@ -324,6 +327,10 @@ mod tests {
         let mut m = asc_vm::Machine::load(&binary, Rec::default()).unwrap();
         let out = m.run(1_000_000);
         assert_eq!(out, asc_vm::RunOutcome::Exited(0));
-        assert_eq!(m.handler().0, vec![5, 20], "inlined syscalls execute in order");
+        assert_eq!(
+            m.handler().0,
+            vec![5, 20],
+            "inlined syscalls execute in order"
+        );
     }
 }

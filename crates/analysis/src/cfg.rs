@@ -153,7 +153,12 @@ impl Cfg {
         }
 
         // 4. Edges.
-        let mut cfg = Cfg { blocks, succs: BTreeMap::new(), item_block, entries };
+        let mut cfg = Cfg {
+            blocks,
+            succs: BTreeMap::new(),
+            item_block,
+            entries,
+        };
         // Map each function entry to the set of "return-to" blocks: the
         // blocks following call sites that target it. Context-insensitive
         // return edges connect every ret in a function to all of these —
@@ -161,9 +166,8 @@ impl Cfg {
         // approximate by the nearest preceding entry address.
         let mut entry_sorted: Vec<u32> = cfg.entries.iter().copied().collect();
         entry_sorted.sort_unstable();
-        let func_of = |addr: u32| -> Option<u32> {
-            entry_sorted.iter().rev().find(|&&e| e <= addr).copied()
-        };
+        let func_of =
+            |addr: u32| -> Option<u32> { entry_sorted.iter().rev().find(|&&e| e <= addr).copied() };
         let mut returns_to: HashMap<u32, BTreeSet<BlockId>> = HashMap::new();
 
         let blocks_snapshot = cfg.blocks.clone();
@@ -208,10 +212,7 @@ impl Cfg {
                             }
                             if let Some(ft) = fallthrough() {
                                 cfg.add_edge(b.id, EdgeKind::CallSummary, ft);
-                                returns_to
-                                    .entry(ins.instr.imm)
-                                    .or_default()
-                                    .insert(ft);
+                                returns_to.entry(ins.instr.imm).or_default().insert(ft);
                             }
                         }
                         Opcode::Ret => {
@@ -266,11 +267,15 @@ impl Cfg {
         }
         // Return edges.
         for b in &blocks_snapshot {
-            let IrItem::Instr(ins) = &unit.items[b.last()] else { continue };
+            let IrItem::Instr(ins) = &unit.items[b.last()] else {
+                continue;
+            };
             if ins.instr.op != Opcode::Ret {
                 continue;
             }
-            let Some(addr) = unit.addr_of(b.last()) else { continue };
+            let Some(addr) = unit.addr_of(b.last()) else {
+                continue;
+            };
             let Some(entry) = func_of(addr) else { continue };
             if let Some(rets) = returns_to.get(&entry) {
                 for &r in rets {
@@ -339,8 +344,8 @@ impl crate::ir::IrInstr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asc_asm::assemble;
     use crate::ir::Unit;
+    use asc_asm::assemble;
 
     fn cfg_of(src: &str) -> (Unit, Cfg) {
         let unit = Unit::lift(&assemble(src).unwrap()).unwrap();

@@ -149,7 +149,10 @@ impl Env {
 
     /// Entry state: registers unknown, but the stack model is live.
     fn entry() -> Env {
-        Env { stack_ok: true, ..Env::bottom() }
+        Env {
+            stack_ok: true,
+            ..Env::bottom()
+        }
     }
 
     /// The value of a register.
@@ -282,7 +285,11 @@ fn transfer(item: &IrItem, env: &mut Env) {
         Nop | Halt | Jmp | Jr | Beq | Bne | Blt | Bge | Bltu | Bgeu | Ret => {}
         Movi => env.set(
             i.rd,
-            if ins.imm_is_addr { Value::Addr(i.imm) } else { Value::Const(i.imm) },
+            if ins.imm_is_addr {
+                Value::Addr(i.imm)
+            } else {
+                Value::Const(i.imm)
+            },
         ),
         Mov => {
             if i.rd == Reg::FP {
@@ -466,6 +473,65 @@ pub fn propagate(unit: &Unit, cfg: &Cfg) -> ConstMap {
     ConstMap { envs }
 }
 
+/// Debug hook: runs the fixpoint and reports, for one block, every join
+/// that changed its in-state (used by harness diagnostics; not part of the
+/// stable API).
+#[doc(hidden)]
+pub fn propagate_traced(unit: &Unit, cfg: &Cfg, watch: u32) -> ConstMap {
+    let nblocks = cfg.blocks().len();
+    let mut block_in: Vec<Env> = vec![Env::top(); nblocks + 1];
+    let mut block_out: Vec<Env> = vec![Env::top(); nblocks + 1];
+    if nblocks > 0 {
+        block_in[1] = Env::entry();
+    }
+    let mut worklist: Vec<u32> = (1..=nblocks as u32).collect();
+    while let Some(bid) = worklist.pop() {
+        // Never evaluate a block whose in-state no path has reached yet:
+        // a transfer over lattice-top would fabricate state (e.g. a wrong
+        // stack depth) that poisons successors permanently.
+        if bid != 1 && !block_in[bid as usize].seen {
+            continue;
+        }
+        let block = cfg.block(bid).expect("valid id");
+        let mut env = block_in[bid as usize].clone();
+        for idx in block.start..block.end {
+            transfer(&unit.items[idx], &mut env);
+        }
+        if env != block_out[bid as usize] {
+            block_out[bid as usize] = env.clone();
+            for (kind, succ) in cfg.succ_edges(bid) {
+                let edge_env = match kind {
+                    EdgeKind::Flow => env.clone(),
+                    EdgeKind::Call => env.for_call_edge(),
+                    EdgeKind::CallSummary => env.for_call_summary(),
+                    EdgeKind::Return => continue,
+                };
+                let before = block_in[succ as usize].stack_ok;
+                if block_in[succ as usize].join_with(&edge_env) && !worklist.contains(&succ) {
+                    worklist.push(succ);
+                }
+                if succ == watch && before && !block_in[succ as usize].stack_ok {
+                    eprintln!(
+                        "JOIN poisoned in({succ}) from block {bid} kind {kind:?}: \
+                         incoming ok={} len={} existing len was tracked",
+                        edge_env.stack_ok,
+                        edge_env.stack.len(),
+                    );
+                }
+            }
+        }
+    }
+    let mut envs = vec![Env::top(); unit.items.len()];
+    for block in cfg.blocks() {
+        let mut env = block_in[block.id as usize].clone();
+        for idx in block.start..block.end {
+            envs[idx] = env.clone();
+            transfer(&unit.items[idx], &mut env);
+        }
+    }
+    ConstMap { envs }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,9 +549,7 @@ mod tests {
             .items
             .iter()
             .enumerate()
-            .filter(|(_, it)| {
-                matches!(it, IrItem::Instr(i) if i.instr.op == Opcode::Syscall)
-            })
+            .filter(|(_, it)| matches!(it, IrItem::Instr(i) if i.instr.op == Opcode::Syscall))
             .map(|(i, _)| i)
             .nth(nth)
             .expect("syscall exists");
@@ -583,7 +647,11 @@ mod tests {
         ",
         );
         let env = syscall_env(&unit, &consts, 1);
-        assert_eq!(env.reg(Reg::R1), Value::SyscallRet, "fd arg traced to open return");
+        assert_eq!(
+            env.reg(Reg::R1),
+            Value::SyscallRet,
+            "fd arg traced to open return"
+        );
         assert_eq!(env.reg(Reg::R0), Value::Const(3));
         assert_eq!(env.reg(Reg::R3), Value::Const(64));
     }
@@ -657,70 +725,18 @@ mod tests {
         assert_eq!(Undefined.join(&Const(9)), Const(9));
         assert_eq!(Unknown.join(&Const(9)), Unknown);
         // Commutativity on a few samples.
-        let samples = [Undefined, Const(1), Const(2), Consts(vec![1, 2]), SyscallRet, Unknown];
+        let samples = [
+            Undefined,
+            Const(1),
+            Const(2),
+            Consts(vec![1, 2]),
+            SyscallRet,
+            Unknown,
+        ];
         for a in &samples {
             for b in &samples {
                 assert_eq!(a.join(b), b.join(a), "{a:?} vs {b:?}");
             }
         }
     }
-}
-
-/// Debug hook: runs the fixpoint and reports, for one block, every join
-/// that changed its in-state (used by harness diagnostics; not part of the
-/// stable API).
-#[doc(hidden)]
-pub fn propagate_traced(unit: &Unit, cfg: &Cfg, watch: u32) -> ConstMap {
-    let nblocks = cfg.blocks().len();
-    let mut block_in: Vec<Env> = vec![Env::top(); nblocks + 1];
-    let mut block_out: Vec<Env> = vec![Env::top(); nblocks + 1];
-    if nblocks > 0 {
-        block_in[1] = Env::entry();
-    }
-    let mut worklist: Vec<u32> = (1..=nblocks as u32).collect();
-    while let Some(bid) = worklist.pop() {
-        // Never evaluate a block whose in-state no path has reached yet:
-        // a transfer over lattice-top would fabricate state (e.g. a wrong
-        // stack depth) that poisons successors permanently.
-        if bid != 1 && !block_in[bid as usize].seen {
-            continue;
-        }
-        let block = cfg.block(bid).expect("valid id");
-        let mut env = block_in[bid as usize].clone();
-        for idx in block.start..block.end {
-            transfer(&unit.items[idx], &mut env);
-        }
-        if env != block_out[bid as usize] {
-            block_out[bid as usize] = env.clone();
-            for (kind, succ) in cfg.succ_edges(bid) {
-                let edge_env = match kind {
-                    EdgeKind::Flow => env.clone(),
-                    EdgeKind::Call => env.for_call_edge(),
-                    EdgeKind::CallSummary => env.for_call_summary(),
-                    EdgeKind::Return => continue,
-                };
-                let before = block_in[succ as usize].stack_ok;
-                if block_in[succ as usize].join_with(&edge_env) && !worklist.contains(&succ) {
-                    worklist.push(succ);
-                }
-                if succ == watch && before && !block_in[succ as usize].stack_ok {
-                    eprintln!(
-                        "JOIN poisoned in({succ}) from block {bid} kind {kind:?}: \
-                         incoming ok={} len={} existing len was tracked",
-                        edge_env.stack_ok,
-                        edge_env.stack.len(),
-                    );
-                }
-            }
-        }
-    }
-    let mut envs = vec![Env::top(); unit.items.len()];
-    for block in cfg.blocks() {
-        let mut env = block_in[block.id as usize].clone();
-        for idx in block.start..block.end {
-            envs[idx] = env.clone();
-            transfer(&unit.items[idx], &mut env);
-        }
-    }
-    ConstMap { envs }
 }

@@ -82,7 +82,9 @@ impl Unit {
     ///
     /// [`LiftError::NoText`] / [`LiftError::NotRelocatable`].
     pub fn lift(binary: &Binary) -> Result<Unit, LiftError> {
-        let text_index = binary.section_index(sections::TEXT).ok_or(LiftError::NoText)?;
+        let text_index = binary
+            .section_index(sections::TEXT)
+            .ok_or(LiftError::NoText)?;
         if !binary.is_relocatable() {
             return Err(LiftError::NotRelocatable);
         }
@@ -103,7 +105,11 @@ impl Unit {
             match Instruction::decode(&text.data[off..off + INSTR_LEN]) {
                 Ok(instr) => {
                     let imm_is_addr = reloc_offsets.contains(&(off as u32 + 4));
-                    items.push(IrItem::Instr(IrInstr { orig_addr: Some(addr), instr, imm_is_addr }));
+                    items.push(IrItem::Instr(IrInstr {
+                        orig_addr: Some(addr),
+                        instr,
+                        imm_is_addr,
+                    }));
                 }
                 Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadRegister(_)) => {
                     // Opaque region: merge with a preceding Raw if adjacent.
@@ -115,7 +121,10 @@ impl Unit {
                             "could not disassemble region at {addr:#x}; system calls inside it \
                              will not receive policies"
                         ));
-                        items.push(IrItem::Raw { orig_addr: addr, bytes });
+                        items.push(IrItem::Raw {
+                            orig_addr: addr,
+                            bytes,
+                        });
                     }
                 }
                 Err(DecodeError::Truncated) => break,
@@ -123,7 +132,10 @@ impl Unit {
             off += INSTR_LEN;
         }
         if off != text.data.len() {
-            warnings.push(format!("{} trailing text bytes ignored", text.data.len() - off));
+            warnings.push(format!(
+                "{} trailing text bytes ignored",
+                text.data.len() - off
+            ));
         }
         Ok(Unit {
             items,
@@ -181,7 +193,10 @@ impl Unit {
                     }
                     bytes.extend_from_slice(&i.instr.encode());
                 }
-                IrItem::Raw { orig_addr, bytes: raw } => {
+                IrItem::Raw {
+                    orig_addr,
+                    bytes: raw,
+                } => {
                     // Raw regions keep their bytes; map their start address
                     // (interior addresses of opaque regions cannot be
                     // remapped, which is precisely why PLTO warns).
@@ -190,7 +205,11 @@ impl Unit {
                 }
             }
         }
-        EmittedText { bytes, addr_map, addr_imm_offsets }
+        EmittedText {
+            bytes,
+            addr_map,
+            addr_imm_offsets,
+        }
     }
 }
 
@@ -231,9 +250,13 @@ mod tests {
         ",
         );
         assert_eq!(unit.items.len(), 4);
-        let IrItem::Instr(first) = &unit.items[0] else { panic!() };
+        let IrItem::Instr(first) = &unit.items[0] else {
+            panic!()
+        };
         assert!(first.imm_is_addr, "movi r1, msg carries a relocation");
-        let IrItem::Instr(second) = &unit.items[1] else { panic!() };
+        let IrItem::Instr(second) = &unit.items[1] else {
+            panic!()
+        };
         assert!(!second.imm_is_addr, "movi r0, 4 is a plain constant");
         assert_eq!(first.orig_addr, Some(0x1000));
         assert!(unit.lift_warnings.is_empty());
@@ -245,7 +268,10 @@ mod tests {
         // This program has no relocations at all; simulate a stripped
         // binary by ensuring the list is empty and expect rejection.
         binary.strip_relocations();
-        assert!(matches!(Unit::lift(&binary), Err(LiftError::NotRelocatable)));
+        assert!(matches!(
+            Unit::lift(&binary),
+            Err(LiftError::NotRelocatable)
+        ));
     }
 
     #[test]
@@ -265,7 +291,10 @@ mod tests {
         ",
         )
         .unwrap();
-        binary.push_relocation(asc_object::Relocation { section: 0, offset: 4 + 4 * 8 });
+        binary.push_relocation(asc_object::Relocation {
+            section: 0,
+            offset: 4 + 4 * 8,
+        });
         let unit = Unit::lift(&binary).unwrap();
         let raws: Vec<_> = unit
             .items
@@ -273,7 +302,10 @@ mod tests {
             .filter(|i| matches!(i, IrItem::Raw { .. }))
             .collect();
         assert_eq!(raws.len(), 1);
-        assert!(unit.lift_warnings.iter().any(|w| w.contains("could not disassemble")));
+        assert!(unit
+            .lift_warnings
+            .iter()
+            .any(|w| w.contains("could not disassemble")));
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl ProgramAnalysis {
 
         let mut sites = Vec::new();
         for (idx, item) in unit.items.iter().enumerate() {
-            let ir::IrItem::Instr(instr) = item else { continue };
+            let ir::IrItem::Instr(instr) = item else {
+                continue;
+            };
             if instr.instr.op != asc_isa::Opcode::Syscall {
                 continue;
             }
@@ -115,9 +117,21 @@ impl ProgramAnalysis {
                 env.reg(asc_isa::Reg::R6),
             ];
             let predecessors = pred_sets.get(&block).cloned().unwrap_or_default();
-            sites.push(SyscallSite { item_index: idx, block, nr, args, predecessors });
+            sites.push(SyscallSite {
+                item_index: idx,
+                block,
+                nr,
+                args,
+                predecessors,
+            });
         }
-        ProgramAnalysis { unit, cfg, sites, inlined_stubs, warnings }
+        ProgramAnalysis {
+            unit,
+            cfg,
+            sites,
+            inlined_stubs,
+            warnings,
+        }
     }
 
     /// The (post-inlining) unit.
@@ -177,8 +191,11 @@ pub fn disassembly(binary: &asc_object::Binary) -> String {
         }
         match asc_isa::Instruction::decode(&text.data[off..off + asc_isa::INSTR_LEN]) {
             Ok(i) => {
-                let marker =
-                    if i.op == asc_isa::Opcode::Syscall { "  <== syscall" } else { "" };
+                let marker = if i.op == asc_isa::Opcode::Syscall {
+                    "  <== syscall"
+                } else {
+                    ""
+                };
                 let _ = writeln!(out, "  {addr:#08x}: {i}{marker}");
             }
             Err(_) => {

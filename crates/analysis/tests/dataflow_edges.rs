@@ -5,7 +5,6 @@
 use asc_analysis::dataflow::Value;
 use asc_analysis::{ir::Unit, ProgramAnalysis};
 use asc_asm::assemble;
-use asc_isa::Reg;
 
 fn analyze(src: &str) -> ProgramAnalysis {
     ProgramAnalysis::run(Unit::lift(&assemble(src).unwrap()).unwrap())
@@ -242,7 +241,10 @@ fn raw_regions_are_reported_and_unreachable_ones_add_no_noise() {
     // no state to the join at .after — the constant survives — but the
     // administrator still gets the PLTO-style report.
     assert_eq!(a.syscall_sites()[0].args[0], Value::Const(7));
-    assert!(a.warnings.iter().any(|w| w.contains("could not disassemble")));
+    assert!(a
+        .warnings
+        .iter()
+        .any(|w| w.contains("could not disassemble")));
 }
 
 #[test]

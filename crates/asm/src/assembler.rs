@@ -145,7 +145,8 @@ struct Pass {
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
-    s.parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
+    s.parse::<Reg>()
+        .map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 fn parse_int(s: &str) -> Option<i64> {
@@ -204,7 +205,10 @@ impl Pass {
     }
 
     fn push_item(&mut self, sec: Sec, item: Item, size: u32) {
-        self.items.get_mut(&sec).expect("all sections present").push(item);
+        self.items
+            .get_mut(&sec)
+            .expect("all sections present")
+            .push(item);
         *self.offset(sec) += size;
     }
 
@@ -226,7 +230,10 @@ impl Pass {
         };
         let name = name.trim();
         let off = off.ok_or_else(|| AsmError::new(line, format!("bad expression `{s}`")))?;
-        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.')
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.')
         {
             return Err(AsmError::new(line, format!("bad expression `{s}`")));
         }
@@ -248,15 +255,23 @@ impl Pass {
             Some(i) => {
                 let off_str = &body[i..];
                 let off = parse_int(off_str)
-                    .or_else(|| self.consts.get(off_str[1..].trim()).map(|&c| if off_str.starts_with('-') { -c } else { c }))
+                    .or_else(|| {
+                        self.consts.get(off_str[1..].trim()).map(|&c| {
+                            if off_str.starts_with('-') {
+                                -c
+                            } else {
+                                c
+                            }
+                        })
+                    })
                     .ok_or_else(|| AsmError::new(line, format!("bad offset `{off_str}`")))?;
                 (&body[..i], off)
             }
             None => (body, 0),
         };
         let reg = parse_reg(reg_s.trim(), line)?;
-        let off = i32::try_from(off)
-            .map_err(|_| AsmError::new(line, "memory offset out of range"))?;
+        let off =
+            i32::try_from(off).map_err(|_| AsmError::new(line, "memory offset out of range"))?;
         Ok((reg, off))
     }
 
@@ -264,7 +279,10 @@ impl Pass {
         for label in &line.labels {
             let off = *self.offset(cur);
             if self.labels.insert(label.clone(), (cur, off)).is_some() {
-                return Err(AsmError::new(line.number, format!("duplicate label `{label}`")));
+                return Err(AsmError::new(
+                    line.number,
+                    format!("duplicate label `{label}`"),
+                ));
             }
         }
         let Some(op) = &line.op else { return Ok(cur) };
@@ -282,8 +300,9 @@ impl Pass {
                 self.globals.push(name.clone());
             }
             ".entry" => {
-                let name =
-                    ops.first().ok_or_else(|| AsmError::new(n, ".entry needs a symbol"))?;
+                let name = ops
+                    .first()
+                    .ok_or_else(|| AsmError::new(n, ".entry needs a symbol"))?;
                 self.entry_directive = Some(name.clone());
             }
             ".equ" => {
@@ -292,9 +311,7 @@ impl Pass {
                 }
                 let value = match self.parse_expr(&ops[1], n)? {
                     Expr::Num(v) => v,
-                    Expr::Sym(..) => {
-                        return Err(AsmError::new(n, ".equ value must be a constant"))
-                    }
+                    Expr::Sym(..) => return Err(AsmError::new(n, ".equ value must be a constant")),
                 };
                 self.consts.insert(ops[0].clone(), value);
             }
@@ -323,17 +340,24 @@ impl Pass {
             }
             ".space" | ".skip" => {
                 let size = match self.parse_expr(
-                    ops.first().ok_or_else(|| AsmError::new(n, ".space needs a size"))?,
+                    ops.first()
+                        .ok_or_else(|| AsmError::new(n, ".space needs a size"))?,
                     n,
                 )? {
                     Expr::Num(v) if v >= 0 => v as u32,
-                    _ => return Err(AsmError::new(n, ".space size must be a non-negative constant")),
+                    _ => {
+                        return Err(AsmError::new(
+                            n,
+                            ".space size must be a non-negative constant",
+                        ))
+                    }
                 };
                 self.push_item(cur, Item::Space(size), size);
             }
             ".align" => {
                 let to = match self.parse_expr(
-                    ops.first().ok_or_else(|| AsmError::new(n, ".align needs a value"))?,
+                    ops.first()
+                        .ok_or_else(|| AsmError::new(n, ".align needs a value"))?,
                     n,
                 )? {
                     Expr::Num(v) if v > 0 && (v & (v - 1)) == 0 => v as u32,
@@ -382,7 +406,13 @@ impl Pass {
                 Ok(())
             }
         };
-        let proto = |op, rd, rs1, rs2, imm| ProtoInstr { op, rd, rs1, rs2, imm };
+        let proto = |op, rd, rs1, rs2, imm| ProtoInstr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        };
         let alu3 = |op| -> Result<ProtoInstr, AsmError> {
             arity(3)?;
             Ok(proto(
@@ -432,11 +462,23 @@ impl Pass {
             }
             "movi" => {
                 arity(2)?;
-                Ok(proto(Movi, parse_reg(&ops[0], n)?, zero, zero, self.parse_expr(&ops[1], n)?))
+                Ok(proto(
+                    Movi,
+                    parse_reg(&ops[0], n)?,
+                    zero,
+                    zero,
+                    self.parse_expr(&ops[1], n)?,
+                ))
             }
             "mov" => {
                 arity(2)?;
-                Ok(proto(Mov, parse_reg(&ops[0], n)?, parse_reg(&ops[1], n)?, zero, num0))
+                Ok(proto(
+                    Mov,
+                    parse_reg(&ops[0], n)?,
+                    parse_reg(&ops[1], n)?,
+                    zero,
+                    num0,
+                ))
             }
             "add" => alu3(Add),
             "sub" => alu3(Sub),
@@ -459,13 +501,25 @@ impl Pass {
                 arity(2)?;
                 let (rs1, off) = self.parse_mem(&ops[1], n)?;
                 let op = if mnemonic == "ldw" { Ldw } else { Ldb };
-                Ok(proto(op, parse_reg(&ops[0], n)?, rs1, zero, Expr::Num(off as i64)))
+                Ok(proto(
+                    op,
+                    parse_reg(&ops[0], n)?,
+                    rs1,
+                    zero,
+                    Expr::Num(off as i64),
+                ))
             }
             "stw" | "stb" => {
                 arity(2)?;
                 let (rs1, off) = self.parse_mem(&ops[0], n)?;
                 let op = if mnemonic == "stw" { Stw } else { Stb };
-                Ok(proto(op, zero, rs1, parse_reg(&ops[1], n)?, Expr::Num(off as i64)))
+                Ok(proto(
+                    op,
+                    zero,
+                    rs1,
+                    parse_reg(&ops[1], n)?,
+                    Expr::Num(off as i64),
+                ))
             }
             "push" => {
                 arity(1)?;
@@ -533,9 +587,10 @@ impl Pass {
             match expr {
                 Expr::Num(v) => Ok((*v as u32, false)),
                 Expr::Sym(name, off) => {
-                    let (sec, sec_off) = self.labels.get(name).ok_or_else(|| {
-                        AsmError::new(line, format!("undefined symbol `{name}`"))
-                    })?;
+                    let (sec, sec_off) = self
+                        .labels
+                        .get(name)
+                        .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{name}`")))?;
                     let addr = sec_addr[sec] as i64 + *sec_off as i64 + off;
                     Ok((addr as u32, true))
                 }
@@ -544,7 +599,9 @@ impl Pass {
 
         // Encode items.
         for sec in Sec::ALL {
-            let Some(&index) = sec_index.get(&sec) else { continue };
+            let Some(&index) = sec_index.get(&sec) else {
+                continue;
+            };
             let items = &self.items[&sec];
             if sec == Sec::Bss {
                 for item in items {
@@ -561,7 +618,10 @@ impl Pass {
                     Item::Instr { line, instr } => {
                         let (imm, is_addr) = resolve(&instr.imm, *line)?;
                         if is_addr {
-                            relocs.push(Relocation { section: index, offset: data.len() as u32 + 4 });
+                            relocs.push(Relocation {
+                                section: index,
+                                offset: data.len() as u32 + 4,
+                            });
                         }
                         let encoded = Instruction {
                             op: instr.op,
@@ -576,7 +636,10 @@ impl Pass {
                     Item::Word { line, expr } => {
                         let (value, is_addr) = resolve(expr, *line)?;
                         if is_addr {
-                            relocs.push(Relocation { section: index, offset: data.len() as u32 });
+                            relocs.push(Relocation {
+                                section: index,
+                                offset: data.len() as u32,
+                            });
                         }
                         data.extend_from_slice(&value.to_le_bytes());
                     }
@@ -605,9 +668,19 @@ impl Pass {
             if name.starts_with('.') {
                 continue;
             }
-            let Some(&addr) = sec_addr.get(sec) else { continue };
-            let kind = if *sec == Sec::Text { SymbolKind::Func } else { SymbolKind::Object };
-            binary.push_symbol(Symbol { name: name.clone(), addr: addr + off, kind });
+            let Some(&addr) = sec_addr.get(sec) else {
+                continue;
+            };
+            let kind = if *sec == Sec::Text {
+                SymbolKind::Func
+            } else {
+                SymbolKind::Object
+            };
+            binary.push_symbol(Symbol {
+                name: name.clone(),
+                addr: addr + off,
+                kind,
+            });
         }
 
         // Entry point.
@@ -616,7 +689,10 @@ impl Pass {
             .unwrap_or_else(|| "main".to_string());
         let entry = match binary.symbol(&entry_name) {
             Some(sym) => sym.addr,
-            None => sec_addr.get(&Sec::Text).copied().unwrap_or(asc_object::LOAD_BASE),
+            None => sec_addr
+                .get(&Sec::Text)
+                .copied()
+                .unwrap_or(asc_object::LOAD_BASE),
         };
         binary.set_entry(entry);
         binary.set_relocatable(true);
@@ -646,9 +722,7 @@ fn parse_string(lit: &str, line: usize) -> Result<Vec<u8>, AsmError> {
                 '0' => 0,
                 '\\' => b'\\',
                 '"' => b'"',
-                other => {
-                    return Err(AsmError::new(line, format!("unknown escape `\\{other}`")))
-                }
+                other => return Err(AsmError::new(line, format!("unknown escape `\\{other}`"))),
             });
         } else if c.is_ascii() {
             out.push(c as u8);
@@ -707,7 +781,10 @@ mod tests {
         let data = b.section_by_name(".data").unwrap();
         assert_eq!(&data.data[..4], &0x2000u32.to_le_bytes());
         assert_eq!(b.entry(), b.symbol("main").unwrap().addr);
-        assert_eq!(b.symbol("buf").unwrap().addr, b.section_by_name(".bss").unwrap().addr);
+        assert_eq!(
+            b.symbol("buf").unwrap().addr,
+            b.section_by_name(".bss").unwrap().addr
+        );
     }
 
     #[test]
@@ -786,10 +863,22 @@ mod tests {
         let err = assemble("\n\n  bogus r1\n").unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.message.contains("bogus"));
-        assert!(assemble("movi r0").unwrap_err().message.contains("expects 2"));
-        assert!(assemble("jmp nowhere\n").unwrap_err().message.contains("undefined symbol"));
-        assert!(assemble("a: halt\na: halt\n").unwrap_err().message.contains("duplicate"));
-        assert!(assemble(".data\nx: movi r0, 1\n").unwrap_err().message.contains("only allowed in .text"));
+        assert!(assemble("movi r0")
+            .unwrap_err()
+            .message
+            .contains("expects 2"));
+        assert!(assemble("jmp nowhere\n")
+            .unwrap_err()
+            .message
+            .contains("undefined symbol"));
+        assert!(assemble("a: halt\na: halt\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(assemble(".data\nx: movi r0, 1\n")
+            .unwrap_err()
+            .message
+            .contains("only allowed in .text"));
         assert!(assemble(".bss\n.word 5\n").is_err());
     }
 

@@ -11,7 +11,10 @@ pub struct AsmError {
 
 impl AsmError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -157,7 +160,12 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Line>, AsmError> {
         if labels.is_empty() && op.is_none() {
             continue;
         }
-        lines.push(Line { number, labels, op, operands });
+        lines.push(Line {
+            number,
+            labels,
+            op,
+            operands,
+        });
     }
     Ok(lines)
 }

@@ -107,7 +107,9 @@ fn gadget_for(binary: &Binary, nr: u32, index: usize) -> Gadget {
 }
 
 fn asc_section(binary: &Binary) -> (u32, Vec<u8>) {
-    let s = binary.section_by_name(".asc").expect("installed binary has .asc");
+    let s = binary
+        .section_by_name(".asc")
+        .expect("installed binary has .asc");
     (s.addr, s.data.clone())
 }
 
@@ -122,11 +124,17 @@ pub fn run_frankenstein(key: &MacKey, unique_block_ids: bool) -> AttackOutcome {
         Installer::new(key.clone(), opts)
     };
     let a_plain = asc_workloads::build_source(DONOR_A, PERSONALITY).expect("donor A builds");
-    let (a_auth, _) = mk_installer(21).install(&a_plain, "donorA").expect("A installs");
+    let (a_auth, _) = mk_installer(21)
+        .install(&a_plain, "donorA")
+        .expect("A installs");
     let b_plain = asc_workloads::build_source(DONOR_B, PERSONALITY).expect("donor B builds");
-    let (b_auth, _) = mk_installer(22).install(&b_plain, "donorB").expect("B installs");
+    let (b_auth, _) = mk_installer(22)
+        .install(&b_plain, "donorB")
+        .expect("B installs");
 
-    let getpid_nr = PERSONALITY.nr(asc_kernel::SyscallId::Getpid).expect("getpid") as u32;
+    let getpid_nr = PERSONALITY
+        .nr(asc_kernel::SyscallId::Getpid)
+        .expect("getpid") as u32;
     let write_nr = PERSONALITY.nr(asc_kernel::SyscallId::Write).expect("write") as u32;
     let g_a = gadget_for(&a_auth, getpid_nr, 0); // A's authenticated getpid
     let g_b = gadget_for(&b_auth, write_nr, 0); // B's authenticated write
@@ -143,7 +151,10 @@ pub fn run_frankenstein(key: &MacKey, unique_block_ids: bool) -> AttackOutcome {
     // ... [glue: copy A's policy state over B's, set write args, jmp B].
     let a_end = g_a.addr + (g_a.instrs.len() * INSTR_LEN) as u32;
     let b_end = g_b.addr + (g_b.instrs.len() * INSTR_LEN) as u32;
-    assert!(a_end + INSTR_LEN as u32 <= g_b.addr, "need a gap for the trampoline");
+    assert!(
+        a_end + INSTR_LEN as u32 <= g_b.addr,
+        "need a gap for the trampoline"
+    );
     let glue_addr = b_end + INSTR_LEN as u32;
 
     let text_base = 0x1000u32;
@@ -219,7 +230,9 @@ mod tests {
     fn frankenstein_blocked_by_unique_block_ids() {
         let outcome = run_frankenstein(&MacKey::from_seed(0xF2A2), true);
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        let AttackOutcome::Blocked(msg) = outcome else {
+            unreachable!()
+        };
         assert!(msg.contains("control-flow"), "{msg}");
     }
 }

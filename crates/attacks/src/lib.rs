@@ -25,7 +25,7 @@
 
 pub mod frankenstein;
 
-use asc_crypto::MacKey;
+use asc_crypto::{MacKey, POLICY_STATE_LEN};
 use asc_installer::{Installer, InstallerOptions};
 use asc_isa::{Instruction, Opcode, Reg, INSTR_LEN};
 use asc_kernel::{Kernel, KernelOptions, Personality};
@@ -62,6 +62,7 @@ pub struct AttackLab {
     victim_plain: Binary,
     victim_auth: Binary,
     donor_auth: Binary,
+    use_cache: bool,
 }
 
 impl std::fmt::Debug for AttackLab {
@@ -81,20 +82,55 @@ fn main() {
 }
 "#;
 
+/// Victim for the stale-cache attacks: issues the *same* authenticated
+/// call repeatedly so the kernel's verified-call cache goes warm, giving
+/// the attacker a window to tamper between iterations.
+const LOOPER_SOURCE: &str = r#"
+fn main() {
+    var i = 0;
+    while (i < 6) {
+        access("/etc/motd", 0);
+        i = i + 1;
+    }
+    return 0;
+}
+"#;
+
 impl AttackLab {
     /// Builds the victim (plain + installed) and the donor.
     pub fn new(key: MacKey) -> AttackLab {
         let spec = asc_workloads::program("victim").expect("victim registered");
         let victim_plain = asc_workloads::build(spec, PERSONALITY).expect("victim builds");
-        let installer =
-            Installer::new(key.clone(), InstallerOptions::new(PERSONALITY).with_program_id(7));
-        let (victim_auth, _) = installer.install(&victim_plain, "victim").expect("installs");
+        let installer = Installer::new(
+            key.clone(),
+            InstallerOptions::new(PERSONALITY).with_program_id(7),
+        );
+        let (victim_auth, _) = installer
+            .install(&victim_plain, "victim")
+            .expect("installs");
         let donor_plain =
             asc_workloads::build_source(DONOR_SOURCE, PERSONALITY).expect("donor builds");
-        let donor_installer =
-            Installer::new(key.clone(), InstallerOptions::new(PERSONALITY).with_program_id(9));
-        let (donor_auth, _) = donor_installer.install(&donor_plain, "donor").expect("installs");
-        AttackLab { key, victim_plain, victim_auth, donor_auth }
+        let donor_installer = Installer::new(
+            key.clone(),
+            InstallerOptions::new(PERSONALITY).with_program_id(9),
+        );
+        let (donor_auth, _) = donor_installer
+            .install(&donor_plain, "donor")
+            .expect("installs");
+        AttackLab {
+            key,
+            victim_plain,
+            victim_auth,
+            donor_auth,
+            use_cache: false,
+        }
+    }
+
+    /// Enables the kernel's verified-call cache for every machine this lab
+    /// builds, so the attacks also exercise the warm fast path.
+    pub fn with_verify_cache(mut self) -> AttackLab {
+        self.use_cache = true;
+        self
     }
 
     /// The unprotected victim binary.
@@ -109,7 +145,12 @@ impl AttackLab {
 
     fn machine(&self, binary: &Binary, stdin: &[u8]) -> Machine<Kernel> {
         let opts = if binary.is_authenticated() {
-            KernelOptions::enforcing(PERSONALITY)
+            let opts = KernelOptions::enforcing(PERSONALITY);
+            if self.use_cache {
+                opts.with_verify_cache()
+            } else {
+                opts
+            }
         } else {
             KernelOptions::plain(PERSONALITY)
         };
@@ -149,8 +190,9 @@ impl AttackLab {
         // Where the corrupted `dst` pointer sends the victim's own copy:
         // spare stack far below the payload (writable, harmless).
         let scratch = buf - 0x800;
-        let needs_string =
-            shellcode.iter().any(|i| i.op == Opcode::Movi && i.imm == SH_PLACEHOLDER);
+        let needs_string = shellcode
+            .iter()
+            .any(|i| i.op == Opcode::Movi && i.imm == SH_PLACEHOLDER);
         let code_len = shellcode.len() * asc_isa::INSTR_LEN;
         let string_len = if needs_string { 8 } else { 0 };
         assert!(code_len + string_len <= 64, "shellcode must fit the buffer");
@@ -194,8 +236,14 @@ impl AttackLab {
     /// Attack 1: classic shellcode injection (`execve("/bin/sh")` from the
     /// stack). `protected` selects the installed or unprotected victim.
     pub fn shellcode_attack(&self, protected: bool) -> AttackOutcome {
-        let binary = if protected { &self.victim_auth } else { &self.victim_plain };
-        let execve_nr = PERSONALITY.nr(asc_kernel::SyscallId::Execve).expect("execve") as u32;
+        let binary = if protected {
+            &self.victim_auth
+        } else {
+            &self.victim_plain
+        };
+        let execve_nr = PERSONALITY
+            .nr(asc_kernel::SyscallId::Execve)
+            .expect("execve") as u32;
         let shellcode = [
             Instruction::movi(Reg::R1, SH_PLACEHOLDER),
             Instruction::movi(Reg::R2, 0),
@@ -225,8 +273,11 @@ impl AttackLab {
         // Replicate the donor's .asc section into the victim's address
         // space at the donor's addresses (the attacker's arbitrary-write /
         // heap-spray step).
-        m.mem_mut().protect(donor_asc.0, donor_asc.1.len() as u32, PageFlags::RW);
-        m.mem_mut().kwrite(donor_asc.0, &donor_asc.1).expect("replicate .asc");
+        m.mem_mut()
+            .protect(donor_asc.0, donor_asc.1.len() as u32, PageFlags::RW);
+        m.mem_mut()
+            .kwrite(donor_asc.0, &donor_asc.1)
+            .expect("replicate .asc");
         let outcome = m.run(100_000_000);
         let kernel = m.into_handler();
         if kernel
@@ -244,7 +295,11 @@ impl AttackLab {
     /// `"/bin/ls"` with `"/bin/sh"` and let the victim reach its
     /// legitimate `execve`. `protected` selects the binary.
     pub fn non_control_data_attack(&self, protected: bool) -> AttackOutcome {
-        let binary = if protected { &self.victim_auth } else { &self.victim_plain };
+        let binary = if protected {
+            &self.victim_auth
+        } else {
+            &self.victim_plain
+        };
         let mut m = self.machine(binary, b"/etc/motd\n");
         // Find "/bin/ls" in the loaded image and overwrite it — for the
         // authenticated binary that is the AS contents in .asc; for the
@@ -257,6 +312,109 @@ impl AttackLab {
         let outcome = m.run(100_000_000);
         let kernel = m.into_handler();
         Self::classify(outcome, &kernel)
+    }
+
+    /// Builds and installs the looping guest used by the stale-cache
+    /// attacks.
+    fn build_looper(&self) -> Binary {
+        let plain = asc_workloads::build_source(LOOPER_SOURCE, PERSONALITY).expect("looper builds");
+        let installer = Installer::new(
+            self.key.clone(),
+            InstallerOptions::new(PERSONALITY).with_program_id(11),
+        );
+        installer
+            .install(&plain, "looper")
+            .expect("looper installs")
+            .0
+    }
+
+    /// Steps `m` until the kernel has fully verified `n` calls, failing the
+    /// attack if the program ends first.
+    fn warm_up(m: &mut Machine<Kernel>, n: u64) -> Result<(), AttackOutcome> {
+        while m.handler().stats().verified < n {
+            if let StepOutcome::Done(outcome) = m.step() {
+                return Err(AttackOutcome::Failed(format!(
+                    "ended during warm-up: {outcome:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Attack 4: stale-cache string rewrite. Let the looping victim's
+    /// repeated `access("/etc/motd")` warm the verified-call cache, then
+    /// overwrite the authenticated string's contents in `.asc` and resume.
+    /// A kernel that trusted its cache without re-reading memory would keep
+    /// accepting the call; a sound one must re-compare the bytes, miss, and
+    /// kill on the string MAC.
+    pub fn stale_cache_string_attack(&self) -> AttackOutcome {
+        let binary = self.build_looper();
+        let mut m = self.machine(&binary, b"");
+        if let Err(fail) = Self::warm_up(&mut m, 2) {
+            return fail;
+        }
+        let target = find_bytes(&binary, b"/etc/motd\0").expect("AS contents present");
+        m.mem_mut().protect(target, 10, PageFlags::RW);
+        m.mem_mut()
+            .kwrite(target, b"/etc/pass\0")
+            .expect("overwrite");
+        let outcome = m.run(100_000_000);
+        match outcome {
+            // Reaching exit means iterations ran with the forged string.
+            RunOutcome::Exited(_) => {
+                AttackOutcome::Succeeded("forged string accepted from warm cache".into())
+            }
+            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+            other => AttackOutcome::Failed(format!("{other:?}")),
+        }
+    }
+
+    /// Attack 5: stale-cache policy-state replay. Snapshot the in-memory
+    /// policy-state cell (the first [`POLICY_STATE_LEN`] bytes of `.asc`)
+    /// after one verified call, let another call advance it, then restore
+    /// the old snapshot — a classic replay that a cache keyed without the
+    /// memory-checker epoch would accept. The kernel must reject the stale
+    /// cell against its per-process counter and kill.
+    pub fn stale_cache_state_replay_attack(&self) -> AttackOutcome {
+        let binary = self.build_looper();
+        let asc_addr = binary
+            .section_by_name(".asc")
+            .expect("installed looper has .asc")
+            .addr;
+        let mut m = self.machine(&binary, b"");
+        if let Err(fail) = Self::warm_up(&mut m, 1) {
+            return fail;
+        }
+        let snapshot = m
+            .mem()
+            .kread(asc_addr, POLICY_STATE_LEN as u32)
+            .expect("read state cell")
+            .to_vec();
+        if let Err(fail) = Self::warm_up(&mut m, 2) {
+            return fail;
+        }
+        let advanced = m
+            .mem()
+            .kread(asc_addr, POLICY_STATE_LEN as u32)
+            .expect("read state cell")
+            .to_vec();
+        assert_ne!(
+            snapshot, advanced,
+            "state cell must advance between verified calls"
+        );
+        m.mem_mut()
+            .protect(asc_addr, POLICY_STATE_LEN as u32, PageFlags::RW);
+        m.mem_mut()
+            .kwrite(asc_addr, &snapshot)
+            .expect("replay state");
+        let outcome = m.run(100_000_000);
+        match outcome {
+            RunOutcome::Exited(_) => {
+                AttackOutcome::Succeeded("replayed policy state accepted".into())
+            }
+            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+            other => AttackOutcome::Failed(format!("{other:?}")),
+        }
     }
 }
 
@@ -297,7 +455,9 @@ pub fn extract_gadget(binary: &Binary) -> (Vec<Instruction>, (u32, Vec<u8>)) {
         start -= 1;
     }
     let gadget = instrs[start..=sys_idx].to_vec();
-    let asc = binary.section_by_name(".asc").expect("installed binary has .asc");
+    let asc = binary
+        .section_by_name(".asc")
+        .expect("installed binary has .asc");
     (gadget, (asc.addr, asc.data.clone()))
 }
 
@@ -328,7 +488,9 @@ mod tests {
         assert!(outcome.is_blocked(), "{outcome:?}");
         // Specifically: the stolen gadget's MAC does not match the new
         // call site.
-        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        let AttackOutcome::Blocked(msg) = outcome else {
+            unreachable!()
+        };
         assert!(msg.contains("call MAC"), "{msg}");
     }
 
@@ -344,8 +506,70 @@ mod tests {
         let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
         let outcome = lab.non_control_data_attack(true);
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else { unreachable!() };
+        let AttackOutcome::Blocked(msg) = outcome else {
+            unreachable!()
+        };
         assert!(msg.contains("string MAC"), "{msg}");
+    }
+
+    #[test]
+    fn classic_attacks_blocked_with_warm_cache() {
+        // The verified-call cache must not open any of the original holes.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK)).with_verify_cache();
+        assert!(lab.shellcode_attack(true).is_blocked());
+        assert!(lab.mimicry_attack().is_blocked());
+        assert!(lab.non_control_data_attack(true).is_blocked());
+    }
+
+    #[test]
+    fn stale_cache_string_attack_blocked() {
+        // Cold kernel first: the attack is just a mid-run string rewrite.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.stale_cache_string_attack();
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        // Warm cache: the cached acceptance must not survive the rewrite.
+        let lab = lab.with_verify_cache();
+        let outcome = lab.stale_cache_string_attack();
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        let AttackOutcome::Blocked(msg) = outcome else {
+            unreachable!()
+        };
+        assert!(msg.contains("string MAC"), "{msg}");
+    }
+
+    #[test]
+    fn stale_cache_state_replay_blocked() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let outcome = lab.stale_cache_state_replay_attack();
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        let lab = lab.with_verify_cache();
+        let outcome = lab.stale_cache_state_replay_attack();
+        assert!(outcome.is_blocked(), "{outcome:?}");
+        let AttackOutcome::Blocked(msg) = outcome else {
+            unreachable!()
+        };
+        assert!(msg.contains("policy state"), "{msg}");
+    }
+
+    #[test]
+    fn looper_runs_clean_and_warms_cache() {
+        // Untampered, the looper exits 0 and the cache takes hits — the
+        // stale-cache attacks above really do race a *warm* cache.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK)).with_verify_cache();
+        let binary = lab.build_looper();
+        let (outcome, kernel) = lab.run_to_outcome(&binary, b"");
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited(0),
+            "alerts: {:?}",
+            kernel.alerts()
+        );
+        assert!(kernel.stats().cache_hits > 0, "stats: {:?}", kernel.stats());
+        assert!(
+            kernel.stats().warm_aes_blocks < kernel.stats().verify_aes_blocks,
+            "warm path must run fewer blocks: {:?}",
+            kernel.stats()
+        );
     }
 
     #[test]
@@ -353,7 +577,12 @@ mod tests {
         let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
         for binary in [lab.victim_plain(), lab.victim_auth()] {
             let (outcome, kernel) = lab.run_to_outcome(binary, b"/etc/motd\n");
-            assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+            assert_eq!(
+                outcome,
+                RunOutcome::Exited(0),
+                "alerts: {:?}",
+                kernel.alerts()
+            );
             assert_eq!(kernel.exec_requests(), &["/bin/ls".to_string()]);
         }
     }

@@ -11,7 +11,7 @@ use asc_bench::{bench_key, build_and_install};
 use asc_kernel::Personality;
 use asc_monitors::{train, InKernelMonitor, MonitoredKernel, UserSpaceMonitor};
 use asc_vm::Machine;
-use asc_workloads::{kernel_for, measure, program};
+use asc_workloads::{kernel_for, measure, measure_cached, program};
 
 const PERSONALITY: Personality = Personality::Linux;
 
@@ -42,9 +42,10 @@ fn run_monitored(
 
 fn main() {
     println!("Ablation: enforcement architecture cost (overhead % vs unmonitored)");
+    println!("ASC warm% = ASC with the verified-call cache (MAC cache) enabled.");
     println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12}",
-        "Program", "base cycles", "ASC%", "in-kernel%", "user-space%"
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Program", "base cycles", "ASC%", "ASC warm%", "in-kernel%", "user-space%"
     );
     for (i, name) in ["gzip", "pyramid", "vortex"].iter().enumerate() {
         let spec = program(name).expect("registered");
@@ -53,14 +54,21 @@ fn main() {
         assert!(base.outcome.is_success());
         let asc = measure(spec, &auth, PERSONALITY, Some(bench_key()));
         assert!(asc.outcome.is_success());
+        let warm = measure_cached(spec, &auth, PERSONALITY, bench_key());
+        assert!(warm.outcome.is_success());
+        assert!(
+            warm.cycles <= asc.cycles,
+            "warm run must not cost more than cold"
+        );
         let in_kernel = run_monitored(name, InKernelMonitor::new);
         let user_space = run_monitored(name, UserSpaceMonitor::new);
         let pct = |c: u64| (c as f64 - base.cycles as f64) / base.cycles as f64 * 100.0;
         println!(
-            "{:<10} {:>12} {:>11.2} {:>11.2} {:>11.2}",
+            "{:<10} {:>12} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
             name,
             base.cycles,
             pct(asc.cycles),
+            pct(warm.cycles),
             pct(in_kernel),
             pct(user_space),
         );

@@ -24,8 +24,7 @@ fn build_tools(authenticated: bool) -> HashMap<&'static str, Binary> {
         .enumerate()
         .map(|(i, t)| {
             let src = tool_source(t.name).expect("registered tool");
-            let plain =
-                asc_workloads::build_source(&src, PERSONALITY).expect("tool builds");
+            let plain = asc_workloads::build_source(&src, PERSONALITY).expect("tool builds");
             let binary = if authenticated {
                 let installer = Installer::new(
                     bench_key(),
@@ -96,8 +95,7 @@ fn main() {
     let iterations = 5;
     let (orig_cycles, orig_calls) = measure(iterations, false);
     let (auth_cycles, auth_calls) = measure(iterations, true);
-    let overhead =
-        (auth_cycles as f64 - orig_cycles as f64) / orig_cycles as f64 * 100.0;
+    let overhead = (auth_cycles as f64 - orig_cycles as f64) / orig_cycles as f64 * 100.0;
     println!("Andrew-style multiprogram benchmark ({iterations} iterations)");
     println!(
         "  original:      {:>10.4} sim-seconds  ({} syscalls/iter)",

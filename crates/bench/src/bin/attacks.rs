@@ -23,14 +23,53 @@ fn main() {
     println!("Attack experiments (victim: reads a file name, runs /bin/ls on it)\n");
 
     println!("Against the UNPROTECTED binary:");
-    show("shellcode injection (execve /bin/sh)", &lab.shellcode_attack(false), false);
-    show("non-control-data (/bin/ls -> /bin/sh)", &lab.non_control_data_attack(false), false);
+    show(
+        "shellcode injection (execve /bin/sh)",
+        &lab.shellcode_attack(false),
+        false,
+    );
+    show(
+        "non-control-data (/bin/ls -> /bin/sh)",
+        &lab.non_control_data_attack(false),
+        false,
+    );
     println!();
 
     println!("Against the INSTALLED (authenticated) binary:");
-    show("shellcode injection (unauthenticated call)", &lab.shellcode_attack(true), true);
-    show("mimicry via stolen authenticated gadget", &lab.mimicry_attack(), true);
-    show("non-control-data (authenticated string)", &lab.non_control_data_attack(true), true);
+    show(
+        "shellcode injection (unauthenticated call)",
+        &lab.shellcode_attack(true),
+        true,
+    );
+    show(
+        "mimicry via stolen authenticated gadget",
+        &lab.mimicry_attack(),
+        true,
+    );
+    show(
+        "non-control-data (authenticated string)",
+        &lab.non_control_data_attack(true),
+        true,
+    );
+    println!();
+
+    println!("Against the INSTALLED binary with the verified-call cache (warm fast path):");
+    let warm = AttackLab::new(bench_key()).with_verify_cache();
+    show(
+        "shellcode injection (warm cache)",
+        &warm.shellcode_attack(true),
+        true,
+    );
+    show(
+        "stale-cache string rewrite mid-run",
+        &warm.stale_cache_string_attack(),
+        true,
+    );
+    show(
+        "stale-cache policy-state replay",
+        &warm.stale_cache_state_replay_attack(),
+        true,
+    );
     println!();
 
     println!("Frankenstein attack (program stitched from two donors' gadgets):");

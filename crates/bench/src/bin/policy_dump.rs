@@ -29,11 +29,12 @@ fn main() {
     };
     let binary = asc_workloads::build(spec, personality).expect("builds");
     let installer = Installer::new(bench_key(), InstallerOptions::new(personality));
-    let (policy, stats, warnings) =
-        installer.generate_policy(&binary, program).expect("analyzes");
+    let (policy, stats, warnings) = installer
+        .generate_policy(&binary, program)
+        .expect("analyzes");
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&policy).expect("serialises"));
+        println!("{}", policy.to_json());
         return;
     }
 
@@ -61,7 +62,10 @@ fn main() {
                     println!("    Parameter {i} equals address {v:#x}")
                 }
                 ArgPolicy::StringLit(s) => {
-                    println!("    Parameter {i} equals \"{}\"", String::from_utf8_lossy(s))
+                    println!(
+                        "    Parameter {i} equals \"{}\"",
+                        String::from_utf8_lossy(s)
+                    )
                 }
                 ArgPolicy::Pattern(pat) => {
                     println!("    Parameter {i} matches pattern \"{pat}\"")
@@ -73,7 +77,10 @@ fn main() {
         }
         if let Some(preds) = &p.predecessors {
             let list: Vec<String> = preds.iter().map(u32::to_string).collect();
-            println!("    If preceded by the system call in block {{{}}}", list.join(", "));
+            println!(
+                "    If preceded by the system call in block {{{}}}",
+                list.join(", ")
+            );
         }
         println!();
     }

@@ -45,7 +45,9 @@ fn main() {
 
     // ASC policy via static analysis.
     let installer = Installer::new(bench_key(), InstallerOptions::new(personality));
-    let (policy, _, warnings) = installer.generate_policy(&binary, "bison").expect("analyzes");
+    let (policy, _, warnings) = installer
+        .generate_policy(&binary, "bison")
+        .expect("analyzes");
     let asc: BTreeSet<String> = policy
         .distinct_syscalls()
         .iter()
@@ -59,12 +61,17 @@ fn main() {
     let systrace_permitted = systrace.permitted();
 
     println!("Table 2: Comparison of policies for bison (OpenBSD)");
-    println!("{:<16} {:<6} {:<16} | paper: {:<6} Systrace", "System call", "ASC", "Systrace", "ASC");
+    println!(
+        "{:<16} {:<6} {:<16} | paper: {:<6} Systrace",
+        "System call", "ASC", "Systrace", "ASC"
+    );
     let mut all: BTreeSet<String> = asc.union(&systrace_permitted).cloned().collect();
     // Also include rows the paper lists (e.g. mmap, which our ASC policy
     // sees as __syscall).
-    for (name, _) in
-        ["mmap", "close"].iter().map(|n| (n.to_string(), ())).collect::<Vec<_>>()
+    for (name, _) in ["mmap", "close"]
+        .iter()
+        .map(|n| (n.to_string(), ()))
+        .collect::<Vec<_>>()
     {
         all.insert(name);
     }
@@ -99,6 +106,9 @@ fn main() {
     println!("{total_diff} differing syscalls, {agree} in agreement.");
     println!(
         "Disassembly warnings reported to the administrator: {}",
-        warnings.iter().filter(|w| w.contains("disassemble")).count()
+        warnings
+            .iter()
+            .filter(|w| w.contains("disassemble"))
+            .count()
     );
 }

@@ -44,8 +44,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "The paper reports 30-40% of arguments statically determined (auth/args);"
-    );
+    println!("The paper reports 30-40% of arguments statically determined (auth/args);");
     println!("the auth% column shows the reproduction's coverage.");
 }

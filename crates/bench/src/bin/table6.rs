@@ -4,8 +4,17 @@
 
 use asc_bench::{measure_program, sim_seconds};
 
-const SUITE: &[&str] =
-    &["gzip-spec", "crafty", "mcf", "vpr", "twolf", "gcc", "vortex", "pyramid", "gzip"];
+const SUITE: &[&str] = &[
+    "gzip-spec",
+    "crafty",
+    "mcf",
+    "vpr",
+    "twolf",
+    "gcc",
+    "vortex",
+    "pyramid",
+    "gzip",
+];
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -44,6 +53,8 @@ fn main() {
         rows.push(row);
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        let doc =
+            asc_core::json::Value::Array(rows.iter().map(asc_bench::PerfRow::to_value).collect());
+        println!("{}", doc.to_pretty());
     }
 }

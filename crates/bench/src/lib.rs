@@ -1,8 +1,8 @@
-//! Shared harness code for the table-regeneration binaries and Criterion
-//! benches.
+//! Shared harness code for the table-regeneration binaries.
 
+use asc_core::json::Value;
 use asc_crypto::MacKey;
-use asc_installer::{Installer, InstallerOptions, InstallReport};
+use asc_installer::{InstallReport, Installer, InstallerOptions};
 use asc_kernel::Personality;
 use asc_object::Binary;
 use asc_workloads::{measure, program, ProgramSpec, RunReport};
@@ -22,19 +22,20 @@ pub fn build_and_install(
     personality: Personality,
     program_id: u16,
 ) -> (Binary, Binary, InstallReport) {
-    let plain = asc_workloads::build(spec, personality)
-        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let plain =
+        asc_workloads::build(spec, personality).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     let installer = Installer::new(
         bench_key(),
         InstallerOptions::new(personality).with_program_id(program_id),
     );
-    let (auth, report) =
-        installer.install(&plain, spec.name).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let (auth, report) = installer
+        .install(&plain, spec.name)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     (plain, auth, report)
 }
 
 /// One row of the Table 6 experiment.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct PerfRow {
     /// Program name.
     pub name: String,
@@ -50,6 +51,21 @@ pub struct PerfRow {
     pub syscalls: u64,
     /// Paper's reported overhead (for the comparison column).
     pub paper_pct: f64,
+}
+
+impl PerfRow {
+    /// Converts to a JSON value for the `--json` report mode.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("kind".into(), Value::Str(self.kind.clone())),
+            ("base_cycles".into(), Value::Num(self.base_cycles as f64)),
+            ("auth_cycles".into(), Value::Num(self.auth_cycles as f64)),
+            ("overhead_pct".into(), Value::Num(self.overhead_pct)),
+            ("syscalls".into(), Value::Num(self.syscalls as f64)),
+            ("paper_pct".into(), Value::Num(self.paper_pct)),
+        ])
+    }
 }
 
 /// Paper Table 6 overhead percentages.
@@ -75,8 +91,7 @@ pub fn measure_program(name: &str, program_id: u16) -> PerfRow {
     let (plain, auth, _) = build_and_install(spec, personality, program_id);
     let base = expect_ok(spec, measure(spec, &plain, personality, None));
     let with = expect_ok(spec, measure(spec, &auth, personality, Some(bench_key())));
-    let overhead_pct =
-        (with.cycles as f64 - base.cycles as f64) / base.cycles as f64 * 100.0;
+    let overhead_pct = (with.cycles as f64 - base.cycles as f64) / base.cycles as f64 * 100.0;
     PerfRow {
         name: name.to_string(),
         kind: format!("{:?}", spec.kind),

@@ -1,0 +1,306 @@
+//! The verified-call cache: a per-process fast path for repeated
+//! authenticated system calls.
+//!
+//! CMAC is deterministic, so once the kernel has fully verified a tag over a
+//! message it may remember the *(message, tag)* pair and later accept the
+//! same pair again by byte comparison alone, skipping the AES work. The
+//! cache holds three kinds of remembered verifications:
+//!
+//! * **call entries** — per call site, the encoded-call bytes and the call
+//!   MAC that verified (§3.4 step 1);
+//! * **blob entries** — per address, the contents and MAC of an
+//!   authenticated string / pattern / predecessor set that verified
+//!   (§3.4 step 2);
+//! * **the state entry** — the exact `lastBlock ‖ lbMAC` bytes the kernel
+//!   itself wrote (or verified) most recently, bound to the memory-checker
+//!   counter value at that moment (§3.4 step 3).
+//!
+//! # Soundness
+//!
+//! The fast path never skips *reading* untrusted memory — it replaces the
+//! AES recomputation with a byte comparison against a copy that passed full
+//! verification earlier. Any divergence (tampered contents, swapped header,
+//! different descriptor, forged MAC) fails the comparison and falls back to
+//! the full CMAC path, which then rejects the call exactly as the cold path
+//! would. The state entry is additionally bound to the in-kernel counter
+//! *epoch*: the counter advances on every control-flow update, so a
+//! snapshot of old state bytes can never match a cached entry from a later
+//! epoch — replay still dies with `BadPolicyState` in the fallback path.
+//! A cached acceptance is therefore exactly the set of inputs the cold path
+//! accepts; the cache changes cycle accounting, never the accept set.
+
+use std::collections::HashMap;
+
+use asc_crypto::{Mac, POLICY_STATE_LEN};
+
+/// Counters describing how the verified-call cache behaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Call-MAC checks served by byte comparison (no AES).
+    pub hits: u64,
+    /// Call-MAC checks that ran the full CMAC.
+    pub misses: u64,
+    /// Authenticated-string / pattern / predecessor-set checks served by
+    /// byte comparison.
+    pub blob_hits: u64,
+    /// Policy-state verifications skipped because the kernel wrote the
+    /// exact bytes itself in the current counter epoch.
+    pub state_hits: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CallEntry {
+    encoding: Vec<u8>,
+    mac: Mac,
+}
+
+#[derive(Clone, Debug)]
+struct BlobEntry {
+    contents: Vec<u8>,
+    mac: Mac,
+}
+
+#[derive(Clone, Debug)]
+struct StateEntry {
+    lb_ptr: u32,
+    bytes: [u8; POLICY_STATE_LEN],
+    epoch: u64,
+}
+
+/// Per-process cache of verifications the kernel has already performed.
+///
+/// One of these lives next to each process's [`MemoryChecker`]
+/// (`asc_crypto::MemoryChecker`) inside the kernel; the untrusted
+/// application can influence it only through the memory bytes it presents,
+/// which are always re-read and re-compared. See the module docs for the
+/// soundness argument.
+#[derive(Clone, Debug)]
+pub struct VerifyCache {
+    calls: HashMap<u32, CallEntry>,
+    blobs: HashMap<u32, BlobEntry>,
+    state: Option<StateEntry>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl Default for VerifyCache {
+    fn default() -> Self {
+        VerifyCache::new()
+    }
+}
+
+impl VerifyCache {
+    /// Default bound on cached call + blob entries.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        VerifyCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` call + blob entries (the state
+    /// entry is not counted). When an insert would exceed the bound the
+    /// whole cache is dropped — crude, but eviction can never be a
+    /// soundness question, only a performance one.
+    pub fn with_capacity(capacity: usize) -> Self {
+        VerifyCache {
+            calls: HashMap::new(),
+            blobs: HashMap::new(),
+            state: None,
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Checks whether the call MAC for `site` can be accepted from cache:
+    /// both the reconstructed encoding and the tag read from user memory
+    /// must be byte-identical to the pair that fully verified earlier.
+    /// Updates hit/miss statistics.
+    pub fn check_call(&mut self, site: u32, encoding: &[u8], mac: &Mac) -> bool {
+        let hit = self
+            .calls
+            .get(&site)
+            .is_some_and(|e| e.mac == *mac && e.encoding == encoding);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Remembers a call-MAC pair that passed full verification.
+    pub fn record_call(&mut self, site: u32, encoding: &[u8], mac: &Mac) {
+        self.ensure_room();
+        self.calls.insert(
+            site,
+            CallEntry {
+                encoding: encoding.to_vec(),
+                mac: *mac,
+            },
+        );
+    }
+
+    /// Checks whether an authenticated blob (string / pattern /
+    /// predecessor set) at `addr` can be accepted from cache.
+    pub fn check_blob(&mut self, addr: u32, mac: &Mac, contents: &[u8]) -> bool {
+        let hit = self
+            .blobs
+            .get(&addr)
+            .is_some_and(|e| e.mac == *mac && e.contents == contents);
+        if hit {
+            self.stats.blob_hits += 1;
+        }
+        hit
+    }
+
+    /// Remembers a blob that passed full verification.
+    pub fn record_blob(&mut self, addr: u32, mac: &Mac, contents: &[u8]) {
+        self.ensure_room();
+        self.blobs.insert(
+            addr,
+            BlobEntry {
+                contents: contents.to_vec(),
+                mac: *mac,
+            },
+        );
+    }
+
+    /// Checks whether the policy-state cell can be accepted without an AES
+    /// verification: the bytes must match what the kernel last wrote or
+    /// verified *and* the in-kernel counter must still be at the epoch the
+    /// entry was recorded under. A counter advance (any control-flow
+    /// update) silently invalidates the entry.
+    pub fn check_state(&mut self, lb_ptr: u32, bytes: &[u8], epoch: u64) -> bool {
+        let hit = self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.lb_ptr == lb_ptr && s.epoch == epoch && s.bytes[..] == *bytes);
+        if hit {
+            self.stats.state_hits += 1;
+        }
+        hit
+    }
+
+    /// Remembers the policy-state bytes the kernel just wrote (or fully
+    /// verified) at counter value `epoch`.
+    pub fn record_state(&mut self, lb_ptr: u32, bytes: [u8; POLICY_STATE_LEN], epoch: u64) {
+        self.state = Some(StateEntry {
+            lb_ptr,
+            bytes,
+            epoch,
+        });
+    }
+
+    /// Drops every entry (key change, exec, policy reload).
+    pub fn clear(&mut self) {
+        let dropped = (self.calls.len() + self.blobs.len()) as u64;
+        self.stats.evictions += dropped;
+        self.calls.clear();
+        self.blobs.clear();
+        self.state = None;
+    }
+
+    /// Cache behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of call + blob entries currently cached.
+    pub fn len(&self) -> usize {
+        self.calls.len() + self.blobs.len()
+    }
+
+    /// Whether the cache holds no call or blob entries.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty() && self.blobs.is_empty()
+    }
+
+    fn ensure_room(&mut self) {
+        if self.calls.len() + self.blobs.len() >= self.capacity {
+            self.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_entry_roundtrip() {
+        let mut c = VerifyCache::new();
+        let mac = [7u8; 16];
+        assert!(!c.check_call(0x1000, b"enc", &mac), "empty cache misses");
+        c.record_call(0x1000, b"enc", &mac);
+        assert!(c.check_call(0x1000, b"enc", &mac));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn call_entry_rejects_any_divergence() {
+        let mut c = VerifyCache::new();
+        let mac = [7u8; 16];
+        c.record_call(0x1000, b"enc", &mac);
+        assert!(!c.check_call(0x1004, b"enc", &mac), "different site");
+        assert!(!c.check_call(0x1000, b"end", &mac), "different encoding");
+        let mut other = mac;
+        other[15] ^= 1;
+        assert!(!c.check_call(0x1000, b"enc", &other), "different tag");
+    }
+
+    #[test]
+    fn blob_entry_rejects_tampered_contents() {
+        let mut c = VerifyCache::new();
+        let mac = [9u8; 16];
+        c.record_blob(0x2000, &mac, b"/etc/motd");
+        assert!(c.check_blob(0x2000, &mac, b"/etc/motd"));
+        assert!(
+            !c.check_blob(0x2000, &mac, b"/etc/pass"),
+            "rewritten contents"
+        );
+        assert!(
+            !c.check_blob(0x2004, &mac, b"/etc/motd"),
+            "different address"
+        );
+        assert_eq!(c.stats().blob_hits, 1);
+    }
+
+    #[test]
+    fn state_entry_bound_to_epoch() {
+        let mut c = VerifyCache::new();
+        let bytes = [3u8; POLICY_STATE_LEN];
+        c.record_state(0x3000, bytes, 5);
+        assert!(c.check_state(0x3000, &bytes, 5));
+        assert!(!c.check_state(0x3000, &bytes, 6), "counter advanced: stale");
+        assert!(!c.check_state(0x3004, &bytes, 5), "different cell");
+        let mut forged = bytes;
+        forged[0] ^= 1;
+        assert!(!c.check_state(0x3000, &forged, 5), "different bytes");
+        assert_eq!(c.stats().state_hits, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_clears() {
+        let mut c = VerifyCache::with_capacity(2);
+        c.record_call(1, b"a", &[0u8; 16]);
+        c.record_blob(2, &[0u8; 16], b"b");
+        assert_eq!(c.len(), 2);
+        c.record_call(3, b"c", &[0u8; 16]);
+        assert_eq!(c.len(), 1, "hit capacity: dropped and restarted");
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = VerifyCache::new();
+        c.record_call(1, b"a", &[0u8; 16]);
+        c.record_state(2, [0u8; POLICY_STATE_LEN], 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.check_state(2, &[0u8; POLICY_STATE_LEN], 1));
+    }
+}

@@ -22,7 +22,7 @@ use crate::policy::MAX_ARGS;
 /// The policy descriptor: a compact encoding of which properties the policy
 /// constrains. Included in the authenticated call (register `R7`) and bound
 /// by the call MAC, so an attacker cannot relax a policy by flipping bits.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct PolicyDescriptor(pub u32);
 
 const IMM_SHIFT: u32 = 0;
@@ -166,7 +166,9 @@ impl PolicyDescriptor {
             .filter(|&&b| b)
             .count();
             if kinds > 1 {
-                return Err(format!("argument {i} has {kinds} conflicting constraint kinds"));
+                return Err(format!(
+                    "argument {i} has {kinds} conflicting constraint kinds"
+                ));
             }
         }
         Ok(())
@@ -210,7 +212,9 @@ mod tests {
 
     #[test]
     fn conflicting_kinds_rejected() {
-        let d = PolicyDescriptor::new().with_immediate_arg(0).with_string_arg(0);
+        let d = PolicyDescriptor::new()
+            .with_immediate_arg(0)
+            .with_string_arg(0);
         assert!(d.validate().is_err());
     }
 

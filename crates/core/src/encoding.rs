@@ -90,8 +90,7 @@ pub fn encode_call(call: &EncodedCall) -> Vec<u8> {
     for (_, arg) in &call.args {
         match arg {
             EncodedArg::Immediate(v) => out.extend_from_slice(&v.to_le_bytes()),
-            EncodedArg::AuthString { addr, len, mac }
-            | EncodedArg::Pattern { addr, len, mac } => {
+            EncodedArg::AuthString { addr, len, mac } | EncodedArg::Pattern { addr, len, mac } => {
                 out.extend_from_slice(&addr.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(mac);
@@ -129,7 +128,14 @@ mod tests {
             block_id: 1234,
             args: vec![
                 (1, EncodedArg::Immediate(2)),
-                (2, EncodedArg::AuthString { addr: 0x81adcde, len: 0x12, mac: [0xAB; 16] }),
+                (
+                    2,
+                    EncodedArg::AuthString {
+                        addr: 0x81adcde,
+                        len: 0x12,
+                        mac: [0xAB; 16],
+                    },
+                ),
             ],
             pred_set: Some((0x81ae000, 12, [0xCD; 16])),
             lb_ptr: Some(0x810c4ab),
@@ -178,7 +184,11 @@ mod tests {
             },
             {
                 let mut c = sample();
-                c.args[1].1 = EncodedArg::AuthString { addr: 0x9000000, len: 0x12, mac: [0xAB; 16] };
+                c.args[1].1 = EncodedArg::AuthString {
+                    addr: 0x9000000,
+                    len: 0x12,
+                    mac: [0xAB; 16],
+                };
                 c
             },
             {

@@ -33,14 +33,19 @@
 //! assert!(des.arg_is_immediate(1));
 //! ```
 
+pub mod cache;
 pub mod descriptor;
 pub mod encoding;
+pub mod json;
 pub mod pattern;
 pub mod policy;
 pub mod verify;
 
+pub use cache::{CacheStats, VerifyCache};
 pub use descriptor::PolicyDescriptor;
 pub use encoding::{encode_call, EncodedArg, EncodedCall};
 pub use pattern::{match_pattern, produce_hint, Pattern, PatternError};
 pub use policy::{ArgPolicy, ProgramPolicy, SyscallPolicy, MAX_ARGS};
-pub use verify::{verify_call, AuthCallRegs, UserMemory, VerifyOutcome, Violation};
+pub use verify::{
+    verify_call, verify_call_cached, AuthCallRegs, UserMemory, VerifyOutcome, Violation,
+};

@@ -139,9 +139,13 @@ impl Pattern {
                     pos += l.len();
                 }
                 Elem::Choice(cs) => {
-                    let Some(&choice) = hint.get(h) else { return false };
+                    let Some(&choice) = hint.get(h) else {
+                        return false;
+                    };
                     h += 1;
-                    let Some(c) = cs.get(choice as usize) else { return false };
+                    let Some(c) = cs.get(choice as usize) else {
+                        return false;
+                    };
                     if input.len() < pos + c.len() || input[pos..pos + c.len()] != c[..] {
                         return false;
                     }
@@ -277,8 +281,14 @@ mod tests {
 
     #[test]
     fn parse_errors_and_roundtrip() {
-        assert_eq!(Pattern::parse("/tmp/{foo"), Err(PatternError::UnclosedBrace));
-        assert_eq!(Pattern::parse("{a{b}}"), Err(PatternError::BadBraceContents));
+        assert_eq!(
+            Pattern::parse("/tmp/{foo"),
+            Err(PatternError::UnclosedBrace)
+        );
+        assert_eq!(
+            Pattern::parse("{a{b}}"),
+            Err(PatternError::BadBraceContents)
+        );
         assert_eq!(Pattern::parse("{a*b}"), Err(PatternError::BadBraceContents));
         let p = Pattern::parse("/tmp/{foo,bar}*baz").unwrap();
         assert_eq!(p.to_text(), "/tmp/{foo,bar}*baz");

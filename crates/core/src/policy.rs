@@ -9,7 +9,7 @@ use crate::descriptor::PolicyDescriptor;
 pub const MAX_ARGS: usize = 6;
 
 /// The constraint a policy places on one argument.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ArgPolicy {
     /// Unconstrained: any value is allowed.
     Any,
@@ -41,7 +41,7 @@ impl ArgPolicy {
 
 /// The policy of one system call site — the unit the installer derives and
 /// the kernel enforces.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SyscallPolicy {
     /// System call number (the value of `R0` at the trap).
     pub syscall_nr: u16,
@@ -169,7 +169,7 @@ impl SyscallPolicy {
 /// The overall policy of a program: one [`SyscallPolicy`] per call site,
 /// plus program-level metadata. This is what the installer's *policy
 /// generation* phase produces and what the Table 1–3 experiments inspect.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProgramPolicy {
     /// Program name (for reports).
     pub program: String,
@@ -272,12 +272,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let p = SyscallPolicy::new(5, 0x1000, 3)
             .with_arg(0, ArgPolicy::StringLit(b"/x".to_vec()))
             .with_predecessors([1u32]);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: SyscallPolicy = serde_json::from_str(&json).unwrap();
+        let json = p.to_json();
+        let back = SyscallPolicy::from_json(&json).unwrap();
         assert_eq!(back, p);
     }
 }

@@ -10,10 +10,14 @@
 //! ([`VerifyOutcome::aes_blocks`]): the kernel's cycle model charges
 //! verification cost from these counts, which is how the simulator
 //! reproduces the paper's ≈4,000-cycle per-call overhead from first
-//! principles instead of hard-coding it.
+//! principles instead of hard-coding it. The counts are *measured* — the
+//! key's AES block counter is snapshotted around the verification — so a
+//! cached fast path ([`verify_call_cached`]) that skips recomputation is
+//! charged only for the blocks it actually ran.
 
-use asc_crypto::{Cmac, MacKey, MemoryChecker, PolicyState, MAC_LEN, POLICY_STATE_LEN};
+use asc_crypto::{MacKey, MemoryChecker, PolicyState, MAC_LEN, POLICY_STATE_LEN};
 
+use crate::cache::VerifyCache;
 use crate::descriptor::PolicyDescriptor;
 use crate::encoding::{encode_call, EncodedArg, EncodedCall};
 use crate::pattern::Pattern;
@@ -171,7 +175,10 @@ impl std::fmt::Display for Violation {
             Violation::MalformedPredecessorSet => write!(f, "malformed predecessor set"),
             Violation::BadPolicyState => write!(f, "policy state MAC mismatch"),
             Violation::NotInPredecessorSet { last_block } => {
-                write!(f, "control-flow violation: last block {last_block} not a predecessor")
+                write!(
+                    f,
+                    "control-flow violation: last block {last_block} not a predecessor"
+                )
             }
             Violation::CapabilityViolation { arg, fd } => {
                 write!(f, "capability violation: argument {arg} fd {fd} not active")
@@ -187,12 +194,17 @@ impl std::error::Error for Violation {}
 /// cycle model.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VerifyOutcome {
-    /// AES block-cipher invocations performed across all MAC computations.
+    /// AES block-cipher invocations actually performed across all MAC
+    /// computations (measured, not estimated — cache hits skip blocks and
+    /// are charged accordingly).
     pub aes_blocks: u64,
     /// Total bytes read from user space for string/pattern/set checks.
     pub bytes_checked: u64,
     /// Whether the policy state was updated (control-flow policies only).
     pub state_updated: bool,
+    /// Whether the call MAC was accepted from the verified-call cache
+    /// (the warm path) rather than recomputed.
+    pub cache_hit: bool,
     /// Capability-tracked `(argument index, fd)` pairs that passed.
     pub capability_args: Vec<(usize, u32)>,
 }
@@ -236,8 +248,34 @@ pub fn verify_call(
     checker: &mut MemoryChecker,
     mem: &mut dyn UserMemory,
     regs: &AuthCallRegs,
+    cap_check: Option<&mut dyn FnMut(u32) -> bool>,
+) -> Result<VerifyOutcome, Violation> {
+    verify_call_cached(key, checker, None, mem, regs, cap_check)
+}
+
+/// [`verify_call`] with an optional verified-call cache (the warm path).
+///
+/// With `cache: None` this is exactly the cold path. With a cache, MAC
+/// checks whose `(message, tag)` pair byte-matches an earlier fully
+/// verified pair are accepted without AES work; every mismatch falls back
+/// to the full CMAC computation, so the accept set is identical to the
+/// cold path (see the [`crate::cache`] module docs for the soundness
+/// argument). The returned [`VerifyOutcome`] meters the AES blocks
+/// actually executed.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] encountered; the caller logs it and
+/// kills the process.
+pub fn verify_call_cached(
+    key: &MacKey,
+    checker: &mut MemoryChecker,
+    mut cache: Option<&mut VerifyCache>,
+    mem: &mut dyn UserMemory,
+    regs: &AuthCallRegs,
     mut cap_check: Option<&mut dyn FnMut(u32) -> bool>,
 ) -> Result<VerifyOutcome, Violation> {
+    let blocks_at_entry = key.block_ops();
     let mut outcome = VerifyOutcome::default();
     let descriptor = PolicyDescriptor::from_bits(regs.pol_des);
     if descriptor.validate().is_err() {
@@ -274,7 +312,14 @@ pub fn verify_call(
             }
             extras_cursor += 8 + 4 * hint_len;
             let (len, mac) = read_as_header(mem, pat_ptr, i)?;
-            args.push((i, EncodedArg::Pattern { addr: pat_ptr, len, mac }));
+            args.push((
+                i,
+                EncodedArg::Pattern {
+                    addr: pat_ptr,
+                    len,
+                    mac,
+                },
+            ));
             pattern_info.push((i, pat_ptr, hint));
         } else if descriptor.arg_is_capability(i) {
             args.push((i, EncodedArg::Capability));
@@ -299,9 +344,19 @@ pub fn verify_call(
         lb_ptr: control_flow.then_some(regs.lb_ptr),
     };
     let encoding = encode_call(&encoded);
-    outcome.aes_blocks += Cmac::blocks_for_len(encoding.len());
-    if !key.verify(&encoding, &call_mac) {
-        return Err(Violation::BadCallMac);
+    let call_cached = match cache.as_deref_mut() {
+        Some(c) => c.check_call(regs.call_site, &encoding, &call_mac),
+        None => false,
+    };
+    if call_cached {
+        outcome.cache_hit = true;
+    } else {
+        if !key.verify(&encoding, &call_mac) {
+            return Err(Violation::BadCallMac);
+        }
+        if let Some(c) = cache.as_deref_mut() {
+            c.record_call(regs.call_site, &encoding, &call_mac);
+        }
     }
 
     // --- Step 2: check the integrity of authenticated strings. ---
@@ -309,18 +364,32 @@ pub fn verify_call(
         match arg {
             EncodedArg::AuthString { addr, len, mac } => {
                 let contents = mem.read_bytes(*addr, *len)?;
-                outcome.aes_blocks += Cmac::blocks_for_len(contents.len());
                 outcome.bytes_checked += contents.len() as u64;
-                if !key.verify(&contents, mac) {
-                    return Err(Violation::BadStringMac { arg: *i });
+                let cached = cache
+                    .as_deref_mut()
+                    .is_some_and(|c| c.check_blob(*addr, mac, &contents));
+                if !cached {
+                    if !key.verify(&contents, mac) {
+                        return Err(Violation::BadStringMac { arg: *i });
+                    }
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.record_blob(*addr, mac, &contents);
+                    }
                 }
             }
             EncodedArg::Pattern { addr, len, mac } => {
                 let pattern_text = mem.read_bytes(*addr, *len)?;
-                outcome.aes_blocks += Cmac::blocks_for_len(pattern_text.len());
                 outcome.bytes_checked += pattern_text.len() as u64;
-                if !key.verify(&pattern_text, mac) {
-                    return Err(Violation::BadPattern { arg: *i });
+                let cached = cache
+                    .as_deref_mut()
+                    .is_some_and(|c| c.check_blob(*addr, mac, &pattern_text));
+                if !cached {
+                    if !key.verify(&pattern_text, mac) {
+                        return Err(Violation::BadPattern { arg: *i });
+                    }
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.record_blob(*addr, mac, &pattern_text);
+                    }
                 }
                 let text = std::str::from_utf8(&pattern_text)
                     .map_err(|_| Violation::BadPattern { arg: *i })?;
@@ -357,29 +426,50 @@ pub fn verify_call(
     if control_flow {
         let (addr, len, mac) = pred_set.expect("set when control_flow");
         let contents = mem.read_bytes(addr, len)?;
-        outcome.aes_blocks += Cmac::blocks_for_len(contents.len());
         outcome.bytes_checked += contents.len() as u64;
-        if !key.verify(&contents, &mac) {
-            return Err(Violation::MalformedPredecessorSet);
+        let set_cached = cache
+            .as_deref_mut()
+            .is_some_and(|c| c.check_blob(addr, &mac, &contents));
+        if !set_cached {
+            if !key.verify(&contents, &mac) {
+                return Err(Violation::MalformedPredecessorSet);
+            }
+            if let Some(c) = cache.as_deref_mut() {
+                c.record_blob(addr, &mac, &contents);
+            }
         }
         let preds = SyscallPolicy::parse_predecessor_bytes(&contents)
             .ok_or(Violation::MalformedPredecessorSet)?;
 
         let state_bytes = mem.read_bytes(regs.lb_ptr, POLICY_STATE_LEN as u32)?;
         let state = PolicyState::parse(&state_bytes).expect("exact length read");
-        outcome.aes_blocks += 1; // state MAC verification (12-byte message)
-        if !checker.verify(key, &state) {
+        // The state entry is only valid for the current counter epoch: the
+        // kernel wrote these exact bytes itself after the last update, so
+        // re-verifying them would be redundant AES work. Any divergence —
+        // tampered bytes, a different cell, or an advanced counter — takes
+        // the full verification below, where forgery and replay die.
+        let state_cached = cache
+            .as_deref_mut()
+            .is_some_and(|c| c.check_state(regs.lb_ptr, &state_bytes, checker.counter()));
+        if !state_cached && !checker.verify(key, &state) {
             return Err(Violation::BadPolicyState);
         }
         if !preds.contains(&state.last_block) {
-            return Err(Violation::NotInPredecessorSet { last_block: state.last_block });
+            return Err(Violation::NotInPredecessorSet {
+                last_block: state.last_block,
+            });
         }
+        // The counter must advance on every successful control-flow check
+        // (it is the anti-replay nonce), so the update always runs.
         let new_state = checker.update(key, regs.block_id);
-        outcome.aes_blocks += 1; // new state MAC
         mem.write_bytes(regs.lb_ptr, &new_state.to_bytes())?;
+        if let Some(c) = cache {
+            c.record_state(regs.lb_ptr, new_state.to_bytes(), checker.counter());
+        }
         outcome.state_updated = true;
     }
 
+    outcome.aes_blocks = key.block_ops().wrapping_sub(blocks_at_entry);
     Ok(outcome)
 }
 
@@ -447,8 +537,7 @@ mod tests {
         let k = key();
         let path = AuthenticatedString::build(&k, b"/etc/motd".to_vec());
         put_as(mem, AS_ADDR, &path);
-        let preds: Vec<u8> =
-            [0u32, 7].iter().flat_map(|p| p.to_le_bytes()).collect();
+        let preds: Vec<u8> = [0u32, 7].iter().flat_map(|p| p.to_le_bytes()).collect();
         let ps = AuthenticatedString::build(&k, preds);
         put_as(mem, PS_ADDR, &ps);
         let state = MemoryChecker::initial_state(&k);
@@ -465,7 +554,14 @@ mod tests {
             call_site: 0x1040,
             block_id: 9,
             args: vec![
-                (0, EncodedArg::AuthString { addr: AS_ADDR, len: 9, mac: *path.mac() }),
+                (
+                    0,
+                    EncodedArg::AuthString {
+                        addr: AS_ADDR,
+                        len: 9,
+                        mac: *path.mac(),
+                    },
+                ),
                 (1, EncodedArg::Immediate(0)),
             ],
             pred_set: Some((PS_ADDR, 8, *ps.mac())),
@@ -518,8 +614,8 @@ mod tests {
         let mut mem = MockMem::default();
         let mut regs = setup_call(&mut mem);
         regs.nr = 11; // try to turn open into execve
-        let err = verify_call(&key(), &mut MemoryChecker::new(), &mut mem, &regs, None)
-            .unwrap_err();
+        let err =
+            verify_call(&key(), &mut MemoryChecker::new(), &mut mem, &regs, None).unwrap_err();
         assert_eq!(err, Violation::BadCallMac);
     }
 
@@ -631,7 +727,9 @@ mod tests {
         let mut mem = MockMem::default();
         let k = key();
         // read(fd=4, buf, n) with fd capability-tracked.
-        let descriptor = PolicyDescriptor::new().with_call_site().with_capability_arg(0);
+        let descriptor = PolicyDescriptor::new()
+            .with_call_site()
+            .with_capability_arg(0);
         let encoded = EncodedCall {
             syscall_nr: 3,
             descriptor,
@@ -654,15 +752,27 @@ mod tests {
             hint_ptr: 0,
         };
         let mut allowed = |fd: u32| fd == 4;
-        let out = verify_call(&k, &mut MemoryChecker::new(), &mut mem, &regs, Some(&mut allowed))
-            .unwrap();
+        let out = verify_call(
+            &k,
+            &mut MemoryChecker::new(),
+            &mut mem,
+            &regs,
+            Some(&mut allowed),
+        )
+        .unwrap();
         assert_eq!(out.capability_args, vec![(0, 4)]);
 
         let mut regs2 = regs;
         regs2.args[0] = 5;
         let mut allowed = |fd: u32| fd == 4;
         assert_eq!(
-            verify_call(&k, &mut MemoryChecker::new(), &mut mem, &regs2, Some(&mut allowed)),
+            verify_call(
+                &k,
+                &mut MemoryChecker::new(),
+                &mut mem,
+                &regs2,
+                Some(&mut allowed)
+            ),
             Err(Violation::CapabilityViolation { arg: 0, fd: 5 })
         );
     }
@@ -690,7 +800,14 @@ mod tests {
             descriptor,
             call_site: 0x3000,
             block_id: 2,
-            args: vec![(0, EncodedArg::Pattern { addr: PAT_ADDR, len: 18, mac: *pattern.mac() })],
+            args: vec![(
+                0,
+                EncodedArg::Pattern {
+                    addr: PAT_ADDR,
+                    len: 18,
+                    mac: *pattern.mac(),
+                },
+            )],
             pred_set: None,
             lb_ptr: None,
         };
@@ -710,8 +827,7 @@ mod tests {
 
         // A non-matching argument fails even with a "creative" hint.
         mem.put(ARG_ADDR, b"/etc/passwd\0\0\0\0");
-        let err =
-            verify_call(&k, &mut MemoryChecker::new(), &mut mem, &regs, None).unwrap_err();
+        let err = verify_call(&k, &mut MemoryChecker::new(), &mut mem, &regs, None).unwrap_err();
         assert_eq!(err, Violation::PatternMismatch { arg: 0 });
     }
 
@@ -794,6 +910,235 @@ mod tests {
         // The call MAC covers the (addr, len, mac) tuple, so the forgery
         // dies at step 1.
         assert_eq!(err, Violation::BadCallMac);
+    }
+
+    /// A repeatable (no control flow) call: getpid-style with one
+    /// authenticated string argument, so both the call MAC and a blob are
+    /// exercised on every verification.
+    fn setup_repeatable_call(mem: &mut MockMem) -> AuthCallRegs {
+        let k = key();
+        let path = AuthenticatedString::build(&k, b"/etc/motd".to_vec());
+        put_as(mem, AS_ADDR, &path);
+        let descriptor = PolicyDescriptor::new().with_call_site().with_string_arg(0);
+        let encoded = EncodedCall {
+            syscall_nr: 5,
+            descriptor,
+            call_site: 0x1040,
+            block_id: 9,
+            args: vec![(
+                0,
+                EncodedArg::AuthString {
+                    addr: AS_ADDR,
+                    len: 9,
+                    mac: *path.mac(),
+                },
+            )],
+            pred_set: None,
+            lb_ptr: None,
+        };
+        mem.put(MAC_ADDR, &encoded.mac(&k));
+        AuthCallRegs {
+            nr: 5,
+            call_site: 0x1040,
+            args: [AS_ADDR, 0, 0, 0, 0, 0],
+            pol_des: descriptor.bits(),
+            block_id: 9,
+            pred_set_ptr: 0,
+            lb_ptr: 0,
+            call_mac_ptr: MAC_ADDR,
+            hint_ptr: 0,
+        }
+    }
+
+    #[test]
+    fn warm_path_skips_all_aes_for_repeated_call() {
+        let mut mem = MockMem::default();
+        let regs = setup_repeatable_call(&mut mem);
+        let mut checker = MemoryChecker::new();
+        let mut cache = crate::cache::VerifyCache::new();
+        let k = key();
+        let cold =
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.aes_blocks >= 2, "call MAC + string MAC");
+        let warm =
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.aes_blocks, 0, "identical call: no AES at all");
+        assert_eq!(
+            warm.bytes_checked, cold.bytes_checked,
+            "memory is still re-read"
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().blob_hits, 1);
+    }
+
+    #[test]
+    fn warm_path_still_catches_rewritten_string() {
+        // The non-control-data attack performed *after* the cache is warm:
+        // the blob comparison misses, the full CMAC runs, and the call
+        // dies exactly like the cold path.
+        let mut mem = MockMem::default();
+        let regs = setup_repeatable_call(&mut mem);
+        let mut checker = MemoryChecker::new();
+        let mut cache = crate::cache::VerifyCache::new();
+        let k = key();
+        verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        mem.put(AS_ADDR, b"/etc/pass");
+        assert_eq!(
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None),
+            Err(Violation::BadStringMac { arg: 0 })
+        );
+    }
+
+    #[test]
+    fn warm_path_still_catches_tampered_registers() {
+        let mut mem = MockMem::default();
+        let regs = setup_repeatable_call(&mut mem);
+        let mut checker = MemoryChecker::new();
+        let mut cache = crate::cache::VerifyCache::new();
+        let k = key();
+        verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        let mut forged = regs;
+        forged.nr = 11; // execve from the cached open site
+        assert_eq!(
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &forged, None),
+            Err(Violation::BadCallMac)
+        );
+    }
+
+    #[test]
+    fn control_flow_warm_path_charges_only_the_update() {
+        // A self-loop so the same call is control-flow-legal twice.
+        let mut mem = MockMem::default();
+        let k = key();
+        let preds: Vec<u8> = [0u32, 9].iter().flat_map(|p| p.to_le_bytes()).collect();
+        let ps = AuthenticatedString::build(&k, preds);
+        put_as(&mut mem, PS_ADDR, &ps);
+        mem.put(LB_ADDR, &MemoryChecker::initial_state(&k).to_bytes());
+        let descriptor = PolicyDescriptor::new().with_call_site().with_control_flow();
+        let encoded = EncodedCall {
+            syscall_nr: 20,
+            descriptor,
+            call_site: 0x1040,
+            block_id: 9,
+            args: vec![],
+            pred_set: Some((PS_ADDR, 8, *ps.mac())),
+            lb_ptr: Some(LB_ADDR),
+        };
+        mem.put(MAC_ADDR, &encoded.mac(&k));
+        let regs = AuthCallRegs {
+            nr: 20,
+            call_site: 0x1040,
+            args: [0; 6],
+            pol_des: descriptor.bits(),
+            block_id: 9,
+            pred_set_ptr: PS_ADDR,
+            lb_ptr: LB_ADDR,
+            call_mac_ptr: MAC_ADDR,
+            hint_ptr: 0,
+        };
+        let mut checker = MemoryChecker::new();
+        let mut cache = crate::cache::VerifyCache::new();
+        let cold =
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        assert!(
+            cold.aes_blocks >= 4,
+            "call MAC, pred set, state verify, state update"
+        );
+        let warm =
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(
+            warm.aes_blocks, 1,
+            "only the counter-advancing state update runs AES"
+        );
+        assert!(
+            warm.aes_blocks * 2 <= cold.aes_blocks,
+            "warm is at least 50% cheaper"
+        );
+        assert_eq!(cache.stats().state_hits, 1);
+    }
+
+    #[test]
+    fn stale_cache_replay_of_old_state_still_dies() {
+        // The stale-cache exploit: warm the cache, snapshot the policy
+        // state, let the counter advance, restore the snapshot, replay.
+        // The cached state entry is epoch-bound, so the comparison misses
+        // and the full check rejects the replayed bytes.
+        let mut mem = MockMem::default();
+        let regs = setup_call(&mut mem);
+        let mut checker = MemoryChecker::new();
+        let mut cache = crate::cache::VerifyCache::new();
+        let k = key();
+        let snapshot = mem.read_bytes(LB_ADDR, 20).unwrap();
+        verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None).unwrap();
+        mem.put(LB_ADDR, &snapshot);
+        assert_eq!(
+            verify_call_cached(&k, &mut checker, Some(&mut cache), &mut mem, &regs, None),
+            Err(Violation::BadPolicyState)
+        );
+    }
+
+    #[test]
+    fn cached_and_cold_paths_agree_on_acceptance() {
+        // Differential check: for the standard call and a pile of forgeries,
+        // a warm cache and no cache must return the same verdict.
+        let tamper: &[fn(&mut MockMem, &mut AuthCallRegs)] = &[
+            |_, r| r.nr = 11,
+            |_, r| r.call_site ^= 4,
+            |_, r| r.block_id ^= 1,
+            |m, _| m.put(AS_ADDR, b"/etc/pass"),
+            |m, _| {
+                let bad = [0xffu8; 16];
+                m.put(MAC_ADDR, &bad);
+            },
+            |_, _| {}, // the untampered call
+        ];
+        for f in tamper {
+            let mut cold_mem = MockMem::default();
+            let mut cold_regs = setup_call(&mut cold_mem);
+            let mut warm_mem = MockMem::default();
+            let mut warm_regs = setup_call(&mut warm_mem);
+            let k = key();
+            let mut warm_checker = MemoryChecker::new();
+            let mut cache = crate::cache::VerifyCache::new();
+            // Warm the cache with one legitimate call, then reset state so
+            // both runs see the same control-flow position.
+            verify_call_cached(
+                &k,
+                &mut warm_checker,
+                Some(&mut cache),
+                &mut warm_mem,
+                &warm_regs,
+                None,
+            )
+            .unwrap();
+            let mut warm_mem = MockMem::default();
+            let mut warm_regs2 = setup_call(&mut warm_mem);
+            f(&mut cold_mem, &mut cold_regs);
+            f(&mut warm_mem, &mut warm_regs2);
+            warm_regs = warm_regs2;
+            let cold = verify_call(
+                &k,
+                &mut MemoryChecker::new(),
+                &mut cold_mem,
+                &cold_regs,
+                None,
+            );
+            let warm = verify_call_cached(
+                &k,
+                &mut MemoryChecker::new(),
+                Some(&mut cache),
+                &mut warm_mem,
+                &warm_regs,
+                None,
+            );
+            assert_eq!(cold.is_ok(), warm.is_ok(), "verdicts diverged");
+            if let (Err(c), Err(w)) = (&cold, &warm) {
+                assert_eq!(c, w, "violations diverged");
+            }
+        }
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl AuthenticatedString {
         mac.copy_from_slice(&bytes[4..AS_HEADER_LEN]);
         let available = bytes.len() - AS_HEADER_LEN;
         if len > available {
-            return Err(ParseAsError::TruncatedContents { declared: len, available });
+            return Err(ParseAsError::TruncatedContents {
+                declared: len,
+                available,
+            });
         }
         let contents = bytes[AS_HEADER_LEN..AS_HEADER_LEN + len].to_vec();
         Ok(AuthenticatedString { contents, mac })
@@ -165,7 +168,10 @@ mod tests {
 
     #[test]
     fn truncated_header() {
-        assert_eq!(AuthenticatedString::parse(&[0u8; 19]), Err(ParseAsError::TruncatedHeader));
+        assert_eq!(
+            AuthenticatedString::parse(&[0u8; 19]),
+            Err(ParseAsError::TruncatedHeader)
+        );
     }
 
     #[test]
@@ -173,7 +179,13 @@ mod tests {
         let s = AuthenticatedString::build(&key(), b"abcdef".to_vec());
         let bytes = s.to_bytes();
         let err = AuthenticatedString::parse(&bytes[..bytes.len() - 1]).unwrap_err();
-        assert_eq!(err, ParseAsError::TruncatedContents { declared: 6, available: 5 });
+        assert_eq!(
+            err,
+            ParseAsError::TruncatedContents {
+                declared: 6,
+                available: 5
+            }
+        );
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl Cmac {
             len.div_ceil(16) as u64
         }
     }
+
+    /// AES block operations performed through this instance so far (the
+    /// subkey derivation in [`Cmac::new`] counts as one). See
+    /// [`Aes128::block_ops`].
+    pub fn block_ops(&self) -> u64 {
+        self.aes.block_ops()
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +113,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     fn rfc4493_cmac() -> Cmac {
@@ -131,7 +141,10 @@ mod tests {
     fn rfc4493_example2_16_bytes() {
         let c = rfc4493_cmac();
         let msg = hex("6bc1bee22e409f96e93d7e117393172a");
-        assert_eq!(c.mac(&msg).to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+        assert_eq!(
+            c.mac(&msg).to_vec(),
+            hex("070a16b46b4d4144f79bdd9dd04a287c")
+        );
     }
 
     #[test]
@@ -142,7 +155,10 @@ mod tests {
             "ae2d8a571e03ac9c9eb76fac45af8e51",
             "30c81c46a35ce411"
         ));
-        assert_eq!(c.mac(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+        assert_eq!(
+            c.mac(&msg).to_vec(),
+            hex("dfa66747de9ae63030ca32611497c827")
+        );
     }
 
     #[test]
@@ -154,7 +170,10 @@ mod tests {
             "30c81c46a35ce411e5fbc1191a0a52ef",
             "f69f2445df4f9b17ad2b417be66c3710"
         ));
-        assert_eq!(c.mac(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+        assert_eq!(
+            c.mac(&msg).to_vec(),
+            hex("51f0bebf7e3b9d92fc49741779363cfe")
+        );
     }
 
     #[test]
@@ -166,6 +185,21 @@ mod tests {
         let mut bad = tag;
         bad[0] ^= 1;
         assert!(!c.verify(b"hello world", &bad));
+    }
+
+    #[test]
+    fn block_ops_matches_blocks_for_len() {
+        let c = rfc4493_cmac();
+        for len in [0usize, 1, 15, 16, 17, 32, 40, 64, 100] {
+            let msg = vec![0xabu8; len];
+            let before = c.block_ops();
+            c.mac(&msg);
+            assert_eq!(
+                c.block_ops() - before,
+                Cmac::blocks_for_len(len),
+                "measured blocks disagree with the model for len {len}"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl std::fmt::Debug for MacKey {
 impl MacKey {
     /// Creates a key from raw bytes.
     pub fn new(key: [u8; 16]) -> Self {
-        MacKey { cmac: Cmac::new(&key) }
+        MacKey {
+            cmac: Cmac::new(&key),
+        }
     }
 
     /// Derives a key deterministically from a seed, for tests and examples.
@@ -42,6 +44,13 @@ impl MacKey {
     /// Verifies `tag` over `msg`.
     pub fn verify(&self, msg: &[u8], tag: &Mac) -> bool {
         self.cmac.verify(msg, tag)
+    }
+
+    /// AES block operations performed through this key so far. The kernel
+    /// snapshots this around a verification to charge cycles for the
+    /// cryptographic work actually done. See [`crate::Aes128::block_ops`].
+    pub fn block_ops(&self) -> u64 {
+        self.cmac.block_ops()
     }
 }
 

@@ -56,7 +56,10 @@ impl MemoryChecker {
     /// The initial application-side state the installer embeds in the
     /// binary: `lastBlock = 0` authenticated against counter 0.
     pub fn initial_state(key: &MacKey) -> PolicyState {
-        PolicyState { last_block: 0, mac: key.mac(&state_message(0, 0)) }
+        PolicyState {
+            last_block: 0,
+            mac: key.mac(&state_message(0, 0)),
+        }
     }
 
     /// Checks that `state` read from application memory is authentic with
@@ -69,7 +72,10 @@ impl MemoryChecker {
     /// `new_block`, to be written back into application memory.
     pub fn update(&mut self, key: &MacKey, new_block: u32) -> PolicyState {
         self.counter += 1;
-        PolicyState { last_block: new_block, mac: key.mac(&state_message(new_block, self.counter)) }
+        PolicyState {
+            last_block: new_block,
+            mac: key.mac(&state_message(new_block, self.counter)),
+        }
     }
 }
 

@@ -18,7 +18,11 @@ pub struct AscBuilder {
 impl AscBuilder {
     /// A builder whose section will be loaded at `base`.
     pub fn new(base: u32) -> AscBuilder {
-        AscBuilder { base, bytes: Vec::new(), strings: HashMap::new() }
+        AscBuilder {
+            base,
+            bytes: Vec::new(),
+            strings: HashMap::new(),
+        }
     }
 
     fn cursor(&self) -> u32 {
@@ -29,7 +33,8 @@ impl AscBuilder {
     /// (`lbPtr`).
     pub fn add_policy_state(&mut self, key: &MacKey) -> u32 {
         let addr = self.cursor();
-        self.bytes.extend_from_slice(&MemoryChecker::initial_state(key).to_bytes());
+        self.bytes
+            .extend_from_slice(&MemoryChecker::initial_state(key).to_bytes());
         addr
     }
 
@@ -74,7 +79,8 @@ impl AscBuilder {
     /// reserved consecutively; the first entry's address goes in `R12`.
     pub fn reserve_pattern_extra(&mut self, pattern_contents_ptr: u32) -> u32 {
         let addr = self.cursor();
-        self.bytes.extend_from_slice(&pattern_contents_ptr.to_le_bytes());
+        self.bytes
+            .extend_from_slice(&pattern_contents_ptr.to_le_bytes());
         self.bytes.extend_from_slice(&1u32.to_le_bytes());
         self.bytes.extend_from_slice(&0u32.to_le_bytes());
         addr

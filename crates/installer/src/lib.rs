@@ -169,7 +169,9 @@ pub struct Installer {
 
 impl std::fmt::Debug for Installer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Installer").field("options", &self.options).finish()
+        f.debug_struct("Installer")
+            .field("options", &self.options)
+            .finish()
     }
 }
 

@@ -39,7 +39,10 @@ impl Metapolicy {
     /// be constrained for `syscall` (or all syscalls when `None`).
     #[must_use]
     pub fn require(mut self, syscall: Option<SyscallId>, required_args: u8) -> Metapolicy {
-        self.rules.push(MetapolicyRule { syscall, required_args });
+        self.rules.push(MetapolicyRule {
+            syscall,
+            required_args,
+        });
         self
     }
 
@@ -102,7 +105,10 @@ mod tests {
     #[test]
     fn fills_lookup() {
         let mp = Metapolicy::new().fill("open", 0, ArgPolicy::Pattern("/tmp/*".into()));
-        assert_eq!(mp.fill_for("open", 0), Some(&ArgPolicy::Pattern("/tmp/*".into())));
+        assert_eq!(
+            mp.fill_for("open", 0),
+            Some(&ArgPolicy::Pattern("/tmp/*".into()))
+        );
         assert_eq!(mp.fill_for("open", 1), None);
         assert_eq!(mp.fill_for("read", 0), None);
     }

@@ -52,8 +52,10 @@ pub(crate) fn plan(
     let inlined = analysis.inlined_stubs.clone();
 
     let mut policy = ProgramPolicy::new(program, opts.personality.name());
-    policy.undisassembled_regions =
-        warnings.iter().filter(|w| w.contains("could not disassemble")).count();
+    policy.undisassembled_regions = warnings
+        .iter()
+        .filter(|w| w.contains("could not disassemble"))
+        .count();
     let mut stats = CoverageStats::default();
     let mut templates = Vec::new();
     let mut sites = Vec::new();
@@ -63,12 +65,12 @@ pub(crate) fn plan(
         // Inlined syscall instructions carry no original address of their
         // own; attribute them to the nearest preceding original address
         // (the inlined call site), which also keeps policy keys unique.
-        let orig_addr = (0..=site.item_index).rev().find_map(|i| {
-            match &analysis.unit().items[i] {
+        let orig_addr = (0..=site.item_index)
+            .rev()
+            .find_map(|i| match &analysis.unit().items[i] {
                 IrItem::Instr(instr) => instr.orig_addr,
                 IrItem::Raw { orig_addr, .. } => Some(*orig_addr),
-            }
-        });
+            });
         let Some((nr, mut args, spec)) = classify_site(
             binary,
             opts.personality,
@@ -199,7 +201,15 @@ pub(crate) fn install(
     let opts = installer.options().clone();
     let key = installer.key();
     let plan = plan(installer, binary, program)?;
-    let Plan { unit, sites, stats, warnings, templates, inlined, .. } = plan;
+    let Plan {
+        unit,
+        sites,
+        stats,
+        warnings,
+        templates,
+        inlined,
+        ..
+    } = plan;
 
     // --- 1. Sizes and layout. ---
     // Per site: one MOVI per string-constant argument + the five
@@ -207,10 +217,16 @@ pub(crate) fn install(
     let per_site_inserts: Vec<usize> = sites
         .iter()
         .map(|s| {
-            let strings =
-                s.args.iter().filter(|a| matches!(a, ArgPolicy::StringLit(_))).count();
-            let patterns =
-                s.args.iter().filter(|a| matches!(a, ArgPolicy::Pattern(_))).count();
+            let strings = s
+                .args
+                .iter()
+                .filter(|a| matches!(a, ArgPolicy::StringLit(_)))
+                .count();
+            let patterns = s
+                .args
+                .iter()
+                .filter(|a| matches!(a, ArgPolicy::Pattern(_)))
+                .count();
             // 10 instructions of generated hint code per pattern argument
             // plus one extras-pointer load when any pattern exists.
             5 + strings + patterns * 10 + usize::from(patterns > 0)
@@ -235,7 +251,12 @@ pub(crate) fn install(
         if s.name == sections::TEXT {
             continue;
         }
-        section_delta.push((s.name.clone(), s.addr, s.mem_size, next as i64 - s.addr as i64));
+        section_delta.push((
+            s.name.clone(),
+            s.addr,
+            s.mem_size,
+            next as i64 - s.addr as i64,
+        ));
         next = align_up(next + s.mem_size);
     }
     let asc_base = next;
@@ -271,8 +292,11 @@ pub(crate) fn install(
     for site in &sites {
         let pred_tuple = if opts.control_flow {
             let mut bytes = Vec::new();
-            let mut runtime_preds: Vec<u32> =
-                site.preds.iter().map(|&p| runtime_block(installer, p)).collect();
+            let mut runtime_preds: Vec<u32> = site
+                .preds
+                .iter()
+                .map(|&p| runtime_block(installer, p))
+                .collect();
             runtime_preds.sort_unstable();
             runtime_preds.dedup();
             for p in &runtime_preds {
@@ -311,19 +335,31 @@ pub(crate) fn install(
             pa.slot = asc.reserve_pattern_extra(pa.tuple.0);
         }
         let mac_slot = asc.reserve_mac();
-        site_asc.push(SiteAsc { pred_tuple, string_args, pattern_args, mac_slot });
+        site_asc.push(SiteAsc {
+            pred_tuple,
+            string_args,
+            pattern_args,
+            mac_slot,
+        });
     }
 
     // --- 3. Splice in the authenticated-call argument loads. ---
-    let site_by_item: HashMap<usize, usize> =
-        sites.iter().enumerate().map(|(si, s)| (s.item_index, si)).collect();
+    let site_by_item: HashMap<usize, usize> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, s)| (s.item_index, si))
+        .collect();
     let mut new_items: Vec<IrItem> = Vec::with_capacity(unit.items.len() + total_inserts);
     let mut site_new_index: Vec<usize> = vec![0; sites.len()];
     // Internal branches of generated code: (branch item, target item),
     // patched once final addresses exist.
     let mut branch_patches: Vec<(usize, usize)> = Vec::new();
     let synth = |instr: Instruction| {
-        IrItem::Instr(IrInstr { orig_addr: None, instr, imm_is_addr: false })
+        IrItem::Instr(IrInstr {
+            orig_addr: None,
+            instr,
+            imm_is_addr: false,
+        })
     };
     for (idx, item) in unit.items.iter().enumerate() {
         if let Some(&si) = site_by_item.get(&idx) {
@@ -331,7 +367,9 @@ pub(crate) fn install(
             let sa = &site_asc[si];
             let descriptor = site_descriptor(&opts, site);
             let block_id = runtime_block(installer, site.block);
-            let IrItem::Instr(sys_instr) = item else { unreachable!("sites are instrs") };
+            let IrItem::Instr(sys_instr) = item else {
+                unreachable!("sites are instrs")
+            };
             let first_insert = new_items.len();
 
             // Generated hint code per pattern argument (§5.1): compute
@@ -344,7 +382,12 @@ pub(crate) fn install(
                 new_items.push(synth(Instruction::movi(Reg::R11, 0)));
                 new_items.push(synth(Instruction::mov(Reg::R12, ri)));
                 new_items.push(synth(Instruction::ldb(Reg::LR, Reg::R12, 0))); // loop head
-                new_items.push(synth(Instruction::branch(Opcode::Beq, Reg::LR, Reg::R11, 0)));
+                new_items.push(synth(Instruction::branch(
+                    Opcode::Beq,
+                    Reg::LR,
+                    Reg::R11,
+                    0,
+                )));
                 new_items.push(synth(Instruction::addi(Reg::R12, Reg::R12, 1)));
                 new_items.push(synth(Instruction::jmp(0)));
                 new_items.push(synth(Instruction::alu(Opcode::Sub, Reg::R12, Reg::R12, ri)));
@@ -435,7 +478,12 @@ pub(crate) fn install(
 
     // --- 5. Assemble the output binary. ---
     let mut out = Binary::new(remap(binary.entry()));
-    out.push_section(Section::new(sections::TEXT, text_base, text, SectionFlags::RX));
+    out.push_section(Section::new(
+        sections::TEXT,
+        text_base,
+        text,
+        SectionFlags::RX,
+    ));
     let text_index = binary.section_index(sections::TEXT).expect("lift checked");
     for s in binary.sections() {
         if s.name == sections::TEXT {
@@ -489,7 +537,14 @@ pub(crate) fn install(
                         .iter()
                         .find(|(arg, ..)| *arg == i)
                         .expect("string arg recorded");
-                    args.push((i, EncodedArg::AuthString { addr: *addr, len: *len, mac: *mac }));
+                    args.push((
+                        i,
+                        EncodedArg::AuthString {
+                            addr: *addr,
+                            len: *len,
+                            mac: *mac,
+                        },
+                    ));
                 }
                 ArgPolicy::Capability => args.push((i, EncodedArg::Capability)),
                 ArgPolicy::Pattern(_) => {
@@ -527,12 +582,21 @@ pub(crate) fn install(
             })
             .collect();
         if opts.control_flow {
-            sp.predecessors =
-                Some(site.preds.iter().map(|&p| runtime_block(installer, p)).collect());
+            sp.predecessors = Some(
+                site.preds
+                    .iter()
+                    .map(|&p| runtime_block(installer, p))
+                    .collect(),
+            );
         }
         final_policy.insert(sp);
     }
-    out.push_section(Section::new(sections::ASC, asc_base, asc.into_bytes(), SectionFlags::RW));
+    out.push_section(Section::new(
+        sections::ASC,
+        asc_base,
+        asc.into_bytes(),
+        SectionFlags::RW,
+    ));
 
     // --- 7. Symbols, flags. ---
     for sym in binary.symbols() {
@@ -557,10 +621,7 @@ pub(crate) fn install(
     Ok((out, report))
 }
 
-fn site_descriptor(
-    opts: &crate::InstallerOptions,
-    site: &SitePlan,
-) -> asc_core::PolicyDescriptor {
+fn site_descriptor(opts: &crate::InstallerOptions, site: &SitePlan) -> asc_core::PolicyDescriptor {
     let mut sp = SyscallPolicy::new(site.nr, 0, 0);
     sp.args = site.args.clone();
     if opts.control_flow {

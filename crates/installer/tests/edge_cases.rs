@@ -51,7 +51,12 @@ fn branch_targeting_a_syscall_lands_on_the_prologue() {
     ",
     );
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stats().verified, 4);
 }
 
@@ -91,7 +96,12 @@ fn large_text_pushes_sections_across_pages() {
     assert!(new_rodata > old_rodata, "rodata must have moved");
     assert_eq!(report.policy.sites(), 81);
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stats().verified, 81);
 }
 
@@ -120,7 +130,12 @@ fn multiple_string_arguments_in_one_call() {
     assert_eq!(link.args[0], ArgPolicy::StringLit(b"/etc/motd".to_vec()));
     assert_eq!(link.args[1], ArgPolicy::StringLit(b"/etc/motd2".to_vec()));
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert!(kernel.fs().read_file("/etc/motd2").is_ok());
 }
 
@@ -174,10 +189,13 @@ fn program_id_changes_macs_but_not_behaviour() {
     ";
     let plain = assemble(src).unwrap();
     let mk = |pid| {
-        Installer::new(key(), InstallerOptions::new(Personality::Linux).with_program_id(pid))
-            .install(&plain, "p")
-            .unwrap()
-            .0
+        Installer::new(
+            key(),
+            InstallerOptions::new(Personality::Linux).with_program_id(pid),
+        )
+        .install(&plain, "p")
+        .unwrap()
+        .0
     };
     let a = mk(1);
     let b = mk(2);
@@ -209,17 +227,19 @@ fn cross_program_asc_sections_are_not_interchangeable() {
     ";
     let plain = assemble(src).unwrap();
     let mk = |pid| {
-        Installer::new(key(), InstallerOptions::new(Personality::Linux).with_program_id(pid))
-            .install(&plain, "p")
-            .unwrap()
-            .0
+        Installer::new(
+            key(),
+            InstallerOptions::new(Personality::Linux).with_program_id(pid),
+        )
+        .install(&plain, "p")
+        .unwrap()
+        .0
     };
     let a = mk(1);
     let b = mk(2);
     let mut franken = a.clone();
     let asc_idx = franken.section_index(".asc").unwrap() as usize;
-    franken.sections_mut()[asc_idx].data =
-        b.section_by_name(".asc").unwrap().data.clone();
+    franken.sections_mut()[asc_idx].data = b.section_by_name(".asc").unwrap().data.clone();
     let (outcome, _) = run(&franken);
     assert!(outcome.is_killed(), "{outcome:?}");
 }
@@ -247,7 +267,12 @@ fn without_control_flow_r9_r10_are_zero() {
         assert!(!p.descriptor().control_flow_constrained());
     }
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     // Cheaper verification than the control-flow variant.
     let full = Installer::new(key(), InstallerOptions::new(Personality::Linux))
         .install(&plain, "cf")
@@ -276,8 +301,8 @@ fn policy_json_roundtrip() {
     p: .asciz \"/etc/motd\"
     ",
     );
-    let json = serde_json::to_string_pretty(&report.policy).expect("serialises");
+    let json = report.policy.to_json();
     assert!(json.contains("/etc/motd") || json.contains("47")); // bytes or chars
-    let back: asc_core::ProgramPolicy = serde_json::from_str(&json).expect("parses");
+    let back = asc_core::ProgramPolicy::from_json(&json).expect("parses");
     assert_eq!(back, report.policy);
 }

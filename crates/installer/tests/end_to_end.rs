@@ -52,7 +52,12 @@ fn installed_hello_runs_under_enforcement() {
     assert_eq!(report.policy.sites(), 2);
     assert_eq!(report.stats.calls, 2);
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stdout(), b"hello\n");
     assert_eq!(kernel.stats().verified, 2);
     assert!(kernel.alerts().is_empty());
@@ -98,7 +103,12 @@ fn stub_calls_are_inlined_and_run() {
     // 2 stub sites + 2 inlined sites = 4 policies.
     assert_eq!(report.policy.sites(), 4);
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stdout(), b"abc");
 }
 
@@ -139,10 +149,18 @@ fn string_arguments_are_authenticated_and_repointed() {
         .iter()
         .find(|p| p.syscall_nr == 5)
         .expect("open policy exists");
-    assert_eq!(open_policy.args[0], ArgPolicy::StringLit(b"/etc/motd".to_vec()));
+    assert_eq!(
+        open_policy.args[0],
+        ArgPolicy::StringLit(b"/etc/motd".to_vec())
+    );
     assert_eq!(open_policy.args[1], ArgPolicy::Immediate(0));
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stdout(), b"welcome to svm32\n");
     // String checks burned extra AES blocks.
     assert!(kernel.stats().verify_aes_blocks > 8);
@@ -168,7 +186,12 @@ fn control_flow_order_is_enforced() {
     "#;
     let (auth, report) = install(src, "loopy");
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stats().verified, 4);
     // getpid's predecessor set contains both program start and itself.
     let getpid = report.policy.iter().find(|p| p.syscall_nr == 20).unwrap();
@@ -200,7 +223,12 @@ fn data_section_references_survive_relayout() {
     "#;
     let (auth, _) = install(src, "tabled");
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
 }
 
 #[test]
@@ -236,7 +264,12 @@ fn without_control_flow_option() {
         assert!(p.predecessors.is_none());
     }
     let (outcome, kernel) = run_enforcing(&auth, b"");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     // Fewer AES blocks than the full-policy variant (no pred set, no
     // state MACs).
     assert!(kernel.stats().verify_aes_blocks <= 6);

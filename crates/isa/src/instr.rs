@@ -279,7 +279,13 @@ impl std::error::Error for DecodeError {}
 
 impl Instruction {
     fn raw(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: u32) -> Instruction {
-        Instruction { op, rd, rs1, rs2, imm }
+        Instruction {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// `nop`.
@@ -409,7 +415,13 @@ impl Instruction {
         let rs1 = Reg::try_new(bytes[2]).ok_or(DecodeError::BadRegister(bytes[2]))?;
         let rs2 = Reg::try_new(bytes[3]).ok_or(DecodeError::BadRegister(bytes[3]))?;
         let imm = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        Ok(Instruction { op, rd, rs1, rs2, imm })
+        Ok(Instruction {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        })
     }
 
     /// Signed view of the immediate.
@@ -453,7 +465,13 @@ mod tests {
     fn encode_decode_roundtrip_all_opcodes() {
         for b in 0..=Opcode::MAX {
             let op = Opcode::from_byte(b).unwrap();
-            let i = Instruction { op, rd: Reg::R3, rs1: Reg::R5, rs2: Reg::SP, imm: 0xdead_beef };
+            let i = Instruction {
+                op,
+                rd: Reg::R3,
+                rs1: Reg::R5,
+                rs2: Reg::SP,
+                imm: 0xdead_beef,
+            };
             let decoded = Instruction::decode(&i.encode()).unwrap();
             assert_eq!(decoded, i);
         }
@@ -464,10 +482,16 @@ mod tests {
         assert_eq!(Instruction::decode(&[0u8; 7]), Err(DecodeError::Truncated));
         let mut bytes = Instruction::nop().encode();
         bytes[0] = 0xff;
-        assert_eq!(Instruction::decode(&bytes), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(
+            Instruction::decode(&bytes),
+            Err(DecodeError::BadOpcode(0xff))
+        );
         let mut bytes = Instruction::nop().encode();
         bytes[2] = 16;
-        assert_eq!(Instruction::decode(&bytes), Err(DecodeError::BadRegister(16)));
+        assert_eq!(
+            Instruction::decode(&bytes),
+            Err(DecodeError::BadRegister(16))
+        );
     }
 
     #[test]
@@ -491,9 +515,15 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instruction::movi(Reg::R0, 0x14).to_string(), "movi r0, 0x14");
+        assert_eq!(
+            Instruction::movi(Reg::R0, 0x14).to_string(),
+            "movi r0, 0x14"
+        );
         assert_eq!(Instruction::syscall().to_string(), "syscall");
-        assert_eq!(Instruction::ldw(Reg::R1, Reg::SP, -4).to_string(), "ldw r1, [sp-4]");
+        assert_eq!(
+            Instruction::ldw(Reg::R1, Reg::SP, -4).to_string(),
+            "ldw r1, [sp-4]"
+        );
         assert_eq!(
             Instruction::branch(Opcode::Bne, Reg::R1, Reg::R2, 0x1000).to_string(),
             "bne r1, r2, 0x1000"

@@ -50,7 +50,10 @@ impl Reg {
     ///
     /// Panics if `index >= 16`.
     pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
         Reg(index)
     }
 
@@ -102,7 +105,9 @@ impl std::str::FromStr for Reg {
             "sp" => return Ok(Reg::SP),
             _ => {}
         }
-        let rest = s.strip_prefix('r').ok_or_else(|| ParseRegError(s.to_string()))?;
+        let rest = s
+            .strip_prefix('r')
+            .ok_or_else(|| ParseRegError(s.to_string()))?;
         let n: u8 = rest.parse().map_err(|_| ParseRegError(s.to_string()))?;
         Reg::try_new(n).ok_or_else(|| ParseRegError(s.to_string()))
     }

@@ -159,102 +159,924 @@ macro_rules! spec {
 
 /// The master signature table.
 pub const SPECS: &[SyscallSpec] = &[
-    spec!(Exit, "exit", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Fork, "fork", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Read, "read", 3, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Write, "write", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Open, "open", 3, out = 0, path = 0b001, fd = 0, rfd = true, cfd = false),
-    spec!(Close, "close", 1, out = 0, path = 0, fd = 0b001, rfd = false, cfd = true),
-    spec!(Waitpid, "waitpid", 3, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Creat, "creat", 2, out = 0, path = 0b001, fd = 0, rfd = true, cfd = false),
-    spec!(Link, "link", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
-    spec!(Unlink, "unlink", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Execve, "execve", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Chdir, "chdir", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Time, "time", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Mknod, "mknod", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Chmod, "chmod", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Lchown, "lchown", 3, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Lseek, "lseek", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Getpid, "getpid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Setuid, "setuid", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getuid, "getuid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Alarm, "alarm", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Fstat, "fstat", 2, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Pause, "pause", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Utime, "utime", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Access, "access", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Nice, "nice", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sync, "sync", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Kill, "kill", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Rename, "rename", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
-    spec!(Mkdir, "mkdir", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Rmdir, "rmdir", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Dup, "dup", 1, out = 0, path = 0, fd = 0b001, rfd = true, cfd = false),
-    spec!(Pipe, "pipe", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Times, "times", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Brk, "brk", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Setgid, "setgid", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getgid, "getgid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Geteuid, "geteuid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getegid, "getegid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Ioctl, "ioctl", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Fcntl, "fcntl", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Setpgid, "setpgid", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Umask, "umask", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Chroot, "chroot", 1, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Dup2, "dup2", 2, out = 0, path = 0, fd = 0b011, rfd = true, cfd = false),
-    spec!(Getppid, "getppid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getpgrp, "getpgrp", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Setsid, "setsid", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sigaction, "sigaction", 3, out = 0b100, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sigsuspend, "sigsuspend", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sigpending, "sigpending", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sethostname, "sethostname", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Setrlimit, "setrlimit", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getrlimit, "getrlimit", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Getrusage, "getrusage", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Gettimeofday, "gettimeofday", 2, out = 0b011, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Settimeofday, "settimeofday", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Symlink, "symlink", 2, out = 0, path = 0b011, fd = 0, rfd = false, cfd = false),
-    spec!(Readlink, "readlink", 3, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Mmap, "mmap", 6, out = 0, path = 0, fd = 0b010000, rfd = false, cfd = false),
-    spec!(Munmap, "munmap", 2, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Truncate, "truncate", 2, out = 0, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Ftruncate, "ftruncate", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Fchmod, "fchmod", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Fchown, "fchown", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Statfs, "statfs", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Fstatfs, "fstatfs", 2, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Stat, "stat", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Lstat, "lstat", 2, out = 0b010, path = 0b001, fd = 0, rfd = false, cfd = false),
-    spec!(Socket, "socket", 3, out = 0, path = 0, fd = 0, rfd = true, cfd = false),
-    spec!(Connect, "connect", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Bind, "bind", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Listen, "listen", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Accept, "accept", 3, out = 0b110, path = 0, fd = 0b001, rfd = true, cfd = false),
-    spec!(Sendto, "sendto", 6, out = 0, path = 0, fd = 0b000001, rfd = false, cfd = false),
-    spec!(Recvfrom, "recvfrom", 6, out = 0b110010, path = 0, fd = 0b000001, rfd = false, cfd = false),
-    spec!(Shutdown, "shutdown", 2, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Setsockopt, "setsockopt", 5, out = 0, path = 0, fd = 0b00001, rfd = false, cfd = false),
-    spec!(Getsockopt, "getsockopt", 5, out = 0b11000, path = 0, fd = 0b00001, rfd = false, cfd = false),
-    spec!(Nanosleep, "nanosleep", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Uname, "uname", 1, out = 0b001, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Madvise, "madvise", 3, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Writev, "writev", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Readv, "readv", 3, out = 0, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Getdents, "getdents", 3, out = 0b010, path = 0, fd = 0b001, rfd = false, cfd = false),
-    spec!(Getdirentries, "getdirentries", 4, out = 0b1010, path = 0, fd = 0b0001, rfd = false, cfd = false),
-    spec!(Poll, "poll", 3, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(SchedYield, "sched_yield", 0, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(ClockGettime, "clock_gettime", 2, out = 0b010, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(Sysconf, "sysconf", 1, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
-    spec!(IndirectSyscall, "__syscall", 6, out = 0, path = 0, fd = 0, rfd = false, cfd = false),
+    spec!(
+        Exit,
+        "exit",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fork,
+        "fork",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Read,
+        "read",
+        3,
+        out = 0b010,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Write,
+        "write",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Open,
+        "open",
+        3,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Close,
+        "close",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = true
+    ),
+    spec!(
+        Waitpid,
+        "waitpid",
+        3,
+        out = 0b010,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Creat,
+        "creat",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Link,
+        "link",
+        2,
+        out = 0,
+        path = 0b011,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Unlink,
+        "unlink",
+        1,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Execve,
+        "execve",
+        3,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Chdir,
+        "chdir",
+        1,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Time,
+        "time",
+        1,
+        out = 0b001,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Mknod,
+        "mknod",
+        3,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Chmod,
+        "chmod",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Lchown,
+        "lchown",
+        3,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Lseek,
+        "lseek",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getpid,
+        "getpid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setuid,
+        "setuid",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getuid,
+        "getuid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Alarm,
+        "alarm",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fstat,
+        "fstat",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Pause,
+        "pause",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Utime,
+        "utime",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Access,
+        "access",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Nice,
+        "nice",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sync,
+        "sync",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Kill,
+        "kill",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Rename,
+        "rename",
+        2,
+        out = 0,
+        path = 0b011,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Mkdir,
+        "mkdir",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Rmdir,
+        "rmdir",
+        1,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Dup,
+        "dup",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Pipe,
+        "pipe",
+        1,
+        out = 0b001,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Times,
+        "times",
+        1,
+        out = 0b001,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Brk,
+        "brk",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setgid,
+        "setgid",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getgid,
+        "getgid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Geteuid,
+        "geteuid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getegid,
+        "getegid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Ioctl,
+        "ioctl",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fcntl,
+        "fcntl",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setpgid,
+        "setpgid",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Umask,
+        "umask",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Chroot,
+        "chroot",
+        1,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Dup2,
+        "dup2",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0b011,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Getppid,
+        "getppid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getpgrp,
+        "getpgrp",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setsid,
+        "setsid",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sigaction,
+        "sigaction",
+        3,
+        out = 0b100,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sigsuspend,
+        "sigsuspend",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sigpending,
+        "sigpending",
+        1,
+        out = 0b001,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sethostname,
+        "sethostname",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setrlimit,
+        "setrlimit",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getrlimit,
+        "getrlimit",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getrusage,
+        "getrusage",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Gettimeofday,
+        "gettimeofday",
+        2,
+        out = 0b011,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Settimeofday,
+        "settimeofday",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Symlink,
+        "symlink",
+        2,
+        out = 0,
+        path = 0b011,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Readlink,
+        "readlink",
+        3,
+        out = 0b010,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Mmap,
+        "mmap",
+        6,
+        out = 0,
+        path = 0,
+        fd = 0b010000,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Munmap,
+        "munmap",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Truncate,
+        "truncate",
+        2,
+        out = 0,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Ftruncate,
+        "ftruncate",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fchmod,
+        "fchmod",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fchown,
+        "fchown",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Statfs,
+        "statfs",
+        2,
+        out = 0b010,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Fstatfs,
+        "fstatfs",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Stat,
+        "stat",
+        2,
+        out = 0b010,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Lstat,
+        "lstat",
+        2,
+        out = 0b010,
+        path = 0b001,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Socket,
+        "socket",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Connect,
+        "connect",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Bind,
+        "bind",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Listen,
+        "listen",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Accept,
+        "accept",
+        3,
+        out = 0b110,
+        path = 0,
+        fd = 0b001,
+        rfd = true,
+        cfd = false
+    ),
+    spec!(
+        Sendto,
+        "sendto",
+        6,
+        out = 0,
+        path = 0,
+        fd = 0b000001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Recvfrom,
+        "recvfrom",
+        6,
+        out = 0b110010,
+        path = 0,
+        fd = 0b000001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Shutdown,
+        "shutdown",
+        2,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Setsockopt,
+        "setsockopt",
+        5,
+        out = 0,
+        path = 0,
+        fd = 0b00001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getsockopt,
+        "getsockopt",
+        5,
+        out = 0b11000,
+        path = 0,
+        fd = 0b00001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Nanosleep,
+        "nanosleep",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Uname,
+        "uname",
+        1,
+        out = 0b001,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Madvise,
+        "madvise",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Writev,
+        "writev",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Readv,
+        "readv",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getdents,
+        "getdents",
+        3,
+        out = 0b010,
+        path = 0,
+        fd = 0b001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Getdirentries,
+        "getdirentries",
+        4,
+        out = 0b1010,
+        path = 0,
+        fd = 0b0001,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Poll,
+        "poll",
+        3,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        SchedYield,
+        "sched_yield",
+        0,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        ClockGettime,
+        "clock_gettime",
+        2,
+        out = 0b010,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        Sysconf,
+        "sysconf",
+        1,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
+    spec!(
+        IndirectSyscall,
+        "__syscall",
+        6,
+        out = 0,
+        path = 0,
+        fd = 0,
+        rfd = false,
+        cfd = false
+    ),
 ];
 
 /// Looks up the signature spec for an identifier.
 pub fn spec(id: SyscallId) -> &'static SyscallSpec {
-    SPECS.iter().find(|s| s.id == id).expect("every id has a spec")
+    SPECS
+        .iter()
+        .find(|s| s.id == id)
+        .expect("every id has a spec")
 }
 
 /// The OS flavour a binary and kernel speak.
@@ -294,10 +1116,13 @@ impl Personality {
             | (Personality::OpenBsd, Pause) => return None,
             _ => {}
         }
-        table.iter().find(|(i, _, _)| *i == id).map(|(_, linux, bsd)| match self {
-            Personality::Linux => *linux,
-            Personality::OpenBsd => *bsd,
-        })
+        table
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, linux, bsd)| match self {
+                Personality::Linux => *linux,
+                Personality::OpenBsd => *bsd,
+            })
     }
 
     /// Reverse lookup: the identifier carried by syscall number `nr`.
@@ -432,7 +1257,11 @@ mod tests {
             assert_eq!(spec(s.id).name, s.name);
             assert!(s.nargs as usize <= 6, "{}", s.name);
             // All masks fit within nargs bits.
-            let limit = if s.nargs == 0 { 0 } else { (1u16 << s.nargs) - 1 };
+            let limit = if s.nargs == 0 {
+                0
+            } else {
+                (1u16 << s.nargs) - 1
+            };
             assert_eq!(s.out_mask as u16 & !limit, 0, "{} out_mask", s.name);
             assert_eq!(s.path_mask as u16 & !limit, 0, "{} path_mask", s.name);
             assert_eq!(s.fd_mask as u16 & !limit, 0, "{} fd_mask", s.name);
@@ -464,7 +1293,10 @@ mod tests {
     #[test]
     fn personality_specific_calls() {
         assert_eq!(Personality::Linux.nr(SyscallId::IndirectSyscall), None);
-        assert_eq!(Personality::OpenBsd.nr(SyscallId::IndirectSyscall), Some(198));
+        assert_eq!(
+            Personality::OpenBsd.nr(SyscallId::IndirectSyscall),
+            Some(198)
+        );
         assert_eq!(Personality::Linux.nr(SyscallId::Sysconf), None);
         assert!(Personality::OpenBsd.nr(SyscallId::Sysconf).is_some());
         assert!(Personality::Linux.nr(SyscallId::Getdents).is_some());

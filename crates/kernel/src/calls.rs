@@ -68,9 +68,12 @@ impl Kernel {
             }
             Write | Writev | Sendto => self.sys_write_family(id, args, ctx),
             Open => self.sys_open(args[0], args[1], args[2], ctx),
-            Creat => {
-                self.sys_open(args[0], oflags::O_WRONLY | oflags::O_CREAT | oflags::O_TRUNC, args[1], ctx)
-            }
+            Creat => self.sys_open(
+                args[0],
+                oflags::O_WRONLY | oflags::O_CREAT | oflags::O_TRUNC,
+                args[1],
+                ctx,
+            ),
             Close => self.sys_close(args[0]),
             Lseek => self.sys_lseek(args[0], args[1], args[2]),
             Getpid => 1,
@@ -102,7 +105,10 @@ impl Kernel {
                 let mut buf = [0u8; 8];
                 buf[..4].copy_from_slice(&secs.to_le_bytes());
                 buf[4..].copy_from_slice(&micros.to_le_bytes());
-                match ctx.mem.kwrite(args[if id == Gettimeofday { 0 } else { 1 }], &buf) {
+                match ctx
+                    .mem
+                    .kwrite(args[if id == Gettimeofday { 0 } else { 1 }], &buf)
+                {
                     Ok(()) => 0,
                     Err(_) => EFAULT,
                 }
@@ -147,7 +153,8 @@ impl Kernel {
             },
             Chroot => 0,
             Mkdir => self.path_op(ctx, args[0], |k, p| {
-                k.fs.create(&p, &k.cwd, InodeKind::Dir(Default::default()), 0o755).map(|_| 0)
+                k.fs.create(&p, &k.cwd, InodeKind::Dir(Default::default()), 0o755)
+                    .map(|_| 0)
             }),
             Rmdir => self.path_op(ctx, args[0], |k, p| {
                 let cwd = k.cwd.clone();
@@ -249,8 +256,16 @@ impl Kernel {
             Pipe => {
                 self.pipes.push(Default::default());
                 let idx = self.pipes.len() - 1;
-                let r = self.alloc_fd(OpenFile { kind: FdKind::PipeRead(idx), pos: 0, flags: 0 });
-                let w = self.alloc_fd(OpenFile { kind: FdKind::PipeWrite(idx), pos: 0, flags: 1 });
+                let r = self.alloc_fd(OpenFile {
+                    kind: FdKind::PipeRead(idx),
+                    pos: 0,
+                    flags: 0,
+                });
+                let w = self.alloc_fd(OpenFile {
+                    kind: FdKind::PipeWrite(idx),
+                    pos: 0,
+                    flags: 1,
+                });
                 let mut buf = [0u8; 8];
                 buf[..4].copy_from_slice(&r.to_le_bytes());
                 buf[4..].copy_from_slice(&w.to_le_bytes());
@@ -327,9 +342,9 @@ impl Kernel {
             }
             Setrlimit => 0,
             Sysconf => match args[0] {
-                0 => 4096,   // _SC_PAGESIZE
-                1 => 1024,   // _SC_OPEN_MAX
-                2 => 100,    // _SC_CLK_TCK
+                0 => 4096, // _SC_PAGESIZE
+                1 => 1024, // _SC_OPEN_MAX
+                2 => 100,  // _SC_CLK_TCK
                 _ => EINVAL,
             },
             Fork | Waitpid => ENOSYS,
@@ -374,9 +389,16 @@ impl Kernel {
             Ok(c) => c,
             Err(FsError::NotFound) if flags & oflags::O_CREAT != 0 => {
                 // Create the file.
-                match self.fs.create(&path, &self.cwd, InodeKind::File(Vec::new()), 0o666) {
+                match self
+                    .fs
+                    .create(&path, &self.cwd, InodeKind::File(Vec::new()), 0o666)
+                {
                     Ok(id) => {
-                        return self.alloc_fd(OpenFile { kind: FdKind::File(id), pos: 0, flags })
+                        return self.alloc_fd(OpenFile {
+                            kind: FdKind::File(id),
+                            pos: 0,
+                            flags,
+                        })
                     }
                     Err(e) => return errno(e),
                 }
@@ -385,10 +407,18 @@ impl Kernel {
         };
         match canon.as_str() {
             "/dev/null" => {
-                return self.alloc_fd(OpenFile { kind: FdKind::Null, pos: 0, flags });
+                return self.alloc_fd(OpenFile {
+                    kind: FdKind::Null,
+                    pos: 0,
+                    flags,
+                });
             }
             "/dev/console" => {
-                return self.alloc_fd(OpenFile { kind: FdKind::Console, pos: 0, flags });
+                return self.alloc_fd(OpenFile {
+                    kind: FdKind::Console,
+                    pos: 0,
+                    flags,
+                });
             }
             _ => {}
         }
@@ -401,13 +431,21 @@ impl Kernel {
                 if flags & oflags::O_TRUNC != 0 {
                     data.clear();
                 }
-                self.alloc_fd(OpenFile { kind: FdKind::File(inode), pos: 0, flags })
+                self.alloc_fd(OpenFile {
+                    kind: FdKind::File(inode),
+                    pos: 0,
+                    flags,
+                })
             }
             InodeKind::Dir(_) => {
                 if flags & 0x3 != oflags::O_RDONLY {
                     errno(FsError::IsADirectory)
                 } else {
-                    self.alloc_fd(OpenFile { kind: FdKind::Dir(inode), pos: 0, flags })
+                    self.alloc_fd(OpenFile {
+                        kind: FdKind::Dir(inode),
+                        pos: 0,
+                        flags,
+                    })
                 }
             }
             InodeKind::Symlink(_) => EINVAL, // normalize() should have followed
@@ -433,12 +471,14 @@ impl Kernel {
             Some(_) => 0,
             None => return EBADF,
         };
-        let Some(file) = self.fd(fd) else { return EBADF };
+        let Some(file) = self.fd(fd) else {
+            return EBADF;
+        };
         let off = off as i32 as i64;
         let new = match whence {
-            0 => off,                          // SEEK_SET
-            1 => file.pos as i64 + off,        // SEEK_CUR
-            2 => size as i64 + off,            // SEEK_END
+            0 => off,                   // SEEK_SET
+            1 => file.pos as i64 + off, // SEEK_CUR
+            2 => size as i64 + off,     // SEEK_END
             _ => return EINVAL,
         };
         if new < 0 {
@@ -454,7 +494,8 @@ impl Kernel {
         }
         if addr > self.brk {
             // Map new heap pages RW.
-            ctx.mem.protect(self.brk, addr - self.brk, asc_vm::PageFlags::RW);
+            ctx.mem
+                .protect(self.brk, addr - self.brk, asc_vm::PageFlags::RW);
         }
         self.brk = addr;
         self.brk
@@ -482,7 +523,13 @@ impl Kernel {
         }
     }
 
-    fn sys_stat(&mut self, id: SyscallId, path_addr: u32, buf: u32, ctx: &mut TrapContext<'_>) -> u32 {
+    fn sys_stat(
+        &mut self,
+        id: SyscallId,
+        path_addr: u32,
+        buf: u32,
+        ctx: &mut TrapContext<'_>,
+    ) -> u32 {
         let path = match self.read_path(ctx, path_addr) {
             Ok(p) => p,
             Err(e) => return e,
@@ -516,7 +563,12 @@ impl Kernel {
 
     /// stat layout: {kind u32 (0=file,1=dir,2=link), size u32, mode u32,
     /// mtime u32}.
-    fn write_stat(&mut self, inode: crate::fs::InodeId, buf: u32, ctx: &mut TrapContext<'_>) -> u32 {
+    fn write_stat(
+        &mut self,
+        inode: crate::fs::InodeId,
+        buf: u32,
+        ctx: &mut TrapContext<'_>,
+    ) -> u32 {
         let node = self.fs.inode(inode);
         let (kind, size) = match &node.kind {
             InodeKind::File(d) => (0u32, d.len() as u32),
@@ -610,7 +662,12 @@ impl Kernel {
         data.len() as u32
     }
 
-    fn sys_write_family(&mut self, id: SyscallId, args: [u32; 6], ctx: &mut TrapContext<'_>) -> u32 {
+    fn sys_write_family(
+        &mut self,
+        id: SyscallId,
+        args: [u32; 6],
+        ctx: &mut TrapContext<'_>,
+    ) -> u32 {
         use SyscallId::*;
         match id {
             Write | Sendto => self.sys_write(args[0], args[1], args[2], ctx),
@@ -679,7 +736,11 @@ impl Kernel {
     /// records; returns bytes written, 0 at end.
     fn sys_getdents(&mut self, fd: u32, buf: u32, len: u32, ctx: &mut TrapContext<'_>) -> u32 {
         let (inode, pos) = match self.fd(fd) {
-            Some(OpenFile { kind: FdKind::Dir(i), pos, .. }) => (*i, *pos as usize),
+            Some(OpenFile {
+                kind: FdKind::Dir(i),
+                pos,
+                ..
+            }) => (*i, *pos as usize),
             Some(_) => return errno(FsError::NotADirectory),
             None => return EBADF,
         };

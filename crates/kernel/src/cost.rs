@@ -7,6 +7,8 @@
 //! `asc-core::verify_call` (≈ 8–10 AES blocks/call → ≈ 4,000 cycles,
 //! Table 4's authenticated-minus-original gap).
 
+use asc_core::VerifyOutcome;
+
 use crate::abi::SyscallId;
 
 /// Cost constants. All tweakable; defaults reproduce the paper's shape.
@@ -19,6 +21,9 @@ pub struct CostModel {
     pub cycles_per_aes_block: u64,
     /// Fixed verification overhead (argument marshalling, comparisons).
     pub verify_fixed: u64,
+    /// Fixed overhead of a warm (cache-hit) verification: the cache lookup
+    /// and byte comparisons replace the marshalling-heavy cold setup.
+    pub verify_cached_fixed: u64,
     /// Per-byte cost of the kernel touching user string bytes during
     /// checks (copy + walk), on top of the MAC block cost.
     pub verify_per_byte_num: u64,
@@ -35,6 +40,7 @@ impl Default for CostModel {
             trap_base: 1_100,
             cycles_per_aes_block: 420,
             verify_fixed: 450,
+            verify_cached_fixed: 120,
             verify_per_byte_num: 1,
             context_switch: 11_000,
             table_lookup: 1_900,
@@ -56,13 +62,11 @@ impl CostModel {
             Open | Creat => 2_400,
             Close => 610,
             Stat | Lstat | Fstat | Access | Statfs | Fstatfs | Readlink => 1_300,
-            Unlink | Rename | Link | Symlink | Mkdir | Rmdir | Chmod | Fchmod | Chdir
-            | Chroot | Mknod | Lchown | Fchown | Utime | Truncate | Ftruncate => 1_800,
+            Unlink | Rename | Link | Symlink | Mkdir | Rmdir | Chmod | Fchmod | Chdir | Chroot
+            | Mknod | Lchown | Fchown | Utime | Truncate | Ftruncate => 1_800,
             Mmap | Munmap => 900,
             Dup | Dup2 | Pipe | Lseek | Fcntl | Ioctl => 320,
-            Socket | Connect | Bind | Listen | Accept | Shutdown | Setsockopt | Getsockopt => {
-                1_600
-            }
+            Socket | Connect | Bind | Listen | Accept | Shutdown | Setsockopt | Getsockopt => 1_600,
             Fork | Execve | Waitpid => 9_000,
             Kill | Sigaction | Sigsuspend | Sigpending | Alarm | Pause => 420,
             Nanosleep | Poll | SchedYield | Sync => 600,
@@ -85,6 +89,23 @@ impl CostModel {
         self.verify_fixed
             + aes_blocks * self.cycles_per_aes_block
             + bytes_checked * self.verify_per_byte_num
+    }
+
+    /// Verification cost for a metered [`VerifyOutcome`]. The AES-block
+    /// term uses the *measured* block count, so a warm verification is
+    /// charged only for the blocks it actually ran (no double counting);
+    /// the fixed term drops to [`CostModel::verify_cached_fixed`] on a
+    /// cache hit. Bytes are always charged — the warm path still re-reads
+    /// and compares every checked byte.
+    pub fn verify_cost_for(&self, outcome: &VerifyOutcome) -> u64 {
+        let fixed = if outcome.cache_hit {
+            self.verify_cached_fixed
+        } else {
+            self.verify_fixed
+        };
+        fixed
+            + outcome.aes_blocks * self.cycles_per_aes_block
+            + outcome.bytes_checked * self.verify_per_byte_num
     }
 }
 
@@ -115,6 +136,29 @@ mod tests {
         // predecessor set, 2 for the state verify+update => ~7-9 blocks.
         let typical = m.verify_cost(8, 50);
         assert!((3300..4600).contains(&typical), "verify={typical}");
+    }
+
+    #[test]
+    fn warm_cost_undercuts_cold_by_half() {
+        let m = CostModel::default();
+        let cold = VerifyOutcome {
+            aes_blocks: 8,
+            bytes_checked: 50,
+            ..Default::default()
+        };
+        let warm = VerifyOutcome {
+            aes_blocks: 1,
+            bytes_checked: 50,
+            cache_hit: true,
+            ..Default::default()
+        };
+        assert_eq!(m.verify_cost_for(&cold), m.verify_cost(8, 50));
+        assert!(
+            m.verify_cost_for(&warm) * 2 <= m.verify_cost_for(&cold),
+            "warm {} vs cold {}",
+            m.verify_cost_for(&warm),
+            m.verify_cost_for(&cold)
+        );
     }
 
     #[test]

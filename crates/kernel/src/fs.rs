@@ -57,13 +57,13 @@ impl FsError {
     /// Conventional negative errno encoding for syscall returns.
     pub fn errno(self) -> u32 {
         let e: i32 = match self {
-            FsError::NotFound => -2,        // ENOENT
-            FsError::NotADirectory => -20,  // ENOTDIR
-            FsError::IsADirectory => -21,   // EISDIR
-            FsError::AlreadyExists => -17,  // EEXIST
-            FsError::NotEmpty => -39,       // ENOTEMPTY
-            FsError::TooManyLinks => -40,   // ELOOP
-            FsError::Invalid => -22,        // EINVAL
+            FsError::NotFound => -2,       // ENOENT
+            FsError::NotADirectory => -20, // ENOTDIR
+            FsError::IsADirectory => -21,  // EISDIR
+            FsError::AlreadyExists => -17, // EEXIST
+            FsError::NotEmpty => -39,      // ENOTEMPTY
+            FsError::TooManyLinks => -40,  // ELOOP
+            FsError::Invalid => -22,       // EINVAL
         };
         e as u32
     }
@@ -114,13 +114,17 @@ impl FileSystem {
         for dir in ["/tmp", "/etc", "/dev", "/home", "/bin", "/usr"] {
             fs.mkdir(dir, 0o755).expect("fresh tree");
         }
-        fs.write_file("/etc/motd", b"welcome to svm32\n".to_vec()).expect("fresh tree");
+        fs.write_file("/etc/motd", b"welcome to svm32\n".to_vec())
+            .expect("fresh tree");
         fs.write_file("/etc/passwd", b"root:x:0:0:/home:/bin/sh\n".to_vec())
             .expect("fresh tree");
         fs.write_file("/dev/null", Vec::new()).expect("fresh tree");
-        fs.write_file("/dev/console", Vec::new()).expect("fresh tree");
-        fs.write_file("/bin/sh", b"#!shell\n".to_vec()).expect("fresh tree");
-        fs.write_file("/bin/ls", b"#!ls\n".to_vec()).expect("fresh tree");
+        fs.write_file("/dev/console", Vec::new())
+            .expect("fresh tree");
+        fs.write_file("/bin/sh", b"#!shell\n".to_vec())
+            .expect("fresh tree");
+        fs.write_file("/bin/ls", b"#!ls\n".to_vec())
+            .expect("fresh tree");
         fs
     }
 
@@ -244,11 +248,7 @@ impl FileSystem {
     }
 
     /// Resolves the parent directory of `path`, returning `(dir_id, name)`.
-    fn resolve_parent<'p>(
-        &self,
-        path: &'p str,
-        cwd: &str,
-    ) -> Result<(InodeId, &'p str), FsError> {
+    fn resolve_parent<'p>(&self, path: &'p str, cwd: &str) -> Result<(InodeId, &'p str), FsError> {
         let trimmed = path.trim_end_matches('/');
         if trimmed.is_empty() {
             return Err(FsError::Invalid);
@@ -305,8 +305,14 @@ impl FileSystem {
             return Err(FsError::AlreadyExists);
         }
         let name = name.to_string();
-        let id = self.alloc(Inode { kind, mode, mtime: 0 });
-        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        let id = self.alloc(Inode {
+            kind,
+            mode,
+            mtime: 0,
+        });
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else {
+            unreachable!()
+        };
         entries.insert(name, id);
         Ok(id)
     }
@@ -389,7 +395,9 @@ impl FileSystem {
             return Err(FsError::IsADirectory);
         }
         let name = name.to_string();
-        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else {
+            unreachable!()
+        };
         entries.remove(&name);
         Ok(())
     }
@@ -412,7 +420,9 @@ impl FileSystem {
             _ => return Err(FsError::NotADirectory),
         }
         let name = name.to_string();
-        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else { unreachable!() };
+        let InodeKind::Dir(entries) = &mut self.inodes[dir_id].kind else {
+            unreachable!()
+        };
         entries.remove(&name);
         Ok(())
     }
@@ -432,7 +442,9 @@ impl FileSystem {
         let from_name = from_name.to_string();
         let to_name = to_name.to_string();
         {
-            let InodeKind::Dir(e) = &mut self.inodes[from_dir].kind else { unreachable!() };
+            let InodeKind::Dir(e) = &mut self.inodes[from_dir].kind else {
+                unreachable!()
+            };
             e.remove(&from_name);
         }
         {
@@ -478,7 +490,10 @@ mod tests {
         assert!(fs.resolve("x.txt", "/home/user").is_ok());
         assert!(fs.resolve("./x.txt", "/home/user").is_ok());
         assert!(fs.resolve("../user/x.txt", "/home/user").is_ok());
-        assert_eq!(fs.normalize("../user/./x.txt", "/home/user").unwrap(), "/home/user/x.txt");
+        assert_eq!(
+            fs.normalize("../user/./x.txt", "/home/user").unwrap(),
+            "/home/user/x.txt"
+        );
         assert_eq!(fs.normalize("/../etc/motd", "/").unwrap(), "/etc/motd");
     }
 
@@ -559,7 +574,10 @@ mod tests {
         fs.write_file("/tmp/z", b"".to_vec()).unwrap();
         fs.write_file("/tmp/a", b"".to_vec()).unwrap();
         let id = fs.resolve("/tmp", "/").unwrap();
-        assert_eq!(fs.list_dir(id).unwrap(), vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(
+            fs.list_dir(id).unwrap(),
+            vec!["a".to_string(), "z".to_string()]
+        );
         let f = fs.resolve("/tmp/a", "/").unwrap();
         assert_eq!(fs.list_dir(f), Err(FsError::NotADirectory));
     }
@@ -569,7 +587,10 @@ mod tests {
         let mut fs = FileSystem::new();
         assert_eq!(fs.mkdir("/tmp", 0o755), Err(FsError::AlreadyExists));
         assert_eq!(fs.mkdir("/missing/dir", 0o755), Err(FsError::NotFound));
-        assert_eq!(fs.mkdir("/etc/motd/sub", 0o755), Err(FsError::NotADirectory));
+        assert_eq!(
+            fs.mkdir("/etc/motd/sub", 0o755),
+            Err(FsError::NotADirectory)
+        );
         assert_eq!(fs.mkdir("/", 0o755), Err(FsError::Invalid));
     }
 }

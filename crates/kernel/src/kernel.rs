@@ -7,7 +7,7 @@
 //! any [`Violation`] into fail-stop process termination plus an
 //! administrator alert.
 
-use asc_core::{verify_call, AuthCallRegs, UserMemory, Violation};
+use asc_core::{verify_call_cached, AuthCallRegs, CacheStats, UserMemory, VerifyCache, Violation};
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
 use asc_vm::{MemFault, Memory, SyscallHandler, TrapContext, TrapOutcome};
@@ -71,12 +71,41 @@ pub struct KernelStats {
     pub syscalls: u64,
     /// Calls that went through ASC verification.
     pub verified: u64,
-    /// Total AES blocks spent on verification.
+    /// Total AES blocks spent on verification (measured, cold + warm).
     pub verify_aes_blocks: u64,
-    /// Total verification cycles charged.
+    /// Total verification cycles charged (cold + warm).
     pub verify_cycles: u64,
     /// Total kernel cycles charged (trap + handler + verification).
     pub kernel_cycles: u64,
+    /// Verifications served by the verified-call cache (warm path).
+    pub cache_hits: u64,
+    /// AES blocks spent on warm verifications (subset of
+    /// `verify_aes_blocks`; cold blocks are the difference).
+    pub warm_aes_blocks: u64,
+    /// Verification cycles charged on warm verifications (subset of
+    /// `verify_cycles`).
+    pub warm_verify_cycles: u64,
+}
+
+impl KernelStats {
+    /// Verifications that ran the full (cold) path.
+    pub fn cold_verified(&self) -> u64 {
+        self.verified - self.cache_hits
+    }
+
+    /// Average verification cycles per cold call (0 when none ran).
+    pub fn cold_verify_cycles_per_call(&self) -> u64 {
+        (self.verify_cycles - self.warm_verify_cycles)
+            .checked_div(self.cold_verified())
+            .unwrap_or(0)
+    }
+
+    /// Average verification cycles per warm call (0 when none ran).
+    pub fn warm_verify_cycles_per_call(&self) -> u64 {
+        self.warm_verify_cycles
+            .checked_div(self.cache_hits)
+            .unwrap_or(0)
+    }
 }
 
 /// Kernel construction options.
@@ -98,6 +127,12 @@ pub struct KernelOptions {
     pub normalize_paths: bool,
     /// Charge deterministic cycle costs (disable for pure functional runs).
     pub charge_costs: bool,
+    /// Enable the verified-call cache (the warm fast path): repeated
+    /// identical calls skip AES recomputation and are charged only for the
+    /// cryptographic work actually performed. Off by default so the
+    /// performance tables reproduce the paper's (cache-less) prototype;
+    /// the fast-path numbers are reported separately.
+    pub verify_cache: bool,
 }
 
 impl KernelOptions {
@@ -109,12 +144,25 @@ impl KernelOptions {
             capability_tracking: false,
             normalize_paths: false,
             charge_costs: true,
+            verify_cache: false,
         }
     }
 
     /// Options for running installer-produced authenticated binaries.
     pub fn enforcing(personality: Personality) -> KernelOptions {
-        KernelOptions { enforce: true, ..KernelOptions::plain(personality) }
+        KernelOptions {
+            enforce: true,
+            ..KernelOptions::plain(personality)
+        }
+    }
+
+    /// Turns on the verified-call cache (see
+    /// [`KernelOptions::verify_cache`]).
+    pub fn with_verify_cache(self) -> KernelOptions {
+        KernelOptions {
+            verify_cache: true,
+            ..self
+        }
     }
 }
 
@@ -129,6 +177,7 @@ pub struct Kernel {
     pub(crate) brk: u32,
     pub(crate) mmap_cursor: u32,
     checker: MemoryChecker,
+    verify_cache: VerifyCache,
     caps: CapabilitySet,
     pub(crate) stdin: Vec<u8>,
     pub(crate) stdin_pos: usize,
@@ -168,9 +217,21 @@ impl Kernel {
     /// run tools sequentially over one tree).
     pub fn with_fs(opts: KernelOptions, fs: FileSystem) -> Kernel {
         let fds = vec![
-            Some(OpenFile { kind: FdKind::Stdin, pos: 0, flags: 0 }),
-            Some(OpenFile { kind: FdKind::Stdout, pos: 0, flags: 1 }),
-            Some(OpenFile { kind: FdKind::Stderr, pos: 0, flags: 1 }),
+            Some(OpenFile {
+                kind: FdKind::Stdin,
+                pos: 0,
+                flags: 0,
+            }),
+            Some(OpenFile {
+                kind: FdKind::Stdout,
+                pos: 0,
+                flags: 1,
+            }),
+            Some(OpenFile {
+                kind: FdKind::Stderr,
+                pos: 0,
+                flags: 1,
+            }),
         ];
         Kernel {
             opts,
@@ -182,6 +243,7 @@ impl Kernel {
             brk: 0,
             mmap_cursor: 0x60_0000,
             checker: MemoryChecker::new(),
+            verify_cache: VerifyCache::new(),
             caps: [0u32, 1, 2].into_iter().collect(),
             stdin: Vec::new(),
             stdin_pos: 0,
@@ -202,9 +264,18 @@ impl Kernel {
     }
 
     /// Installs the verification key (the kernel side of the shared secret;
-    /// required when `enforce` is on).
+    /// required when `enforce` is on). Every cached verification was
+    /// performed under the previous key, so the verified-call cache is
+    /// dropped wholesale.
     pub fn set_key(&mut self, key: MacKey) {
         self.key = Some(key);
+        self.verify_cache.clear();
+    }
+
+    /// Behaviour counters of the verified-call cache (all zero when the
+    /// cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.verify_cache.stats()
     }
 
     /// Replaces the cost model.
@@ -311,7 +382,11 @@ impl Kernel {
 
         // --- The paper's kernel modification: verify before dispatch. ---
         if self.opts.enforce {
-            let Some(key) = self.key.clone() else {
+            // Borrow the long-lived key: its AES round keys and CMAC
+            // subkeys were expanded once at `set_key` time and are reused
+            // for every trap (re-deriving the schedule per call would
+            // dwarf the short-message MAC itself).
+            let Some(key) = self.key.as_ref() else {
                 return TrapOutcome::Kill("kernel misconfigured: enforcing without a key".into());
             };
             let regs = AuthCallRegs {
@@ -336,9 +411,11 @@ impl Kernel {
             let caps = &self.caps;
             let tracking = self.opts.capability_tracking;
             let mut cap_check = |fd: u32| caps.contains(fd);
-            let result = verify_call(
-                &key,
+            let cache = self.opts.verify_cache.then_some(&mut self.verify_cache);
+            let result = verify_call_cached(
+                key,
                 &mut self.checker,
+                cache,
                 &mut mem,
                 &regs,
                 tracking.then_some(&mut cap_check as &mut dyn FnMut(u32) -> bool),
@@ -347,9 +424,16 @@ impl Kernel {
                 Ok(outcome) => {
                     self.stats.verified += 1;
                     self.stats.verify_aes_blocks += outcome.aes_blocks;
+                    if outcome.cache_hit {
+                        self.stats.cache_hits += 1;
+                        self.stats.warm_aes_blocks += outcome.aes_blocks;
+                    }
                     if self.opts.charge_costs {
-                        let vc = self.cost.verify_cost(outcome.aes_blocks, outcome.bytes_checked);
+                        let vc = self.cost.verify_cost_for(&outcome);
                         self.stats.verify_cycles += vc;
+                        if outcome.cache_hit {
+                            self.stats.warm_verify_cycles += vc;
+                        }
                         charged += vc;
                     }
                 }
@@ -398,7 +482,11 @@ impl Kernel {
                 }
             };
         }
-        self.trace.push(TraceEntry { id, raw_nr, site: ctx.pc });
+        self.trace.push(TraceEntry {
+            id,
+            raw_nr,
+            site: ctx.pc,
+        });
 
         // --- Dispatch. ---
         let outcome = self.dispatch(id, args, ctx);
@@ -423,13 +511,16 @@ impl Kernel {
         outcome
     }
 
-    fn kill(&mut self, ctx: &mut TrapContext<'_>, charged: u64, violation: &Violation) -> TrapOutcome {
+    fn kill(
+        &mut self,
+        ctx: &mut TrapContext<'_>,
+        charged: u64,
+        violation: &Violation,
+    ) -> TrapOutcome {
         let site = ctx.pc;
         let nr = ctx.reg(Reg::R0) as u16;
         let name = self.opts.personality.name_of(nr);
-        let msg = format!(
-            "ALERT: pid 1 killed: {violation} (syscall {nr} `{name}` at {site:#x})"
-        );
+        let msg = format!("ALERT: pid 1 killed: {violation} (syscall {nr} `{name}` at {site:#x})");
         self.log.push(msg.clone());
         if self.opts.charge_costs {
             ctx.charge(charged);
@@ -467,7 +558,10 @@ impl UserMemory for VmUserMemory<'_> {
         self.0.kread_u32(addr).map_err(fault_of)
     }
     fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Violation> {
-        self.0.kread(addr, len).map(|b| b.to_vec()).map_err(fault_of)
+        self.0
+            .kread(addr, len)
+            .map(|b| b.to_vec())
+            .map_err(fault_of)
     }
     fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Violation> {
         self.0.kwrite(addr, bytes).map_err(fault_of)

@@ -35,3 +35,5 @@ pub use calls::oflags;
 pub use cost::CostModel;
 pub use fs::{FileSystem, FsError, Inode, InodeId, InodeKind};
 pub use kernel::{FdKind, Kernel, KernelOptions, KernelStats, OpenFile, TraceEntry};
+
+pub use asc_core::CacheStats;

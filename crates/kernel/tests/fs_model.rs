@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use asc_kernel::{FileSystem, FsError};
-use proptest::prelude::*;
+use asc_testkit::Rng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -24,21 +24,22 @@ fn dir_name(i: u8) -> String {
     format!("/tmp/d{}", i % 4)
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(i, d)| Op::WriteFile(i, d)),
-        any::<u8>().prop_map(Op::Mkdir),
-        any::<u8>().prop_map(Op::Unlink),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 5) {
+        0 => Op::WriteFile(rng.byte(), rng.bytes(0, 32)),
+        1 => Op::Mkdir(rng.byte()),
+        2 => Op::Unlink(rng.byte()),
+        3 => Op::Rename(rng.byte(), rng.byte()),
+        _ => Op::Link(rng.byte(), rng.byte()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn filesystem_agrees_with_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn filesystem_agrees_with_model() {
+    asc_testkit::check(0xf5_0de1, 64, |rng| {
+        let ops: Vec<Op> = (0..rng.range_usize(0, 60))
+            .map(|_| random_op(rng))
+            .collect();
         let mut fs = FileSystem::new();
         // Model: file path -> "slot" id; slot id -> contents (hard links
         // share a slot).
@@ -51,16 +52,14 @@ proptest! {
                 Op::WriteFile(i, data) => {
                     let path = file_name(*i);
                     match fs.write_file(&path, data.clone()) {
-                        Ok(_) => {
-                            match links.get(&path) {
-                                Some(&slot) => slots[slot] = data.clone(),
-                                None => {
-                                    slots.push(data.clone());
-                                    links.insert(path, slots.len() - 1);
-                                }
+                        Ok(_) => match links.get(&path) {
+                            Some(&slot) => slots[slot] = data.clone(),
+                            None => {
+                                slots.push(data.clone());
+                                links.insert(path, slots.len() - 1);
                             }
-                        }
-                        Err(e) => prop_assert!(
+                        },
+                        Err(e) => assert!(
                             matches!(e, FsError::IsADirectory),
                             "unexpected write_file error {e:?}"
                         ),
@@ -70,7 +69,7 @@ proptest! {
                     let path = dir_name(*i);
                     let expected_ok = !dirs.contains(&path);
                     let got = fs.mkdir(&path, 0o755);
-                    prop_assert_eq!(got.is_ok(), expected_ok);
+                    assert_eq!(got.is_ok(), expected_ok);
                     if expected_ok {
                         dirs.push(path);
                     }
@@ -79,7 +78,7 @@ proptest! {
                     let path = file_name(*i);
                     let expected_ok = links.contains_key(&path);
                     let got = fs.unlink(&path, "/");
-                    prop_assert_eq!(got.is_ok(), expected_ok, "unlink {}", path);
+                    assert_eq!(got.is_ok(), expected_ok, "unlink {path}");
                     links.remove(&path);
                 }
                 Op::Rename(a, b) => {
@@ -90,7 +89,7 @@ proptest! {
                     }
                     let expected_ok = links.contains_key(&from);
                     let got = fs.rename(&from, &to, "/");
-                    prop_assert_eq!(got.is_ok(), expected_ok);
+                    assert_eq!(got.is_ok(), expected_ok);
                     if expected_ok {
                         let slot = links.remove(&from).expect("checked");
                         links.insert(to, slot);
@@ -102,7 +101,7 @@ proptest! {
                     let expected_ok =
                         links.contains_key(&from) && !links.contains_key(&to) && from != to;
                     let got = fs.link(&from, &to, "/");
-                    prop_assert_eq!(got.is_ok(), expected_ok, "link {} {}", from, to);
+                    assert_eq!(got.is_ok(), expected_ok, "link {from} {to}");
                     if expected_ok {
                         let slot = links[&from];
                         links.insert(to, slot);
@@ -116,14 +115,17 @@ proptest! {
             let path = file_name(i);
             match links.get(&path) {
                 Some(&slot) => {
-                    prop_assert_eq!(fs.read_file(&path).expect("model says exists"),
-                                    &slots[slot][..], "{}", path);
+                    assert_eq!(
+                        fs.read_file(&path).expect("model says exists"),
+                        &slots[slot][..],
+                        "{path}"
+                    );
                 }
-                None => prop_assert!(fs.read_file(&path).is_err(), "{} should be gone", path),
+                None => assert!(fs.read_file(&path).is_err(), "{path} should be gone"),
             }
         }
         for d in &dirs {
-            prop_assert!(fs.resolve(d, "/").is_ok());
+            assert!(fs.resolve(d, "/").is_ok());
         }
-    }
+    });
 }

@@ -478,7 +478,10 @@ fn symlinked_open_is_normalized() {
     )
     .unwrap();
     let mut kernel = Kernel::new(KernelOptions::plain(Personality::Linux));
-    kernel.fs_mut().symlink("/etc/motd", "/tmp/link-to-motd", "/").unwrap();
+    kernel
+        .fs_mut()
+        .symlink("/etc/motd", "/tmp/link-to-motd", "/")
+        .unwrap();
     kernel.set_brk(binary.highest_addr());
     let mut machine = Machine::load(&binary, kernel).unwrap();
     let outcome = machine.run(1_000_000);

@@ -39,8 +39,14 @@ fn sysconf_is_a_syscall_only_on_openbsd() {
 fn alarm_nice_pause_are_libc_functions_on_openbsd() {
     // Their Linux numbers mean nothing (or something else) on OpenBSD.
     for id in [SyscallId::Alarm, SyscallId::Nice, SyscallId::Pause] {
-        assert!(Personality::Linux.nr(id).is_some(), "{id:?} is a Linux syscall");
-        assert!(Personality::OpenBsd.nr(id).is_none(), "{id:?} is OpenBSD libc");
+        assert!(
+            Personality::Linux.nr(id).is_some(),
+            "{id:?} is a Linux syscall"
+        );
+        assert!(
+            Personality::OpenBsd.nr(id).is_none(),
+            "{id:?} is OpenBSD libc"
+        );
     }
 }
 
@@ -113,8 +119,14 @@ fn uname_sysname_differs() {
     ";
     let linux = src.replace("NR", "122");
     let bsd = src.replace("NR", "164");
-    assert_eq!(run_on(&linux, Personality::Linux).0, RunOutcome::Exited(b'L' as u32));
-    assert_eq!(run_on(&bsd, Personality::OpenBsd).0, RunOutcome::Exited(b'B' as u32));
+    assert_eq!(
+        run_on(&linux, Personality::Linux).0,
+        RunOutcome::Exited(b'L' as u32)
+    );
+    assert_eq!(
+        run_on(&bsd, Personality::OpenBsd).0,
+        RunOutcome::Exited(b'B' as u32)
+    );
 }
 
 #[test]

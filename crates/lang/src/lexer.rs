@@ -11,7 +11,10 @@ pub struct CompileError {
 
 impl CompileError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> CompileError {
-        CompileError { line, message: message.into() }
+        CompileError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -83,7 +86,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     let text = &source[start + 2..i];
                     let n = u32::from_str_radix(text, 16)
                         .map_err(|_| CompileError::new(line, "bad hex literal"))?;
-                    out.push(Spanned { token: Token::Num(n), line });
+                    out.push(Spanned {
+                        token: Token::Num(n),
+                        line,
+                    });
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -91,7 +97,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     let n = source[start..i]
                         .parse::<u32>()
                         .map_err(|_| CompileError::new(line, "bad number"))?;
-                    out.push(Spanned { token: Token::Num(n), line });
+                    out.push(Spanned {
+                        token: Token::Num(n),
+                        line,
+                    });
                 }
             }
             b'\'' => {
@@ -117,7 +126,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 if bytes.get(i + consumed - 1) != Some(&b'\'') {
                     return Err(CompileError::new(line, "unterminated char literal"));
                 }
-                out.push(Spanned { token: Token::Num(b as u32), line });
+                out.push(Spanned {
+                    token: Token::Num(b as u32),
+                    line,
+                });
                 i += consumed;
             }
             b'"' => {
@@ -153,23 +165,33 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, CompileError> {
                         }
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), line });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                out.push(Spanned { token: Token::Ident(source[start..i].to_string()), line });
+                out.push(Spanned {
+                    token: Token::Ident(source[start..i].to_string()),
+                    line,
+                });
             }
             _ => {
                 let rest = &source[i..];
                 let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
-                    return Err(CompileError::new(line, format!("stray character `{}`", c as char)));
+                    return Err(CompileError::new(
+                        line,
+                        format!("stray character `{}`", c as char),
+                    ));
                 };
-                out.push(Spanned { token: Token::Punct(p), line });
+                out.push(Spanned {
+                    token: Token::Punct(p),
+                    line,
+                });
                 i += p.len();
             }
         }
@@ -182,7 +204,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

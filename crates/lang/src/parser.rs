@@ -133,7 +133,12 @@ impl Parser {
                     return Err(self.err("functions take at most 6 parameters"));
                 }
                 let body = self.block()?;
-                Ok(Item::Func(Function { name, params, body, line }))
+                Ok(Item::Func(Function {
+                    name,
+                    params,
+                    body,
+                    line,
+                }))
             }
             other => Err(self.err(format!("expected item, found `{other}`"))),
         }
@@ -160,7 +165,11 @@ impl Parser {
                         self.eat_punct(";")?;
                         return Ok(Stmt::VarArray(name, size));
                     }
-                    let init = if self.try_punct("=") { Some(self.expr()?) } else { None };
+                    let init = if self.try_punct("=") {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.eat_punct(";")?;
                     Ok(Stmt::Var(name, init))
                 }
@@ -239,7 +248,9 @@ impl Parser {
     fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.unary()?;
         loop {
-            let Some(Token::Punct(p)) = self.peek() else { break };
+            let Some(Token::Punct(p)) = self.peek() else {
+                break;
+            };
             let Some((op, prec)) = bin_op(p) else { break };
             if prec < min_prec {
                 break;
@@ -361,9 +372,13 @@ mod tests {
     fn precedence() {
         let p = parse("fn f() { return 1 + 2 * 3 == 7 && 1 < 2; }").unwrap();
         let Item::Func(f) = &p.items[0] else { panic!() };
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         // (((1 + (2*3)) == 7) && (1 < 2))
-        let Expr::Bin(BinOp::LogAnd, lhs, rhs) = e else { panic!("{e:?}") };
+        let Expr::Bin(BinOp::LogAnd, lhs, rhs) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(**lhs, Expr::Bin(BinOp::Eq, _, _)));
         assert!(matches!(**rhs, Expr::Bin(BinOp::Lt, _, _)));
     }

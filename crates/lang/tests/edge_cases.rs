@@ -178,5 +178,8 @@ fn big_frame_with_many_locals() {
 
 #[test]
 fn comparison_result_is_plain_value() {
-    assert_eq!(exit_code("fn main() { return (3 > 2) * 10 + (2 > 3); }"), 10);
+    assert_eq!(
+        exit_code("fn main() { return (3 > 2) * 10 + (2 > 3); }"),
+        10
+    );
 }

@@ -48,7 +48,10 @@ fn run(src: &str, stdin: &[u8]) -> (RunOutcome, Kernel) {
 fn exit_code(src: &str) -> u32 {
     match run(src, b"") {
         (RunOutcome::Exited(c), _) => c,
-        (other, k) => panic!("{other:?} (stdout: {:?})", String::from_utf8_lossy(k.stdout())),
+        (other, k) => panic!(
+            "{other:?} (stdout: {:?})",
+            String::from_utf8_lossy(k.stdout())
+        ),
     }
 }
 
@@ -60,7 +63,10 @@ fn arithmetic_and_precedence() {
     assert_eq!(exit_code("fn main() { return 100 % 7; }"), 2);
     assert_eq!(exit_code("fn main() { return 1 << 5; }"), 32);
     assert_eq!(exit_code("fn main() { return 0xF0 >> 4; }"), 15);
-    assert_eq!(exit_code("fn main() { return (0xFF & 0x0F) | 0x30; }"), 0x3F);
+    assert_eq!(
+        exit_code("fn main() { return (0xFF & 0x0F) | 0x30; }"),
+        0x3F
+    );
     assert_eq!(exit_code("fn main() { return 5 ^ 3; }"), 6);
     assert_eq!(exit_code("fn main() { return -1 >> 28; }"), 15);
     assert_eq!(exit_code("fn main() { return ~0 >> 28; }"), 15);
@@ -242,11 +248,14 @@ fn open_read_file() {
 
 #[test]
 fn string_dedup_in_rodata() {
-    let asm = asc_lang::compile(
-        r#"fn main() { write(1, "same", 4); write(1, "same", 4); return 0; }"#,
-    )
-    .unwrap();
-    assert_eq!(asm.matches("\"same\"").count(), 1, "literal interned once:\n{asm}");
+    let asm =
+        asc_lang::compile(r#"fn main() { write(1, "same", 4); write(1, "same", 4); return 0; }"#)
+            .unwrap();
+    assert_eq!(
+        asm.matches("\"same\"").count(),
+        1,
+        "literal interned once:\n{asm}"
+    );
 }
 
 #[test]

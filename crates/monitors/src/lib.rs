@@ -54,13 +54,12 @@ impl Alias {
 /// Calls covered by `fsread`: path-based read-side filesystem calls (the
 /// wildcard matches filename arguments, so fd-based calls like `read` and
 /// `readv` still need their own entries).
-pub const FSREAD_FAMILY: &[&str] =
-    &["stat", "lstat", "access", "readlink", "statfs"];
+pub const FSREAD_FAMILY: &[&str] = &["stat", "lstat", "access", "readlink", "statfs"];
 
 /// Calls covered by `fswrite`: path-based write-side filesystem calls.
 pub const FSWRITE_FAMILY: &[&str] = &[
-    "creat", "mkdir", "rmdir", "unlink", "rename", "truncate", "chmod", "utime", "link",
-    "symlink", "mknod", "lchown",
+    "creat", "mkdir", "rmdir", "unlink", "rename", "truncate", "chmod", "utime", "link", "symlink",
+    "mknod", "lchown",
 ];
 
 /// A Systrace-style policy: explicitly permitted syscalls plus aliases.
@@ -133,16 +132,25 @@ where
         entries.extend(run);
     }
     let mut aliases = BTreeSet::new();
-    if entries.iter().any(|e| FSREAD_FAMILY.contains(&e.as_str()) || e == "open") {
+    if entries
+        .iter()
+        .any(|e| FSREAD_FAMILY.contains(&e.as_str()) || e == "open")
+    {
         aliases.insert(Alias::FsRead);
     }
     // Hand-editors add fswrite for any program observed creating or
     // writing files — including creation through open(O_CREAT).
-    if entries.iter().any(|e| FSWRITE_FAMILY.contains(&e.as_str()) || e == "open" || e == "creat")
+    if entries
+        .iter()
+        .any(|e| FSWRITE_FAMILY.contains(&e.as_str()) || e == "open" || e == "creat")
     {
         aliases.insert(Alias::FsWrite);
     }
-    SystracePolicy { program: program.to_string(), entries, aliases }
+    SystracePolicy {
+        program: program.to_string(),
+        entries,
+        aliases,
+    }
 }
 
 /// Extracts the observed syscall-name sequence from a kernel's trace.
@@ -271,7 +279,11 @@ mod tests {
     fn training_produces_aliases() {
         let policy = train(
             "p",
-            [vec!["read".to_string(), "open".to_string(), "write".to_string()]],
+            [vec![
+                "read".to_string(),
+                "open".to_string(),
+                "write".to_string(),
+            ]],
         );
         assert_eq!(policy.entries.len(), 3);
         // "open" alone justifies both aliases (creation + reading).
@@ -311,8 +323,14 @@ mod tests {
     fn permitted_expansion() {
         let policy = train("p", [vec!["stat".to_string()]]);
         let permitted = policy.permitted();
-        assert!(permitted.contains("access"), "fsread expands path-based reads");
-        assert!(!permitted.contains("mkdir"), "no write observed -> no fswrite");
+        assert!(
+            permitted.contains("access"),
+            "fsread expands path-based reads"
+        );
+        assert!(
+            !permitted.contains("mkdir"),
+            "no write observed -> no fswrite"
+        );
         // fd-based calls are never covered by aliases.
         assert!(!permitted.contains("read"));
         assert!(!permitted.contains("writev"));

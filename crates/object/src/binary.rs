@@ -68,12 +68,24 @@ impl Section {
     /// A fully initialised section (`mem_size == data.len()`).
     pub fn new(name: impl Into<String>, addr: u32, data: Vec<u8>, flags: SectionFlags) -> Section {
         let mem_size = data.len() as u32;
-        Section { name: name.into(), addr, data, mem_size, flags }
+        Section {
+            name: name.into(),
+            addr,
+            data,
+            mem_size,
+            flags,
+        }
     }
 
     /// A zero-filled section of `size` bytes with no initialised data.
     pub fn zeroed(name: impl Into<String>, addr: u32, size: u32, flags: SectionFlags) -> Section {
-        Section { name: name.into(), addr, data: Vec::new(), mem_size: size, flags }
+        Section {
+            name: name.into(),
+            addr,
+            data: Vec::new(),
+            mem_size: size,
+            flags,
+        }
     }
 
     /// Address one past the last byte.
@@ -141,7 +153,10 @@ pub struct Binary {
 impl Binary {
     /// An empty binary with the given entry point.
     pub fn new(entry: u32) -> Binary {
-        Binary { entry, ..Binary::default() }
+        Binary {
+            entry,
+            ..Binary::default()
+        }
     }
 
     /// Entry-point address.
@@ -177,7 +192,10 @@ impl Binary {
 
     /// Index of a section by name.
     pub fn section_index(&self, name: &str) -> Option<u32> {
-        self.sections.iter().position(|s| s.name == name).map(|i| i as u32)
+        self.sections
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as u32)
     }
 
     /// The section containing `addr`, if any.
@@ -281,7 +299,11 @@ impl Binary {
     /// Address one past the highest section byte (conventional initial
     /// program break).
     pub fn highest_addr(&self) -> u32 {
-        self.sections.iter().map(Section::end).max().unwrap_or(super::LOAD_BASE)
+        self.sections
+            .iter()
+            .map(Section::end)
+            .max()
+            .unwrap_or(super::LOAD_BASE)
     }
 
     /// Checks structural invariants: sections sorted by address and
@@ -302,7 +324,10 @@ impl Binary {
         }
         for (i, r) in self.relocations.iter().enumerate() {
             let Some(sec) = self.sections.get(r.section as usize) else {
-                return Err(format!("relocation {i} references missing section {}", r.section));
+                return Err(format!(
+                    "relocation {i} references missing section {}",
+                    r.section
+                ));
             };
             if r.offset as usize + 4 > sec.data.len() {
                 return Err(format!("relocation {i} out of bounds in `{}`", sec.name));
@@ -318,12 +343,33 @@ mod tests {
 
     fn sample() -> Binary {
         let mut b = Binary::new(0x1000);
-        b.push_section(Section::new(".text", 0x1000, vec![0u8; 32], SectionFlags::RX));
-        b.push_section(Section::new(".data", 0x2000, vec![1, 2, 3, 4], SectionFlags::RW));
+        b.push_section(Section::new(
+            ".text",
+            0x1000,
+            vec![0u8; 32],
+            SectionFlags::RX,
+        ));
+        b.push_section(Section::new(
+            ".data",
+            0x2000,
+            vec![1, 2, 3, 4],
+            SectionFlags::RW,
+        ));
         b.push_section(Section::zeroed(".bss", 0x3000, 64, SectionFlags::RW));
-        b.push_symbol(Symbol { name: "main".into(), addr: 0x1000, kind: SymbolKind::Func });
-        b.push_symbol(Symbol { name: "helper".into(), addr: 0x1010, kind: SymbolKind::Func });
-        b.push_relocation(Relocation { section: 0, offset: 4 });
+        b.push_symbol(Symbol {
+            name: "main".into(),
+            addr: 0x1000,
+            kind: SymbolKind::Func,
+        });
+        b.push_symbol(Symbol {
+            name: "helper".into(),
+            addr: 0x1010,
+            kind: SymbolKind::Func,
+        });
+        b.push_relocation(Relocation {
+            section: 0,
+            offset: 4,
+        });
         b
     }
 
@@ -365,10 +411,16 @@ mod tests {
     #[test]
     fn validation_catches_bad_reloc() {
         let mut b = sample();
-        b.push_relocation(Relocation { section: 0, offset: 30 });
+        b.push_relocation(Relocation {
+            section: 0,
+            offset: 30,
+        });
         assert!(b.validate().is_err());
         let mut b2 = sample();
-        b2.push_relocation(Relocation { section: 9, offset: 0 });
+        b2.push_relocation(Relocation {
+            section: 9,
+            offset: 0,
+        });
         assert!(b2.validate().is_err());
     }
 

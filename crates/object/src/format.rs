@@ -63,11 +63,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, SofError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, SofError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn name(&mut self) -> Result<String, SofError> {
@@ -145,7 +149,13 @@ impl Binary {
             if (mem_size as usize) < data.len() {
                 return Err(SofError::Malformed("mem_size < data length"));
             }
-            binary.push_section(Section { name, addr, data, mem_size, flags });
+            binary.push_section(Section {
+                name,
+                addr,
+                data,
+                mem_size,
+                flags,
+            });
         }
 
         let n_symbols = r.u32()? as usize;
@@ -166,7 +176,9 @@ impl Binary {
             let offset = r.u32()?;
             binary.push_relocation(Relocation { section, offset });
         }
-        binary.validate().map_err(|_| SofError::Malformed("validation failed"))?;
+        binary
+            .validate()
+            .map_err(|_| SofError::Malformed("validation failed"))?;
         Ok(binary)
     }
 }
@@ -180,11 +192,27 @@ mod tests {
         b.set_program_id(7);
         b.set_authenticated(true);
         b.set_relocatable(true);
-        b.push_section(Section::new(".text", 0x1000, (0..64u8).collect(), SectionFlags::RX));
+        b.push_section(Section::new(
+            ".text",
+            0x1000,
+            (0..64u8).collect(),
+            SectionFlags::RX,
+        ));
         b.push_section(Section::zeroed(".bss", 0x2000, 128, SectionFlags::RW));
-        b.push_symbol(Symbol { name: "main".into(), addr: 0x1040, kind: SymbolKind::Func });
-        b.push_symbol(Symbol { name: "buf".into(), addr: 0x2000, kind: SymbolKind::Object });
-        b.push_relocation(Relocation { section: 0, offset: 12 });
+        b.push_symbol(Symbol {
+            name: "main".into(),
+            addr: 0x1040,
+            kind: SymbolKind::Func,
+        });
+        b.push_symbol(Symbol {
+            name: "buf".into(),
+            addr: 0x2000,
+            kind: SymbolKind::Object,
+        });
+        b.push_relocation(Relocation {
+            section: 0,
+            offset: 12,
+        });
         b
     }
 

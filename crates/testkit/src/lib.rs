@@ -1,0 +1,160 @@
+//! Dependency-free deterministic randomness for property-style tests.
+//!
+//! The workspace builds hermetically (no crates-io access), so the
+//! property tests that used to lean on `proptest`/`rand` draw their cases
+//! from this small, seeded PRNG instead. Runs are fully reproducible: a
+//! failing case can be replayed from its seed.
+
+/// A splitmix64-based pseudo-random generator.
+///
+/// Not cryptographic — it only needs to be fast, well distributed, and
+/// deterministic across platforms.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. The same seed always yields the
+    /// same sequence.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (public domain, Vigna).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 raw bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniformly distributed `u32` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// A uniformly distributed `usize` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A random byte.
+    pub fn byte(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+
+    /// A random `bool`.
+    pub fn chance(&mut self, num: u32, den: u32) -> bool {
+        self.range_u32(0, den) < num
+    }
+
+    /// A vector of random bytes with length drawn from `len_lo..len_hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length range is empty.
+    pub fn bytes(&mut self, len_lo: usize, len_hi: usize) -> Vec<u8> {
+        let len = self.range_usize(len_lo, len_hi);
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// A random ASCII-lowercase string with length drawn from
+    /// `len_lo..len_hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length range is empty.
+    pub fn lowercase(&mut self, len_lo: usize, len_hi: usize) -> String {
+        let len = self.range_usize(len_lo, len_hi);
+        (0..len)
+            .map(|_| (b'a' + (self.next_u64() % 26) as u8) as char)
+            .collect()
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+/// Runs `body` for `cases` deterministic cases, passing a per-case [`Rng`]
+/// derived from `seed` and the case index. Panics from `body` propagate
+/// with the case number attached via the rng seed, so failures reproduce.
+pub fn check<F: FnMut(&mut Rng)>(seed: u64, cases: u64, mut body: F) {
+    for case in 0..cases {
+        let mut rng = Rng::new(seed ^ case.wrapping_mul(0x517c_c1b7_2722_0a95));
+        body(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::new(1), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::new(1), |r, _| Some(r.next_u64()))
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::new(2), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(42);
+        for _ in 0..1000 {
+            let v = rng.range_u32(10, 20);
+            assert!((10..20).contains(&v));
+            let s = rng.lowercase(0, 6);
+            assert!(s.len() < 6);
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut n = 0;
+        check(7, 25, |_| n += 1);
+        assert_eq!(n, 25);
+    }
+}

@@ -148,7 +148,14 @@ impl<H: SyscallHandler> Machine<H> {
         mem.load(binary, stack_size)?;
         let mut regs = [0u32; Reg::COUNT];
         regs[Reg::SP.index()] = mem.initial_sp();
-        Ok(Machine { regs, pc: binary.entry(), cycles: 0, mem, handler, instret: 0 })
+        Ok(Machine {
+            regs,
+            pc: binary.entry(),
+            cycles: 0,
+            mem,
+            handler,
+            instret: 0,
+        })
     }
 
     /// Current program counter.
@@ -321,9 +328,7 @@ impl<H: SyscallHandler> Machine<H> {
                 };
                 match self.handler.syscall(&mut ctx) {
                     TrapOutcome::Continue => {}
-                    TrapOutcome::Exit(code) => {
-                        return StepOutcome::Done(RunOutcome::Exited(code))
-                    }
+                    TrapOutcome::Exit(code) => return StepOutcome::Done(RunOutcome::Exited(code)),
                     TrapOutcome::Kill(reason) => {
                         return StepOutcome::Done(RunOutcome::Killed(reason))
                     }
@@ -474,7 +479,10 @@ mod tests {
             halt
         ",
         );
-        assert!(matches!(outcome, RunOutcome::Fault(MemFault::NoWrite { .. })));
+        assert!(matches!(
+            outcome,
+            RunOutcome::Fault(MemFault::NoWrite { .. })
+        ));
     }
 
     #[test]
@@ -517,7 +525,8 @@ mod tests {
 
     #[test]
     fn kernel_charge_adds_cycles() {
-        let b = assemble("main: movi r0, 2\nmovi r1, 1\nsyscall\nmovi r0,1\nmovi r1,0\nsyscall").unwrap();
+        let b = assemble("main: movi r0, 2\nmovi r1, 1\nsyscall\nmovi r0,1\nmovi r1,0\nsyscall")
+            .unwrap();
         let mut m = Machine::load(&b, ToyKernel::default()).unwrap();
         m.run(1_000_000);
         // 2 syscalls * 100 charged + a handful of instruction cycles.
@@ -531,7 +540,10 @@ mod tests {
         let mut m = Machine::load(&b, ToyKernel::default()).unwrap();
         // Corrupt the instruction with an invalid opcode via kernel write.
         m.mem_mut().kwrite(0x1000, &[0xff]).unwrap();
-        assert!(matches!(m.step(), StepOutcome::Done(RunOutcome::BadInstruction { .. })));
+        assert!(matches!(
+            m.step(),
+            StepOutcome::Done(RunOutcome::BadInstruction { .. })
+        ));
     }
 
     #[test]

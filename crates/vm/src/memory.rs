@@ -117,7 +117,10 @@ impl Memory {
     /// a whole number of pages).
     pub fn new(size: u32) -> Memory {
         let pages = size.div_ceil(PAGE_SIZE) as usize;
-        Memory { bytes: vec![0; pages * PAGE_SIZE as usize], pages: vec![PageFlags::NONE; pages] }
+        Memory {
+            bytes: vec![0; pages * PAGE_SIZE as usize],
+            pages: vec![PageFlags::NONE; pages],
+        }
     }
 
     /// Total size in bytes.
@@ -145,7 +148,11 @@ impl Memory {
             {
                 *b = 0;
             }
-            self.protect(section.addr, section.mem_size, PageFlags::from_section(section.flags));
+            self.protect(
+                section.addr,
+                section.mem_size,
+                PageFlags::from_section(section.flags),
+            );
         }
         let stack_base = self.size() - stack_size;
         self.protect(stack_base, stack_size, PageFlags::RWX);
@@ -177,7 +184,13 @@ impl Memory {
             .unwrap_or(PageFlags::NONE)
     }
 
-    fn check(&self, addr: u32, len: u32, need: fn(PageFlags) -> bool, fault: fn(u32) -> MemFault) -> Result<(), MemFault> {
+    fn check(
+        &self,
+        addr: u32,
+        len: u32,
+        need: fn(PageFlags) -> bool,
+        fault: fn(u32) -> MemFault,
+    ) -> Result<(), MemFault> {
         if addr as u64 + len as u64 > self.size() as u64 {
             return Err(MemFault::OutOfRange { addr });
         }
@@ -196,27 +209,37 @@ impl Memory {
 
     /// User-mode byte read.
     pub fn read_u8(&self, addr: u32) -> Result<u8, MemFault> {
-        self.check(addr, 1, PageFlags::readable, |a| MemFault::NoRead { addr: a })?;
+        self.check(addr, 1, PageFlags::readable, |a| MemFault::NoRead {
+            addr: a,
+        })?;
         Ok(self.bytes[addr as usize])
     }
 
     /// User-mode byte write.
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemFault> {
-        self.check(addr, 1, PageFlags::writable, |a| MemFault::NoWrite { addr: a })?;
+        self.check(addr, 1, PageFlags::writable, |a| MemFault::NoWrite {
+            addr: a,
+        })?;
         self.bytes[addr as usize] = value;
         Ok(())
     }
 
     /// User-mode 32-bit read (little-endian, unaligned allowed).
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
-        self.check(addr, 4, PageFlags::readable, |a| MemFault::NoRead { addr: a })?;
+        self.check(addr, 4, PageFlags::readable, |a| MemFault::NoRead {
+            addr: a,
+        })?;
         let i = addr as usize;
-        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.bytes[i..i + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     /// User-mode 32-bit write.
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
-        self.check(addr, 4, PageFlags::writable, |a| MemFault::NoWrite { addr: a })?;
+        self.check(addr, 4, PageFlags::writable, |a| MemFault::NoWrite {
+            addr: a,
+        })?;
         let i = addr as usize;
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
@@ -224,8 +247,8 @@ impl Memory {
 
     /// Instruction fetch: returns the 8 instruction bytes at `pc`.
     pub fn fetch(&self, pc: u32) -> Result<&[u8], MemFault> {
-        self.check(pc, asc_isa::INSTR_LEN as u32, PageFlags::executable, |a| MemFault::NoExec {
-            addr: a,
+        self.check(pc, asc_isa::INSTR_LEN as u32, PageFlags::executable, |a| {
+            MemFault::NoExec { addr: a }
         })?;
         Ok(&self.bytes[pc as usize..pc as usize + asc_isa::INSTR_LEN])
     }
@@ -233,7 +256,9 @@ impl Memory {
     /// Kernel-mode read: bounds-checked but ignores page protection
     /// (the kernel may read any mapped user memory).
     pub fn kread(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
-        self.check(addr, len, PageFlags::mapped, |a| MemFault::NoRead { addr: a })?;
+        self.check(addr, len, PageFlags::mapped, |a| MemFault::NoRead {
+            addr: a,
+        })?;
         Ok(&self.bytes[addr as usize..(addr + len) as usize])
     }
 
@@ -247,7 +272,9 @@ impl Memory {
     /// kernel updates the policy state inside the application's `.asc`
     /// section and fills output buffers).
     pub fn kwrite(&mut self, addr: u32, data: &[u8]) -> Result<(), MemFault> {
-        self.check(addr, data.len() as u32, PageFlags::mapped, |a| MemFault::NoWrite { addr: a })?;
+        self.check(addr, data.len() as u32, PageFlags::mapped, |a| {
+            MemFault::NoWrite { addr: a }
+        })?;
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -279,8 +306,18 @@ mod tests {
 
     fn mem_with_binary() -> Memory {
         let mut b = Binary::new(0x1000);
-        b.push_section(Section::new(".text", 0x1000, vec![0xAA; 64], SectionFlags::RX));
-        b.push_section(Section::new(".data", 0x2000, vec![1, 2, 3, 4], SectionFlags::RW));
+        b.push_section(Section::new(
+            ".text",
+            0x1000,
+            vec![0xAA; 64],
+            SectionFlags::RX,
+        ));
+        b.push_section(Section::new(
+            ".data",
+            0x2000,
+            vec![1, 2, 3, 4],
+            SectionFlags::RW,
+        ));
         b.push_section(Section::zeroed(".bss", 0x3000, 32, SectionFlags::RW));
         let mut m = Memory::new(1 << 20);
         m.load(&b, 0x4000).unwrap();
@@ -295,7 +332,10 @@ mod tests {
         assert_eq!(m.read_u8(0x3000).unwrap(), 0);
         // text not writable
         let mut m2 = m.clone();
-        assert_eq!(m2.write_u8(0x1000, 0), Err(MemFault::NoWrite { addr: 0x1000 }));
+        assert_eq!(
+            m2.write_u8(0x1000, 0),
+            Err(MemFault::NoWrite { addr: 0x1000 })
+        );
         // data not executable
         assert_eq!(m.fetch(0x2000), Err(MemFault::NoExec { addr: 0x2000 }));
         // text executable
@@ -316,9 +356,15 @@ mod tests {
     #[test]
     fn out_of_range() {
         let m = mem_with_binary();
-        assert!(matches!(m.read_u32(m.size() - 2), Err(MemFault::OutOfRange { .. })));
+        assert!(matches!(
+            m.read_u32(m.size() - 2),
+            Err(MemFault::OutOfRange { .. })
+        ));
         let mut m2 = m.clone();
-        assert!(matches!(m2.write_u32(m.size(), 1), Err(MemFault::OutOfRange { .. })));
+        assert!(matches!(
+            m2.write_u32(m.size(), 1),
+            Err(MemFault::OutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -56,7 +56,10 @@ fn shifts_mask_to_five_bits() {
 fn wrapping_arithmetic() {
     assert_eq!(eval("movi r2, 0xffffffff\nmovi r3, 2\nadd r1, r2, r3"), 1);
     assert_eq!(eval("movi r2, 0\nmovi r3, 1\nsub r1, r2, r3"), 0xffff_ffff);
-    assert_eq!(eval("movi r2, 0x10000\nmovi r3, 0x10000\nmul r1, r2, r3"), 0);
+    assert_eq!(
+        eval("movi r2, 0x10000\nmovi r3, 0x10000\nmul r1, r2, r3"),
+        0
+    );
     assert_eq!(eval("movi r2, 0xffffffff\nmuli r1, r2, 3"), 0xffff_fffd);
 }
 
@@ -114,9 +117,18 @@ fn signed_vs_unsigned_branches() {
 
 #[test]
 fn bitwise_ops() {
-    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nand r1, r2, r3"), 0x0ff0 & 0xf0f0);
-    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nor r1, r2, r3"), 0xfff0);
-    assert_eq!(eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nxor r1, r2, r3"), 0xff00);
+    assert_eq!(
+        eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nand r1, r2, r3"),
+        0x0ff0 & 0xf0f0
+    );
+    assert_eq!(
+        eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nor r1, r2, r3"),
+        0xfff0
+    );
+    assert_eq!(
+        eval("movi r2, 0xf0f0\nmovi r3, 0x0ff0\nxor r1, r2, r3"),
+        0xff00
+    );
     assert_eq!(eval("movi r2, 0xff\nandi r1, r2, 0x0f"), 0x0f);
     assert_eq!(eval("movi r2, 0xf0\nori r1, r2, 0x0f"), 0xff);
     assert_eq!(eval("movi r2, 0xff\nxori r1, r2, 0xffffffff"), 0xffff_ff00);

@@ -138,7 +138,40 @@ pub fn measure(
     let outcome = machine.run(RUN_BUDGET);
     let cycles = machine.cycles();
     let instret = machine.instret();
-    RunReport { outcome, kernel: machine.into_handler(), cycles, instret }
+    RunReport {
+        outcome,
+        kernel: machine.into_handler(),
+        cycles,
+        instret,
+    }
+}
+
+/// Like [`measure`] in enforcing mode, but with the kernel's verified-call
+/// cache enabled — the warm fast path the ablation and Table 4 report
+/// alongside the cold (paper-faithful) numbers.
+pub fn measure_cached(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: asc_crypto::MacKey,
+) -> RunReport {
+    let mut fs = FileSystem::new();
+    (spec.setup_fs)(&mut fs);
+    let opts = KernelOptions::enforcing(personality).with_verify_cache();
+    let mut kernel = Kernel::with_fs(opts, fs);
+    kernel.set_stdin(spec.stdin.to_vec());
+    kernel.set_key(key);
+    kernel.set_brk(binary.highest_addr());
+    let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
+    let outcome = machine.run(RUN_BUDGET);
+    let cycles = machine.cycles();
+    let instret = machine.instret();
+    RunReport {
+        outcome,
+        kernel: machine.into_handler(),
+        cycles,
+        instret,
+    }
 }
 
 /// Runs a built (authenticated) workload on an enforcing kernel with the

@@ -161,7 +161,9 @@ pub fn stub_asm(personality: Personality, id: SyscallId) -> Option<String> {
         }
         _ => {
             let nr = personality.nr(id)?;
-            Some(format!("{name}:\n\x20   movi r0, {nr}\n\x20   syscall\n\x20   ret\n"))
+            Some(format!(
+                "{name}:\n\x20   movi r0, {nr}\n\x20   syscall\n\x20   ret\n"
+            ))
         }
     }
 }
@@ -239,15 +241,16 @@ fn undefined_calls(asm: &str) -> std::collections::BTreeSet<String> {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("call ") {
             let target = rest.trim();
-            if target.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            if target
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
                 called.insert(target.to_string());
             }
         }
         if let Some(colon) = line.find(':') {
             let label = &line[..colon];
-            if !label.is_empty()
-                && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if !label.is_empty() && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 defined.insert(label.to_string());
             }
         }
@@ -267,9 +270,7 @@ fn fallback_asm(personality: Personality, name: &str) -> Option<String> {
         }
         (Personality::OpenBsd, "alarm")
         | (Personality::OpenBsd, "nice")
-        | (Personality::OpenBsd, "pause") => {
-            Some(format!("{name}:\n    movi r0, 0\n    ret\n"))
-        }
+        | (Personality::OpenBsd, "pause") => Some(format!("{name}:\n    movi r0, 0\n    ret\n")),
         _ => None,
     }
 }
@@ -284,9 +285,10 @@ pub fn link_stubs(asm: &str, personality: Personality) -> Result<String, Vec<Str
     let mut out = String::from("    .text\n");
     let mut missing = Vec::new();
     for name in undefined_calls(asm) {
-        let id = STUB_SYSCALLS.iter().copied().find(|&id| {
-            stub_name(id) == name && personality.nr(id).is_some()
-        });
+        let id = STUB_SYSCALLS
+            .iter()
+            .copied()
+            .find(|&id| stub_name(id) == name && personality.nr(id).is_some());
         match id {
             Some(id) => {
                 out.push_str(&stub_asm(personality, id).expect("nr checked"));
@@ -331,7 +333,9 @@ mod tests {
         let s = stub_asm(Personality::OpenBsd, SyscallId::Close).unwrap();
         assert!(s.contains("0xffffffff"));
         assert!(s.contains("jr r12"));
-        assert!(stub_asm(Personality::Linux, SyscallId::Close).unwrap().contains("movi r0, 6"));
+        assert!(stub_asm(Personality::Linux, SyscallId::Close)
+            .unwrap()
+            .contains("movi r0, 6"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct ProgramSpec {
 
 impl std::fmt::Debug for ProgramSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProgramSpec").field("name", &self.name).finish()
+        f.debug_struct("ProgramSpec")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -52,20 +54,24 @@ fn setup_grammar(fs: &mut FileSystem) {
 }
 
 fn setup_calc(fs: &mut FileSystem) {
-    fs.write_file("/home/calcrc", b"scale=4\n".to_vec()).expect("fixture");
+    fs.write_file("/home/calcrc", b"scale=4\n".to_vec())
+        .expect("fixture");
 }
 
 fn setup_screen(fs: &mut FileSystem) {
-    fs.write_file("/home/screenrc", b"hardstatus on\nvbell off\n".to_vec()).expect("fixture");
+    fs.write_file("/home/screenrc", b"hardstatus on\nvbell off\n".to_vec())
+        .expect("fixture");
     fs.write_file("/dev/tty", Vec::new()).expect("fixture");
 }
 
 fn setup_tar(fs: &mut FileSystem) {
     fs.mkdir("/home/src", 0o755).expect("fixture");
-    fs.write_file("/home/src/a.txt", b"alpha file contents\n".to_vec()).expect("fixture");
+    fs.write_file("/home/src/a.txt", b"alpha file contents\n".to_vec())
+        .expect("fixture");
     fs.write_file("/home/src/b.txt", b"bravo file, a little longer\n".to_vec())
         .expect("fixture");
-    fs.write_file("/home/src/c.txt", vec![b'x'; 300]).expect("fixture");
+    fs.write_file("/home/src/c.txt", vec![b'x'; 300])
+        .expect("fixture");
 }
 
 fn setup_file_64k(fs: &mut FileSystem) {
@@ -74,7 +80,11 @@ fn setup_file_64k(fs: &mut FileSystem) {
     for i in 0..(1 << 16) {
         x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
         // Compressible: runs of repeated bytes mixed with noise.
-        data.push(if i % 61 < 44 { b'a' + ((i / 23) % 7) as u8 } else { (x >> 16) as u8 });
+        data.push(if i % 61 < 44 {
+            b'a' + ((i / 23) % 7) as u8
+        } else {
+            (x >> 16) as u8
+        });
     }
     fs.write_file("/home/input.dat", data).expect("fixture");
 }
@@ -82,9 +92,12 @@ fn setup_file_64k(fs: &mut FileSystem) {
 fn setup_gcc(fs: &mut FileSystem) {
     let mut src = String::new();
     for i in 0..80 {
-        src.push_str(&format!("fn f{i}(a, b) {{ var t = a * {i} + b; return t ^ {i}; }}\n"));
+        src.push_str(&format!(
+            "fn f{i}(a, b) {{ var t = a * {i} + b; return t ^ {i}; }}\n"
+        ));
     }
-    fs.write_file("/home/input.c", src.into_bytes()).expect("fixture");
+    fs.write_file("/home/input.c", src.into_bytes())
+        .expect("fixture");
 }
 
 fn setup_vortex(fs: &mut FileSystem) {

@@ -323,16 +323,46 @@ fn main() {
 
 /// The benchmark's tool suite.
 pub const TOOLS: &[Tool] = &[
-    Tool { name: "mkdirs", source: MKDIR_TOOL },
-    Tool { name: "cp", source: CP_TOOL },
-    Tool { name: "cat", source: CAT_TOOL },
-    Tool { name: "mv", source: MV_TOOL },
-    Tool { name: "rm", source: RM_TOOL },
-    Tool { name: "chmod", source: CHMOD_TOOL },
-    Tool { name: "tar", source: TAR_TOOL },
-    Tool { name: "gzip", source: GZIP_TOOL },
-    Tool { name: "gunzip", source: GUNZIP_TOOL },
-    Tool { name: "sort", source: SORT_TOOL },
+    Tool {
+        name: "mkdirs",
+        source: MKDIR_TOOL,
+    },
+    Tool {
+        name: "cp",
+        source: CP_TOOL,
+    },
+    Tool {
+        name: "cat",
+        source: CAT_TOOL,
+    },
+    Tool {
+        name: "mv",
+        source: MV_TOOL,
+    },
+    Tool {
+        name: "rm",
+        source: RM_TOOL,
+    },
+    Tool {
+        name: "chmod",
+        source: CHMOD_TOOL,
+    },
+    Tool {
+        name: "tar",
+        source: TAR_TOOL,
+    },
+    Tool {
+        name: "gzip",
+        source: GZIP_TOOL,
+    },
+    Tool {
+        name: "gunzip",
+        source: GUNZIP_TOOL,
+    },
+    Tool {
+        name: "sort",
+        source: SORT_TOOL,
+    },
 ];
 
 /// Looks up a tool and returns its full source (with stdin helpers).
@@ -361,7 +391,8 @@ pub fn setup_corpus(fs: &mut FileSystem) {
                 .as_bytes(),
             );
         }
-        fs.write_file(&format!("/home/corpus/f{i}.txt"), data).expect("fixture");
+        fs.write_file(&format!("/home/corpus/f{i}.txt"), data)
+            .expect("fixture");
     }
 }
 
@@ -378,19 +409,31 @@ pub fn iteration_plan() -> Vec<Step> {
     for i in 0..CORPUS_FILES {
         cp.push_str(&format!("/home/corpus/f{i}.txt /home/work/a/f{i}.txt\n"));
     }
-    steps.push(Step { tool: "cp", stdin: cp });
+    steps.push(Step {
+        tool: "cp",
+        stdin: cp,
+    });
     // Concatenation / reading.
     let mut cat = String::new();
     for i in 0..CORPUS_FILES {
         cat.push_str(&format!("/home/work/a/f{i}.txt\n"));
     }
-    steps.push(Step { tool: "cat", stdin: cat.clone() });
+    steps.push(Step {
+        tool: "cat",
+        stdin: cat.clone(),
+    });
     // Permission checking.
-    steps.push(Step { tool: "chmod", stdin: cat.clone() });
+    steps.push(Step {
+        tool: "chmod",
+        stdin: cat.clone(),
+    });
     // Archival.
     let mut tar = String::from("/home/work/b/all.tar\n");
     tar.push_str(&cat);
-    steps.push(Step { tool: "tar", stdin: tar });
+    steps.push(Step {
+        tool: "tar",
+        stdin: tar,
+    });
     // Compression + decompression.
     steps.push(Step {
         tool: "gzip",
@@ -410,7 +453,10 @@ pub fn iteration_plan() -> Vec<Step> {
     for i in 0..CORPUS_FILES {
         mv.push_str(&format!("/home/work/a/f{i}.txt /home/work/c/g{i}.txt\n"));
     }
-    steps.push(Step { tool: "mv", stdin: mv });
+    steps.push(Step {
+        tool: "mv",
+        stdin: mv,
+    });
     // Deletion.
     let mut rm = String::new();
     for i in 0..CORPUS_FILES {
@@ -419,6 +465,9 @@ pub fn iteration_plan() -> Vec<Step> {
     rm.push_str("/home/work/b/all.tar\n/home/work/b/all.tar.gz\n/home/work/b/all.tar2\n");
     rm.push_str("/home/work/c/sorted.txt\n");
     rm.push_str("d /home/work/a\nd /home/work/b\nd /home/work/c\nd /home/work\n");
-    steps.push(Step { tool: "rm", stdin: rm });
+    steps.push(Step {
+        tool: "rm",
+        stdin: rm,
+    });
     steps
 }

@@ -25,7 +25,11 @@ fn bison_runs_both_personalities() {
     let kernel = run_ok("bison", Personality::Linux);
     let out = String::from_utf8_lossy(kernel.stdout()).to_string();
     assert!(out.contains("rules: 6"), "{out}");
-    assert!(kernel.fs().read_file("/home/parser.out").unwrap().starts_with(b"table\n"));
+    assert!(kernel
+        .fs()
+        .read_file("/home/parser.out")
+        .unwrap()
+        .starts_with(b"table\n"));
     run_ok("bison", Personality::OpenBsd);
 }
 
@@ -59,8 +63,17 @@ fn tar_archives_and_verifies() {
 
 #[test]
 fn perf_suite_runs() {
-    for name in ["gzip-spec", "crafty", "mcf", "vpr", "twolf", "gcc", "vortex", "pyramid", "gzip"]
-    {
+    for name in [
+        "gzip-spec",
+        "crafty",
+        "mcf",
+        "vpr",
+        "twolf",
+        "gcc",
+        "vortex",
+        "pyramid",
+        "gzip",
+    ] {
         let kernel = run_ok(name, Personality::Linux);
         assert!(!kernel.stdout().is_empty(), "{name} produced output");
     }

@@ -33,13 +33,25 @@ fn main() {
     println!("the stack changes the site and the MAC check fails.\n");
 
     println!("== 3. Non-control-data: overwrite \"/bin/ls\" with \"/bin/sh\" in memory ==");
-    println!("unprotected: {}", describe(&lab.non_control_data_attack(false)));
-    println!("installed:   {}", describe(&lab.non_control_data_attack(true)));
+    println!(
+        "unprotected: {}",
+        describe(&lab.non_control_data_attack(false))
+    );
+    println!(
+        "installed:   {}",
+        describe(&lab.non_control_data_attack(true))
+    );
     println!("The argument is an authenticated string; its content MAC no longer matches.\n");
 
     println!("== 4. Frankenstein: a new program stitched from two apps' gadgets ==");
-    println!("plain block ids:  {}", describe(&run_frankenstein(&key, false)));
-    println!("unique block ids: {}", describe(&run_frankenstein(&key, true)));
+    println!(
+        "plain block ids:  {}",
+        describe(&run_frankenstein(&key, false))
+    );
+    println!(
+        "unique block ids: {}",
+        describe(&run_frankenstein(&key, true))
+    );
     println!("With per-program block identifiers, the second stolen call's predecessor");
     println!("check can never match a block from a different program.");
 }

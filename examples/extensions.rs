@@ -20,9 +20,15 @@ fn patterns() {
     let pattern = Pattern::parse("/tmp/{foo,bar}*baz").expect("valid pattern");
     let arg = b"/tmp/foofoobaz";
     let hint = produce_hint(&pattern, arg).expect("matches");
-    println!("pattern /tmp/{{foo,bar}}*baz, arg {:?}", String::from_utf8_lossy(arg));
+    println!(
+        "pattern /tmp/{{foo,bar}}*baz, arg {:?}",
+        String::from_utf8_lossy(arg)
+    );
     println!("application-produced hint: {hint:?} (paper: (0, 3))");
-    println!("kernel linear verify: {}", pattern.match_with_hint(arg, &hint));
+    println!(
+        "kernel linear verify: {}",
+        pattern.match_with_hint(arg, &hint)
+    );
     println!(
         "wrong hint rejected: {}",
         !pattern.match_with_hint(arg, &[1, 3])
@@ -73,14 +79,20 @@ fn metapolicies() -> Result<(), Box<dyn std::error::Error>> {
         InstallerOptions::new(Personality::Linux).with_metapolicy(filled),
     );
     let (auth, report) = installer.install(&binary, "tmpwriter")?;
-    println!("after the administrator's fill: {} templates left", report.templates.len());
+    println!(
+        "after the administrator's fill: {} templates left",
+        report.templates.len()
+    );
     // The installer generated runtime hint-producing code for the
     // `/tmp/*` pattern; the program now runs enforced.
     let mut kernel = Kernel::new(KernelOptions::enforcing(Personality::Linux));
     kernel.set_key(MacKey::from_seed(5));
     kernel.set_brk(auth.highest_addr());
     let mut machine = Machine::load(&auth, kernel)?;
-    println!("enforced run with the pattern policy: {:?}\n", machine.run(10_000_000));
+    println!(
+        "enforced run with the pattern policy: {:?}\n",
+        machine.run(10_000_000)
+    );
     Ok(())
 }
 
@@ -93,10 +105,16 @@ fn capability_tracking() -> Result<(), Box<dyn std::error::Error>> {
     let mut set = CapabilitySet::new();
     set.insert(4);
     let mac = dict.update(&key, &set);
-    println!("fd 4 granted; dictionary verifies: {}", dict.verify(&key, &set, &mac));
+    println!(
+        "fd 4 granted; dictionary verifies: {}",
+        dict.verify(&key, &set, &mac)
+    );
     let mut forged = set.clone();
     forged.insert(7);
-    println!("forged fd 7 detected: {}", !dict.verify(&key, &forged, &mac));
+    println!(
+        "forged fd 7 detected: {}",
+        !dict.verify(&key, &forged, &mac)
+    );
 
     // System level: install with capability tracking; read()'s fd argument
     // must be a descriptor actually returned by open().
@@ -117,7 +135,11 @@ fn capability_tracking() -> Result<(), Box<dyn std::error::Error>> {
         InstallerOptions::new(Personality::Linux).with_capability_tracking(),
     );
     let (auth, report) = installer.install(&binary, "captest")?;
-    let read_policy = report.policy.iter().find(|p| p.syscall_nr == 3).expect("read policy");
+    let read_policy = report
+        .policy
+        .iter()
+        .find(|p| p.syscall_nr == 3)
+        .expect("read policy");
     println!("read() fd argument policy: {:?}", read_policy.args[0]);
     let mut kernel = Kernel::new(KernelOptions {
         capability_tracking: true,
@@ -126,7 +148,10 @@ fn capability_tracking() -> Result<(), Box<dyn std::error::Error>> {
     kernel.set_key(key);
     kernel.set_brk(auth.highest_addr());
     let mut machine = Machine::load(&auth, kernel)?;
-    println!("enforced run with fd tracking: {:?}\n", machine.run(10_000_000));
+    println!(
+        "enforced run with fd tracking: {:?}\n",
+        machine.run(10_000_000)
+    );
     Ok(())
 }
 
@@ -135,7 +160,8 @@ fn normalization() {
     // The TOCTOU setup from the paper: /tmp/foo is a symlink to
     // /etc/passwd. A policy that compares normalised names sees the truth.
     let mut fs = FileSystem::new();
-    fs.symlink("/etc/passwd", "/tmp/foo", "/").expect("fresh tree");
+    fs.symlink("/etc/passwd", "/tmp/foo", "/")
+        .expect("fresh tree");
     println!(
         "open(\"/tmp/foo\") normalises to {:?}",
         fs.normalize("/tmp/foo", "/").expect("resolves")

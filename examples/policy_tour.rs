@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = asc::workloads::program("bison").expect("bison is registered");
     for personality in [Personality::Linux, Personality::OpenBsd] {
         let binary = asc::workloads::build(spec, personality)?;
-        let installer =
-            Installer::new(MacKey::from_seed(2005), InstallerOptions::new(personality));
+        let installer = Installer::new(MacKey::from_seed(2005), InstallerOptions::new(personality));
         let (policy, stats, warnings) = installer.generate_policy(&binary, "bison")?;
         println!("==== bison on {} ====", personality.name());
         println!(

@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     "#;
     let binary = asc::workloads::build_source(source, Personality::Linux)?;
-    println!("built relocatable binary: {} sections, {} relocations",
-        binary.sections().len(), binary.relocations().len());
+    println!(
+        "built relocatable binary: {} sections, {} relocations",
+        binary.sections().len(),
+        binary.relocations().len()
+    );
 
     // 2. The security administrator installs it: static analysis derives a
     //    policy per syscall and the binary is rewritten with authenticated
@@ -33,12 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = MacKey::from_seed(2005);
     let installer = Installer::new(key.clone(), InstallerOptions::new(Personality::Linux));
     let (authenticated, report) = installer.install(&binary, "quickstart")?;
-    println!("\ninstalled: {} syscall sites, {} distinct syscalls",
-        report.policy.sites(), report.stats.calls);
+    println!(
+        "\ninstalled: {} syscall sites, {} distinct syscalls",
+        report.policy.sites(),
+        report.stats.calls
+    );
     for policy in report.policy.iter().take(3) {
-        println!("  policy @ {:#x}: syscall {} block {} args {:?}",
-            policy.call_site, policy.syscall_nr, policy.block_id,
-            &policy.args[..3]);
+        println!(
+            "  policy @ {:#x}: syscall {} block {} args {:?}",
+            policy.call_site,
+            policy.syscall_nr,
+            policy.block_id,
+            &policy.args[..3]
+        );
     }
 
     // 3. Run it under the enforcing kernel.
@@ -48,13 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::load(&authenticated, kernel)?;
     let outcome = machine.run(10_000_000);
     println!("\nenforced run: {outcome:?}");
-    println!("stdout: {:?}", String::from_utf8_lossy(machine.handler().stdout()));
+    println!(
+        "stdout: {:?}",
+        String::from_utf8_lossy(machine.handler().stdout())
+    );
     println!("verified syscalls: {}", machine.handler().stats().verified);
 
     // 4. Tamper with the binary: flip one byte of an authenticated string
     //    in the .asc section and run again — fail-stop.
     let mut tampered = authenticated.clone();
-    let asc_idx = tampered.section_index(".asc").expect("installed binaries have .asc");
+    let asc_idx = tampered
+        .section_index(".asc")
+        .expect("installed binaries have .asc");
     let sec = &mut tampered.sections_mut()[asc_idx as usize];
     let off = sec.data.len() / 2;
     sec.data[off] ^= 0xff;

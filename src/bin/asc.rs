@@ -95,7 +95,9 @@ fn load_binary(path: &str) -> Result<Binary, String> {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = raw.first().cloned() else { return usage() };
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
     let args = Args::parse(&raw[1..]);
     match run_command(&cmd, &args) {
         Ok(code) => code,
@@ -131,10 +133,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .generate_policy(&binary, in_path)
                 .map_err(|e| e.to_string())?;
             if args.flag("json") {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&policy).map_err(|e| e.to_string())?
-                );
+                println!("{}", policy.to_json());
             } else {
                 println!(
                     "{} call sites, {} distinct syscalls, {}/{} arguments authenticated",
@@ -174,8 +173,9 @@ fn run_command(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 opts = opts.with_program_id(pid);
             }
             let installer = Installer::new(args.key(), opts);
-            let (auth, report) =
-                installer.install(&binary, in_path).map_err(|e| e.to_string())?;
+            let (auth, report) = installer
+                .install(&binary, in_path)
+                .map_err(|e| e.to_string())?;
             std::fs::write(out_path, auth.to_bytes()).map_err(|e| e.to_string())?;
             println!(
                 "installed {in_path}: {} sites, {} distinct syscalls, {} warnings -> {out_path}",
@@ -208,8 +208,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 kernel.set_key(args.key());
             }
             if let Some(stdin_path) = args.value("stdin") {
-                let bytes =
-                    std::fs::read(stdin_path).map_err(|e| format!("{stdin_path}: {e}"))?;
+                let bytes = std::fs::read(stdin_path).map_err(|e| format!("{stdin_path}: {e}"))?;
                 kernel.set_stdin(bytes);
             }
             kernel.set_brk(binary.highest_addr());
@@ -232,9 +231,7 @@ fn run_command(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 machine.cycles()
             );
             Ok(match outcome {
-                asc::vm::RunOutcome::Exited(0) | asc::vm::RunOutcome::Halted => {
-                    ExitCode::SUCCESS
-                }
+                asc::vm::RunOutcome::Exited(0) | asc::vm::RunOutcome::Halted => ExitCode::SUCCESS,
                 _ => ExitCode::FAILURE,
             })
         }

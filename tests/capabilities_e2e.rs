@@ -46,7 +46,12 @@ fn live_descriptor_passes() {
     "#,
     );
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
 }
 
 #[test]
@@ -90,7 +95,12 @@ fn reopened_descriptor_is_valid_again() {
     "#,
     );
     let (outcome, kernel) = run(&auth);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
 }
 
 #[test]

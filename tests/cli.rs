@@ -27,10 +27,19 @@ fn compile_install_run_roundtrip() {
     std::fs::write(&src, GUEST).expect("write source");
 
     let out = asc()
-        .args(["compile", src.to_str().unwrap(), "-o", plain.to_str().unwrap()])
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+        ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = asc()
         .args([
@@ -43,14 +52,22 @@ fn compile_install_run_roundtrip() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Enforced run with the right key.
     let out = asc()
         .args(["run", auth.to_str().unwrap(), "--key-seed", "77"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout), "cli says hi\n");
     assert!(String::from_utf8_lossy(&out.stderr).contains("Exited(0)"));
 
@@ -69,11 +86,19 @@ fn policy_and_disasm_outputs() {
     let plain = tmp("p2.sof");
     std::fs::write(&src, GUEST).expect("write source");
     asc()
-        .args(["compile", src.to_str().unwrap(), "-o", plain.to_str().unwrap()])
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+        ])
         .status()
         .expect("runs");
 
-    let out = asc().args(["policy", plain.to_str().unwrap()]).output().expect("runs");
+    let out = asc()
+        .args(["policy", plain.to_str().unwrap()])
+        .output()
+        .expect("runs");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("distinct syscalls"), "{text}");
     assert!(text.contains("write"), "{text}");
@@ -82,11 +107,14 @@ fn policy_and_disasm_outputs() {
         .args(["policy", plain.to_str().unwrap(), "--json"])
         .output()
         .expect("runs");
-    let json: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON policy");
+    let json = asc::core::json::Value::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("valid JSON policy");
     assert!(json.get("policies").is_some());
 
-    let out = asc().args(["disasm", plain.to_str().unwrap()]).output().expect("runs");
+    let out = asc()
+        .args(["disasm", plain.to_str().unwrap()])
+        .output()
+        .expect("runs");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("_start:"), "{text}");
     assert!(text.contains("<== syscall"), "{text}");
@@ -118,11 +146,21 @@ fn stdin_flag_feeds_the_guest() {
     .expect("write");
     std::fs::write(&input, b"piped input").expect("write");
     asc()
-        .args(["compile", src.to_str().unwrap(), "-o", plain.to_str().unwrap()])
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+        ])
         .status()
         .expect("runs");
     let out = asc()
-        .args(["run", plain.to_str().unwrap(), "--stdin", input.to_str().unwrap()])
+        .args([
+            "run",
+            plain.to_str().unwrap(),
+            "--stdin",
+            input.to_str().unwrap(),
+        ])
         .output()
         .expect("runs");
     assert_eq!(String::from_utf8_lossy(&out.stdout), "piped input");

@@ -31,9 +31,11 @@ fn systrace_count(name: &str) -> usize {
 #[test]
 fn table1_policy_counts_match_the_paper_exactly() {
     // Paper Table 1: (ASC Linux, ASC OpenBSD, Systrace OpenBSD).
-    for (name, linux, bsd, systrace) in
-        [("bison", 31, 31, 24), ("calc", 54, 51, 24), ("screen", 67, 63, 55)]
-    {
+    for (name, linux, bsd, systrace) in [
+        ("bison", 31, 31, 24),
+        ("calc", 54, 51, 24),
+        ("screen", 67, 63, 55),
+    ] {
         assert_eq!(asc_count(name, Personality::Linux), linux, "{name} linux");
         assert_eq!(asc_count(name, Personality::OpenBsd), bsd, "{name} openbsd");
         assert_eq!(systrace_count(name), systrace, "{name} systrace");
@@ -45,14 +47,23 @@ fn table2_key_rows_hold() {
     let spec = program("bison").expect("registered");
     let binary = build(spec, Personality::OpenBsd).expect("builds");
     let installer = Installer::new(key(), InstallerOptions::new(Personality::OpenBsd));
-    let (policy, _, warnings) = installer.generate_policy(&binary, "bison").expect("analyzes");
+    let (policy, _, warnings) = installer
+        .generate_policy(&binary, "bison")
+        .expect("analyzes");
     let names: Vec<&str> = policy
         .distinct_syscalls()
         .iter()
         .map(|&nr| Personality::OpenBsd.name_of(nr))
         .collect();
     // ASC-only rows: indirection and cold paths.
-    for expected in ["__syscall", "getpid", "gettimeofday", "kill", "sysconf", "writev"] {
+    for expected in [
+        "__syscall",
+        "getpid",
+        "gettimeofday",
+        "kill",
+        "sysconf",
+        "writev",
+    ] {
         assert!(names.contains(&expected), "{expected} in {names:?}");
     }
     // ASC-missing rows: disassembly failure hides close; mmap hides
@@ -86,7 +97,10 @@ fn table3_argument_coverage_in_paper_band() {
             "{name}: {pct:.1}% authenticated args (paper: 30-40%)"
         );
         assert!(stats.out_params > 0, "{name} has output-only args");
-        assert!(stats.sites > stats.calls, "{name}: more sites than distinct calls");
+        assert!(
+            stats.sites > stats.calls,
+            "{name}: more sites than distinct calls"
+        );
     }
 }
 
@@ -97,13 +111,19 @@ fn table6_overhead_shape() {
     let run = |name: &str, pid| {
         let spec = program(name).expect("registered");
         let plain = build(spec, Personality::Linux).expect("builds");
-        let installer =
-            Installer::new(key(), InstallerOptions::new(Personality::Linux).with_program_id(pid));
+        let installer = Installer::new(
+            key(),
+            InstallerOptions::new(Personality::Linux).with_program_id(pid),
+        );
         let (auth, _) = installer.install(&plain, name).expect("installs");
         let base = measure(spec, &plain, Personality::Linux, None);
         assert!(base.outcome.is_success());
         let with = measure(spec, &auth, Personality::Linux, Some(key()));
-        assert!(with.outcome.is_success(), "{name}: {:?}", with.kernel.alerts());
+        assert!(
+            with.outcome.is_success(),
+            "{name}: {:?}",
+            with.kernel.alerts()
+        );
         (with.cycles as f64 - base.cycles as f64) / base.cycles as f64 * 100.0
     };
     let mcf = run("mcf", 61);

@@ -1,0 +1,78 @@
+//! End-to-end test of the verified-call fast path: with the kernel's
+//! MAC cache enabled, a repeated identical authenticated call must run at
+//! least 50% fewer AES block operations warm than cold, while producing
+//! the same program behaviour as the cache-less kernel.
+
+use asc::crypto::MacKey;
+use asc::installer::{Installer, InstallerOptions};
+use asc::kernel::{Kernel, KernelOptions, KernelStats, Personality};
+use asc::vm::{Machine, RunOutcome};
+
+const PERSONALITY: Personality = Personality::Linux;
+
+/// Issues the same `write` call eight times from one call site.
+const SOURCE: &str = r#"
+fn main() {
+    var i = 0;
+    while (i < 8) {
+        write(1, "tick\n", 5);
+        i = i + 1;
+    }
+    return 0;
+}
+"#;
+
+fn run(use_cache: bool) -> (RunOutcome, Vec<u8>, KernelStats) {
+    let key = MacKey::from_seed(0xFA57);
+    let plain = asc::workloads::build_source(SOURCE, PERSONALITY).expect("builds");
+    let installer = Installer::new(key.clone(), InstallerOptions::new(PERSONALITY));
+    let (auth, _) = installer.install(&plain, "ticker").expect("installs");
+    let opts = KernelOptions::enforcing(PERSONALITY);
+    let opts = if use_cache {
+        opts.with_verify_cache()
+    } else {
+        opts
+    };
+    let mut kernel = Kernel::new(opts);
+    kernel.set_key(key);
+    kernel.set_brk(auth.highest_addr());
+    let mut m = Machine::load(&auth, kernel).expect("loads");
+    let outcome = m.run(10_000_000);
+    let kernel = m.into_handler();
+    (outcome, kernel.stdout().to_vec(), *kernel.stats())
+}
+
+#[test]
+fn warm_path_halves_aes_blocks_end_to_end() {
+    let (outcome, stdout, stats) = run(true);
+    assert_eq!(outcome, RunOutcome::Exited(0));
+    assert_eq!(stdout, b"tick\n".repeat(8));
+    assert!(stats.cache_hits >= 4, "expected a warm cache: {stats:?}");
+    let cold_calls = stats.cold_verified();
+    assert!(cold_calls >= 1, "{stats:?}");
+    let cold_blocks_per_call = (stats.verify_aes_blocks - stats.warm_aes_blocks) / cold_calls;
+    let warm_blocks_per_call = stats.warm_aes_blocks / stats.cache_hits;
+    assert!(
+        warm_blocks_per_call * 2 <= cold_blocks_per_call,
+        "warm {warm_blocks_per_call} blocks/call vs cold {cold_blocks_per_call}"
+    );
+    // Cycle accounting follows the block savings.
+    assert!(
+        stats.warm_verify_cycles_per_call() * 2 <= stats.cold_verify_cycles_per_call(),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn cache_does_not_change_behaviour() {
+    let (cold_outcome, cold_stdout, cold_stats) = run(false);
+    let (warm_outcome, warm_stdout, warm_stats) = run(true);
+    assert_eq!(cold_outcome, warm_outcome);
+    assert_eq!(cold_stdout, warm_stdout);
+    assert_eq!(cold_stats.syscalls, warm_stats.syscalls);
+    assert_eq!(cold_stats.verified, warm_stats.verified);
+    assert_eq!(cold_stats.cache_hits, 0);
+    // The warm kernel did strictly less cryptographic work.
+    assert!(warm_stats.verify_aes_blocks < cold_stats.verify_aes_blocks);
+    assert!(warm_stats.verify_cycles < cold_stats.verify_cycles);
+}

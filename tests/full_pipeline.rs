@@ -70,12 +70,20 @@ fn run(binary: &asc::object::Binary, enforce: bool) -> (RunOutcome, Kernel) {
 fn source_to_enforced_execution() {
     let (auth, report) = install(Personality::Linux);
     assert!(auth.is_authenticated());
-    assert!(report.stats.auth > 0, "some arguments statically determined");
+    assert!(
+        report.stats.auth > 0,
+        "some arguments statically determined"
+    );
     // Both opens carry string-literal policies.
     let opens: Vec<_> = report.policy.iter().filter(|p| p.syscall_nr == 5).collect();
     assert_eq!(opens.len(), 3, "two inlined sites + the dead stub body");
     let (outcome, kernel) = run(&auth, true);
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.stdout(), b"done\n");
     assert!(kernel.fs().read_file("/tmp/sum").unwrap().len() > 3);
     assert_eq!(kernel.stats().verified, kernel.stats().syscalls);
@@ -145,7 +153,10 @@ fn every_text_byte_tamper_is_caught_or_harmless() {
             }
         }
     }
-    assert!(exec_divergence > 0, "tampering with the gadget must be observable");
+    assert!(
+        exec_divergence > 0,
+        "tampering with the gadget must be observable"
+    );
 }
 
 #[test]
@@ -157,12 +168,17 @@ fn openbsd_policy_generation_works() {
     // OpenBSD kernel would fail-stop legitimate programs at `close`.
     let plain = asc::workloads::build_source(PROGRAM, Personality::OpenBsd).expect("builds");
     let installer = Installer::new(key(), InstallerOptions::new(Personality::OpenBsd));
-    let (policy, stats, warnings) =
-        installer.generate_policy(&plain, "pipeline").expect("analyzes");
+    let (policy, stats, warnings) = installer
+        .generate_policy(&plain, "pipeline")
+        .expect("analyzes");
     assert!(stats.sites > 0);
     assert!(warnings.iter().any(|w| w.contains("could not disassemble")));
-    assert!(warnings.iter().any(|w| w.contains("not statically determined")));
-    let close_nr = Personality::OpenBsd.nr(asc::kernel::SyscallId::Close).unwrap();
+    assert!(warnings
+        .iter()
+        .any(|w| w.contains("not statically determined")));
+    let close_nr = Personality::OpenBsd
+        .nr(asc::kernel::SyscallId::Close)
+        .unwrap();
     assert!(
         !policy.distinct_syscalls().contains(&close_nr),
         "close must be missing from the OpenBSD policy (Table 2)"

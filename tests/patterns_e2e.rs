@@ -44,7 +44,10 @@ fn install_with_pattern() -> asc::object::Binary {
         InstallerOptions::new(Personality::Linux).with_metapolicy(metapolicy),
     );
     let (auth, report) = installer.install(&plain, "tmpwriter").expect("installs");
-    assert!(report.templates.is_empty(), "the fill satisfied the metapolicy");
+    assert!(
+        report.templates.is_empty(),
+        "the fill satisfied the metapolicy"
+    );
     let open_policy = report
         .policy
         .iter()
@@ -68,7 +71,12 @@ fn run(auth: &asc::object::Binary, stdin: &[u8]) -> (RunOutcome, Kernel) {
 fn matching_path_is_allowed() {
     let auth = install_with_pattern();
     let (outcome, kernel) = run(&auth, b"scratch.txt\n");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert_eq!(kernel.fs().read_file("/tmp/scratch.txt").unwrap(), b"data");
 }
 
@@ -79,7 +87,12 @@ fn empty_suffix_matches_star() {
     // directory for writing fails in the kernel; policy-wise it passes.
     let (outcome, kernel) = run(&auth, b"\n");
     // The open returns EISDIR, so the guest exits 2 — but no policy kill.
-    assert_eq!(outcome, RunOutcome::Exited(2), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(2),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     assert!(kernel.alerts().is_empty());
 }
 
@@ -109,7 +122,11 @@ fn escaping_the_prefix_is_killed() {
     sec.data[pos..pos + 5].copy_from_slice(b"/etc/");
     let (outcome, kernel) = run(&tampered, b"x\n");
     assert!(outcome.is_killed(), "{outcome:?}");
-    assert!(kernel.alerts()[0].contains("bad pattern"), "{:?}", kernel.alerts());
+    assert!(
+        kernel.alerts()[0].contains("bad pattern"),
+        "{:?}",
+        kernel.alerts()
+    );
 }
 
 #[test]
@@ -128,7 +145,12 @@ fn non_matching_argument_is_killed() {
     let (auth, _) = installer.install(&plain, "tmpwriter").expect("installs");
     // Compliant input: suffix starts with "log-".
     let (outcome, kernel) = run(&auth, b"log-1\n");
-    assert_eq!(outcome, RunOutcome::Exited(0), "alerts: {:?}", kernel.alerts());
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited(0),
+        "alerts: {:?}",
+        kernel.alerts()
+    );
     // Non-compliant input: pattern mismatch at the open.
     let (outcome, kernel) = run(&auth, b"evil\n");
     assert!(outcome.is_killed(), "{outcome:?}");
@@ -150,7 +172,10 @@ fn unsupported_pattern_forms_degrade_with_warning() {
         InstallerOptions::new(Personality::Linux).with_metapolicy(metapolicy),
     );
     let (auth, report) = installer.install(&plain, "tmpwriter").expect("installs");
-    assert!(report.warnings.iter().any(|w| w.contains("not of the supported")));
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.contains("not of the supported")));
     // Still runs (the argument just isn't pattern-constrained).
     let (outcome, _) = run(&auth, b"anything\n");
     assert_eq!(outcome, RunOutcome::Exited(0));
