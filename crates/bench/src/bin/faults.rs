@@ -1,0 +1,120 @@
+//! Fault-injection campaign: seeded corruption of every artifact the
+//! verifier trusts, with fail-stop classification.
+//!
+//! Every trial flips one byte (or one trapped register / one cache
+//! entry / the in-kernel counter) and demands the run either dies
+//! with an administrator alert *before* the corrupted call dispatches
+//! or behaves bit-identically to the clean run. Any other outcome is
+//! silent corruption and fails the campaign (non-zero exit).
+//!
+//! A second section repeats the authenticated-string faults against a
+//! deliberately weakened verifier (string-contents check disabled) to
+//! prove the oracle actually detects bypasses: that configuration
+//! must produce a SILENT-CORRUPTION row.
+//!
+//! ```text
+//! cargo run --release -p asc-bench --bin faults -- \
+//!     [--seed N] [--trials N] [--workloads a,b,c] [--json] [--no-demo]
+//! ```
+
+use asc_faults::{run_campaign, run_weakened_demo, CampaignConfig, Outcome};
+use asc_kernel::Personality;
+
+fn main() {
+    let mut cfg = CampaignConfig::new(0x0A5C_F417, 8);
+    let mut json = false;
+    let mut demo = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = args.next().expect("--seed needs a value");
+                cfg.seed = parse_u64(&value);
+            }
+            "--trials" => {
+                let value = args.next().expect("--trials needs a value");
+                cfg.trials = value.parse().expect("--trials needs a number");
+            }
+            "--workloads" => {
+                let value = args.next().expect("--workloads needs a list");
+                cfg.workloads = value.split(',').map(str::to_string).collect();
+            }
+            "--json" => json = true,
+            "--no-demo" => demo = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_campaign(&cfg);
+    if json {
+        println!("{}", report.to_value().to_pretty());
+    } else {
+        println!("{}", report.render());
+        if let Some(alert) = report.rows.iter().find_map(|r| r.sample_alert.as_ref()) {
+            println!("sample alert: {alert}");
+        }
+    }
+
+    let problems = report.problems();
+    if !problems.is_empty() {
+        eprintln!("\nCAMPAIGN FAILED:");
+        for problem in &problems {
+            eprintln!("  {problem}");
+        }
+    }
+
+    let mut demo_failed = false;
+    if demo {
+        let result = run_weakened_demo(
+            cfg.workloads.first().map(String::as_str).unwrap_or("bison"),
+            Personality::Linux,
+            128,
+        );
+        if !json {
+            println!("\nWeakened-verifier demonstration ({}):", result.workload);
+        }
+        match &result.silent {
+            Some((addr, offset, detail)) => {
+                if !json {
+                    println!(
+                        "  corrupting authenticated string at {addr:#x}+{offset} \
+                         with the string check disabled: SILENT-CORRUPTION ({detail})"
+                    );
+                    let verdict = result
+                        .hardened_outcome
+                        .map(Outcome::label)
+                        .unwrap_or("not run");
+                    println!("  same fault against the hardened verifier: {verdict}");
+                }
+                if result.hardened_outcome == Some(Outcome::SilentCorruption) {
+                    eprintln!("DEMO FAILED: hardened verifier also silent");
+                    demo_failed = true;
+                }
+            }
+            None => {
+                eprintln!(
+                    "DEMO FAILED: weakened verifier produced no silent corruption \
+                     in {} trials — the oracle may be vacuous",
+                    result.scanned
+                );
+                demo_failed = true;
+            }
+        }
+    }
+
+    if !problems.is_empty() || demo_failed {
+        std::process::exit(1);
+    }
+}
+
+fn parse_u64(text: &str) -> u64 {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("hex seed")
+    } else {
+        text.parse().expect("decimal seed")
+    }
+}

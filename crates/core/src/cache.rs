@@ -48,6 +48,15 @@ pub struct CacheStats {
     pub state_hits: u64,
     /// Entries dropped to stay within capacity.
     pub evictions: u64,
+    /// Checks that found an entry for the key but whose bytes, tag, or
+    /// epoch no longer matched — the graceful degradation path: the entry
+    /// is useless (stale or poisoned) and the full CMAC fallback ran.
+    pub stale_misses: u64,
+    /// State entries dropped because they claimed an *impossible* epoch
+    /// (later than the in-kernel counter). The counter never runs behind a
+    /// recording, so such an entry can only be corruption; it is scrubbed
+    /// rather than trusted or panicked over.
+    pub scrubs: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -119,14 +128,16 @@ impl VerifyCache {
     /// must be byte-identical to the pair that fully verified earlier.
     /// Updates hit/miss statistics.
     pub fn check_call(&mut self, site: u32, encoding: &[u8], mac: &Mac) -> bool {
-        let hit = self
-            .calls
-            .get(&site)
-            .is_some_and(|e| e.mac == *mac && e.encoding == encoding);
+        let entry = self.calls.get(&site);
+        let present = entry.is_some();
+        let hit = entry.is_some_and(|e| e.mac == *mac && e.encoding == encoding);
         if hit {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
+            if present {
+                self.stats.stale_misses += 1;
+            }
         }
         hit
     }
@@ -146,12 +157,13 @@ impl VerifyCache {
     /// Checks whether an authenticated blob (string / pattern /
     /// predecessor set) at `addr` can be accepted from cache.
     pub fn check_blob(&mut self, addr: u32, mac: &Mac, contents: &[u8]) -> bool {
-        let hit = self
-            .blobs
-            .get(&addr)
-            .is_some_and(|e| e.mac == *mac && e.contents == contents);
+        let entry = self.blobs.get(&addr);
+        let present = entry.is_some();
+        let hit = entry.is_some_and(|e| e.mac == *mac && e.contents == contents);
         if hit {
             self.stats.blob_hits += 1;
+        } else if present {
+            self.stats.stale_misses += 1;
         }
         hit
     }
@@ -173,13 +185,25 @@ impl VerifyCache {
     /// verified *and* the in-kernel counter must still be at the epoch the
     /// entry was recorded under. A counter advance (any control-flow
     /// update) silently invalidates the entry.
+    ///
+    /// An entry claiming an epoch *later* than the current counter is
+    /// impossible (the counter never runs behind a recording) and can only
+    /// mean the entry itself was corrupted; it is scrubbed — dropped and
+    /// counted in [`CacheStats::scrubs`] — so verification falls back to
+    /// the full cold path instead of consulting poisoned bytes.
     pub fn check_state(&mut self, lb_ptr: u32, bytes: &[u8], epoch: u64) -> bool {
-        let hit = self
-            .state
-            .as_ref()
-            .is_some_and(|s| s.lb_ptr == lb_ptr && s.epoch == epoch && s.bytes[..] == *bytes);
+        if self.state.as_ref().is_some_and(|s| s.epoch > epoch) {
+            self.state = None;
+            self.stats.scrubs += 1;
+        }
+        let entry = self.state.as_ref();
+        let present = entry.is_some();
+        let hit =
+            entry.is_some_and(|s| s.lb_ptr == lb_ptr && s.epoch == epoch && s.bytes[..] == *bytes);
         if hit {
             self.stats.state_hits += 1;
+        } else if present {
+            self.stats.stale_misses += 1;
         }
         hit
     }
@@ -223,11 +247,73 @@ impl VerifyCache {
             self.clear();
         }
     }
+
+    /// Fault-injection hook: XORs `mask` into one byte of one stored entry,
+    /// both chosen deterministically from `selector`. Models bit rot or a
+    /// kernel bug corrupting the cache itself. Returns the kind of entry
+    /// corrupted (`"call"`, `"blob"`, `"state"`), or `None` when the cache
+    /// is empty. A corrupted entry must never be *accepted* — the byte
+    /// comparison misses and verification falls back to the cold path.
+    pub fn corrupt_entry_for_fault(&mut self, selector: u64, mask: u8) -> Option<&'static str> {
+        let mask = if mask == 0 { 1 } else { mask };
+        let mut call_sites: Vec<u32> = self.calls.keys().copied().collect();
+        call_sites.sort_unstable();
+        let mut blob_addrs: Vec<u32> = self.blobs.keys().copied().collect();
+        blob_addrs.sort_unstable();
+        let total = call_sites.len() + blob_addrs.len() + usize::from(self.state.is_some());
+        if total == 0 {
+            return None;
+        }
+        let pick = (selector % total as u64) as usize;
+        let byte_sel = (selector >> 8) as usize;
+        if pick < call_sites.len() {
+            let e = self.calls.get_mut(&call_sites[pick]).expect("listed key");
+            let n = e.encoding.len() + e.mac.len();
+            let i = byte_sel % n;
+            if i < e.encoding.len() {
+                e.encoding[i] ^= mask;
+            } else {
+                e.mac[i - e.encoding.len()] ^= mask;
+            }
+            return Some("call");
+        }
+        let pick = pick - call_sites.len();
+        if pick < blob_addrs.len() {
+            let e = self.blobs.get_mut(&blob_addrs[pick]).expect("listed key");
+            let n = e.contents.len() + e.mac.len();
+            let i = byte_sel % n;
+            if i < e.contents.len() {
+                e.contents[i] ^= mask;
+            } else {
+                e.mac[i - e.contents.len()] ^= mask;
+            }
+            return Some("blob");
+        }
+        let s = self.state.as_mut().expect("counted above");
+        s.bytes[byte_sel % POLICY_STATE_LEN] ^= mask;
+        Some("state")
+    }
+
+    /// Fault-injection hook: shifts the state entry's recorded epoch
+    /// forward by `delta`, making it claim a *future* counter value. The
+    /// next [`VerifyCache::check_state`] must scrub it (see
+    /// [`CacheStats::scrubs`]) and fall back to cold verification. Returns
+    /// `false` when no state entry exists.
+    pub fn skew_state_epoch_for_fault(&mut self, delta: u64) -> bool {
+        match self.state.as_mut() {
+            Some(s) => {
+                s.epoch = s.epoch.saturating_add(delta.max(1));
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn call_entry_roundtrip() {
@@ -302,5 +388,147 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert!(!c.check_state(2, &[0u8; POLICY_STATE_LEN], 1));
+    }
+
+    #[test]
+    fn stale_entries_are_counted_as_fallbacks() {
+        let mut c = VerifyCache::new();
+        c.record_call(0x1000, b"enc", &[7u8; 16]);
+        c.record_blob(0x2000, &[9u8; 16], b"/etc/motd");
+        c.record_state(0x3000, [3u8; POLICY_STATE_LEN], 5);
+        assert!(!c.check_call(0x1000, b"end", &[7u8; 16]));
+        assert!(!c.check_blob(0x2000, &[9u8; 16], b"/etc/pass"));
+        assert!(!c.check_state(0x3000, &[3u8; POLICY_STATE_LEN], 6));
+        assert_eq!(c.stats().stale_misses, 3);
+        // A miss with no entry at all is not "stale".
+        assert!(!c.check_call(0x9999, b"enc", &[7u8; 16]));
+        assert_eq!(c.stats().stale_misses, 3);
+    }
+
+    #[test]
+    fn future_epoch_state_entry_is_scrubbed() {
+        let mut c = VerifyCache::new();
+        let bytes = [3u8; POLICY_STATE_LEN];
+        c.record_state(0x3000, bytes, 5);
+        assert!(c.skew_state_epoch_for_fault(3));
+        // Entry now claims epoch 8 while the counter is still 5:
+        // impossible — scrubbed, never accepted, cold fallback.
+        assert!(!c.check_state(0x3000, &bytes, 5));
+        assert_eq!(c.stats().scrubs, 1);
+        // The poisoned entry is gone; a fresh recording works again.
+        c.record_state(0x3000, bytes, 5);
+        assert!(c.check_state(0x3000, &bytes, 5));
+    }
+
+    #[test]
+    fn corrupted_entries_never_accept() {
+        let mut c = VerifyCache::new();
+        let mac = [7u8; 16];
+        c.record_call(0x1000, b"enc", &mac);
+        c.record_blob(0x2000, &mac, b"/etc/motd");
+        c.record_state(0x3000, [3u8; POLICY_STATE_LEN], 5);
+        let mut kinds = std::collections::BTreeSet::new();
+        for sel in 0..64u64 {
+            let mut cc = c.clone();
+            let kind = cc.corrupt_entry_for_fault(sel * 0x0101, 0x40).unwrap();
+            kinds.insert(kind);
+            assert!(!cc.check_call(0x1000, b"enc", &mac) || kind != "call");
+            assert!(!cc.check_blob(0x2000, &mac, b"/etc/motd") || kind != "blob");
+            assert!(
+                !cc.check_state(0x3000, &[3u8; POLICY_STATE_LEN], 5) || kind != "state",
+                "corrupted state accepted (sel {sel})"
+            );
+        }
+        assert_eq!(kinds.len(), 3, "selector reaches all entry kinds");
+        assert_eq!(
+            VerifyCache::new().corrupt_entry_for_fault(0, 1),
+            None,
+            "empty cache has nothing to corrupt"
+        );
+    }
+
+    #[test]
+    fn prop_counter_bump_invalidates_state_entry() {
+        asc_testkit::check(0x5EED_0CAC, 200, |rng| {
+            let mut c = VerifyCache::new();
+            let epoch = rng.range_u64(0, 1 << 40);
+            let ptr = rng.next_u32();
+            let mut bytes = [0u8; POLICY_STATE_LEN];
+            for b in bytes.iter_mut() {
+                *b = rng.byte();
+            }
+            c.record_state(ptr, bytes, epoch);
+            assert!(c.check_state(ptr, &bytes, epoch), "same epoch: hit");
+            let bumped = epoch + rng.range_u64(1, 64);
+            assert!(
+                !c.check_state(ptr, &bytes, bumped),
+                "any counter bump invalidates the entry"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_warm_accepts_exactly_the_recorded_pairs() {
+        // Model check: under random interleavings of record / check /
+        // epoch-bump / clear, a cache hit occurs exactly when the same
+        // (key, bytes, tag) tuple was recorded and (for state) the epoch
+        // is unchanged. Since only cold-verified pairs are ever recorded,
+        // this makes the warm accept set equal to the cold one.
+        asc_testkit::check(0x5EED_ACCE, 300, |rng| {
+            let sites = [0x1000u32, 0x1008, 0x1010];
+            let encs: [&[u8]; 3] = [b"alpha", b"bravo", b"charlie"];
+            let macs = [[1u8; 16], [2u8; 16], [3u8; 16]];
+            let ptrs = [0x3000u32, 0x3004];
+            let mut shadow_calls: HashMap<u32, (Vec<u8>, Mac)> = HashMap::new();
+            let mut shadow_blobs: HashMap<u32, (Vec<u8>, Mac)> = HashMap::new();
+            let mut shadow_state: Option<(u32, [u8; POLICY_STATE_LEN], u64)> = None;
+            let mut epoch = 0u64;
+            let mut c = VerifyCache::new();
+            for _ in 0..rng.range_usize(1, 40) {
+                match rng.range_u32(0, 8) {
+                    0 | 1 => {
+                        let (s, e, m) = (*rng.pick(&sites), *rng.pick(&encs), *rng.pick(&macs));
+                        c.record_call(s, e, &m);
+                        shadow_calls.insert(s, (e.to_vec(), m));
+                    }
+                    2 => {
+                        let (s, e, m) = (*rng.pick(&sites), *rng.pick(&encs), *rng.pick(&macs));
+                        let expect = shadow_calls.get(&s) == Some(&(e.to_vec(), m));
+                        assert_eq!(c.check_call(s, e, &m), expect, "call accept set diverged");
+                    }
+                    3 => {
+                        let (a, e, m) = (*rng.pick(&ptrs), *rng.pick(&encs), *rng.pick(&macs));
+                        c.record_blob(a, &m, e);
+                        shadow_blobs.insert(a, (e.to_vec(), m));
+                    }
+                    4 => {
+                        let (a, e, m) = (*rng.pick(&ptrs), *rng.pick(&encs), *rng.pick(&macs));
+                        let expect = shadow_blobs.get(&a) == Some(&(e.to_vec(), m));
+                        assert_eq!(c.check_blob(a, &m, e), expect, "blob accept set diverged");
+                    }
+                    5 => {
+                        let ptr = *rng.pick(&ptrs);
+                        let bytes = [rng.byte(); POLICY_STATE_LEN];
+                        c.record_state(ptr, bytes, epoch);
+                        shadow_state = Some((ptr, bytes, epoch));
+                    }
+                    6 => {
+                        // The in-kernel counter advances (control-flow
+                        // update): every older state recording is stale.
+                        epoch += rng.range_u64(1, 4);
+                    }
+                    _ => {
+                        let ptr = *rng.pick(&ptrs);
+                        let bytes = shadow_state.map_or([0u8; POLICY_STATE_LEN], |(_, b, _)| b);
+                        let expect = shadow_state == Some((ptr, bytes, epoch));
+                        assert_eq!(
+                            c.check_state(ptr, &bytes, epoch),
+                            expect,
+                            "state accept set diverged"
+                        );
+                    }
+                }
+            }
+        });
     }
 }

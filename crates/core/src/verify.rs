@@ -270,10 +270,52 @@ pub fn verify_call(
 pub fn verify_call_cached(
     key: &MacKey,
     checker: &mut MemoryChecker,
+    cache: Option<&mut VerifyCache>,
+    mem: &mut dyn UserMemory,
+    regs: &AuthCallRegs,
+    cap_check: Option<&mut dyn FnMut(u32) -> bool>,
+) -> Result<VerifyOutcome, Violation> {
+    verify_call_hooked(
+        key,
+        checker,
+        cache,
+        mem,
+        regs,
+        cap_check,
+        VerifyHooks::default(),
+    )
+}
+
+/// Deliberate weakenings of the verifier, used **only** to validate the
+/// fault-injection oracle: a campaign run against a weakened verifier must
+/// report silent corruption, proving the classifier can detect a verifier
+/// that fails open. Production callers always pass
+/// [`VerifyHooks::default()`] (everything off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyHooks {
+    /// Skip the authenticated-string contents check (§3.4 step 2): any
+    /// bytes pass as long as the `(addr, len, mac)` tuple still matches
+    /// the call MAC. This is precisely the hole the non-control-data
+    /// attack needs.
+    pub accept_any_string: bool,
+}
+
+/// [`verify_call_cached`] with explicit [`VerifyHooks`] (test-only
+/// weakenings; see there).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] encountered; the caller logs it and
+/// kills the process.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_call_hooked(
+    key: &MacKey,
+    checker: &mut MemoryChecker,
     mut cache: Option<&mut VerifyCache>,
     mem: &mut dyn UserMemory,
     regs: &AuthCallRegs,
     mut cap_check: Option<&mut dyn FnMut(u32) -> bool>,
+    hooks: VerifyHooks,
 ) -> Result<VerifyOutcome, Violation> {
     let blocks_at_entry = key.block_ops();
     let mut outcome = VerifyOutcome::default();
@@ -368,7 +410,7 @@ pub fn verify_call_cached(
                 let cached = cache
                     .as_deref_mut()
                     .is_some_and(|c| c.check_blob(*addr, mac, &contents));
-                if !cached {
+                if !cached && !hooks.accept_any_string {
                     if !key.verify(&contents, mac) {
                         return Err(Violation::BadStringMac { arg: *i });
                     }

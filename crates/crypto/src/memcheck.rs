@@ -53,6 +53,19 @@ impl MemoryChecker {
         self.counter
     }
 
+    /// Fault-injection hook: shifts the counter by `delta` (saturating at
+    /// zero), simulating kernel-side nonce corruption. After a skew the
+    /// policy state in application memory no longer authenticates, so
+    /// every subsequent control-flow check must fail — the fault campaign
+    /// asserts exactly that.
+    pub fn skew_counter_for_fault(&mut self, delta: i64) {
+        self.counter = if delta >= 0 {
+            self.counter.saturating_add(delta as u64)
+        } else {
+            self.counter.saturating_sub(delta.unsigned_abs())
+        };
+    }
+
     /// The initial application-side state the installer embeds in the
     /// binary: `lastBlock = 0` authenticated against counter 0.
     pub fn initial_state(key: &MacKey) -> PolicyState {

@@ -1,0 +1,751 @@
+//! The seeded fault-injection campaign and its classification oracle.
+//!
+//! Every trial perturbs exactly one trusted artifact of one workload
+//! run — a byte flip in memory at a seeded instruction index, or a
+//! kernel-side fault armed for a specific trap — and compares the
+//! perturbed run against the clean record. The oracle demands one of
+//! two outcomes: *killed-with-alert* (fail-stop before the corrupted
+//! call dispatched, no prior divergence) or *benign* (bit-identical
+//! observable behaviour). Anything else is **silent corruption**, the
+//! failure the paper's design promises cannot happen.
+
+use asc_installer::{Installer, InstallerOptions};
+use asc_kernel::{
+    FaultAction, FileSystem, Kernel, KernelOptions, Personality, TraceEntry, TrapFault,
+};
+use asc_object::Binary;
+use asc_testkit::Rng;
+use asc_vm::{Machine, RunOutcome, StepOutcome};
+use asc_workloads::{build, program, ProgramSpec, RUN_BUDGET};
+
+use crate::campaign_key;
+use crate::inventory::{scan, Inventory};
+
+/// A verifier-trusted artifact class the campaign corrupts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Flip a byte of a 16-byte call-MAC slot in `.asc`.
+    CallMac,
+    /// Flip a byte of an authenticated string's contents.
+    AuthString,
+    /// Flip a byte of a predecessor-set blob's contents.
+    PredecessorSet,
+    /// Flip a byte of the `lastBlock ‖ lbMAC` policy-state cell.
+    PolicyState,
+    /// Flip a byte of a rewritten `movi` immediate field in `.text`.
+    RewrittenText,
+    /// XOR one register of the kernel's trapped-register copy.
+    TrapRegister,
+    /// Skew the in-kernel memory-checker counter before a trap.
+    EpochCounter,
+    /// Flip a byte inside a verified-call cache entry.
+    CachePoison,
+    /// Stamp the cached policy-state entry with a future epoch.
+    CacheEpochSkew,
+}
+
+impl FaultClass {
+    /// Every class, in reporting order.
+    pub const ALL: [FaultClass; 9] = [
+        FaultClass::CallMac,
+        FaultClass::AuthString,
+        FaultClass::PredecessorSet,
+        FaultClass::PolicyState,
+        FaultClass::RewrittenText,
+        FaultClass::TrapRegister,
+        FaultClass::EpochCounter,
+        FaultClass::CachePoison,
+        FaultClass::CacheEpochSkew,
+    ];
+
+    /// Kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::CallMac => "call-mac",
+            FaultClass::AuthString => "auth-string",
+            FaultClass::PredecessorSet => "pred-set",
+            FaultClass::PolicyState => "policy-state",
+            FaultClass::RewrittenText => "rewritten-text",
+            FaultClass::TrapRegister => "trap-register",
+            FaultClass::EpochCounter => "epoch-counter",
+            FaultClass::CachePoison => "cache-poison",
+            FaultClass::CacheEpochSkew => "cache-epoch-skew",
+        }
+    }
+
+    /// Classes that corrupt only the kernel's *cache* copies. The
+    /// hardened kernel must degrade gracefully to cold re-verification
+    /// on these, so a kill (a false positive against authentic memory)
+    /// is itself a campaign failure.
+    pub fn cache_degradation(self) -> bool {
+        matches!(self, FaultClass::CachePoison | FaultClass::CacheEpochSkew)
+    }
+}
+
+/// Classification of one perturbed run against the clean record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fail-stop: an alert was logged, nothing diverged before the
+    /// kill, and the killed call never dispatched.
+    Killed,
+    /// Identical observable behaviour — the corrupted artifact was
+    /// never consumed after the flip, or the kernel degraded
+    /// gracefully around a poisoned cache entry.
+    Benign,
+    /// The run diverged observably without an alert: a verifier
+    /// bypass. Always a campaign failure.
+    SilentCorruption,
+    /// VM-level crash (memory fault, bad instruction, cycle limit).
+    /// Tracked separately and asserted zero: the fault planner only
+    /// mutates data the guest itself never executes or loads.
+    Crashed,
+}
+
+impl Outcome {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Killed => "killed-with-alert",
+            Outcome::Benign => "benign",
+            Outcome::SilentCorruption => "SILENT-CORRUPTION",
+            Outcome::Crashed => "crashed",
+        }
+    }
+}
+
+/// Everything observable about one run, as the oracle compares it.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+    /// The dispatched-syscall trace.
+    pub trace: Vec<TraceEntry>,
+    /// Administrator alerts (kill messages).
+    pub alerts: Vec<String>,
+    /// Digest of the final filesystem tree.
+    pub fs_digest: u64,
+    /// Syscalls trapped (dispatched or killed).
+    pub syscalls: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cache entries that no longer matched and fell back cold.
+    pub cache_fallbacks: u64,
+    /// Cache state entries scrubbed for claiming a future epoch.
+    pub cache_scrubs: u64,
+}
+
+/// Runs one (possibly perturbed) enforcing execution of an installed
+/// workload and captures the oracle's observables.
+///
+/// `mem_fault` is `(at_instret, addr, mask)`: once `at_instret` guest
+/// instructions have retired, the byte at `addr` is XORed with `mask`
+/// (via the kernel's physical access path, so page protections do not
+/// interfere) and the run resumes. `trap_fault` is armed on the kernel
+/// before the run starts.
+fn run_instrumented(
+    spec: &ProgramSpec,
+    auth: &Binary,
+    personality: Personality,
+    weakened: bool,
+    mem_fault: Option<(u64, u32, u8)>,
+    trap_fault: Option<TrapFault>,
+) -> RunRecord {
+    let mut fs = FileSystem::new();
+    (spec.setup_fs)(&mut fs);
+    let mut opts = KernelOptions::enforcing(personality).with_verify_cache();
+    if weakened {
+        opts = opts.with_weakened_string_check();
+    }
+    let mut kernel = Kernel::with_fs(opts, fs);
+    kernel.set_stdin(spec.stdin.to_vec());
+    kernel.set_key(campaign_key());
+    kernel.set_brk(auth.highest_addr());
+    let mut machine = Machine::load(auth, kernel).expect("workload fits in memory");
+    if let Some(fault) = trap_fault {
+        machine.handler_mut().arm_fault(fault);
+    }
+    let outcome = match mem_fault {
+        Some((at_instret, addr, mask)) => match machine.run_until_instret(at_instret, RUN_BUDGET) {
+            StepOutcome::Done(outcome) => outcome, // finished before the flip
+            StepOutcome::Running => {
+                if let Ok(byte) = machine.mem().kread(addr, 1).map(|b| b[0]) {
+                    let _ = machine.mem_mut().kwrite(addr, &[byte ^ mask]);
+                }
+                machine.run(RUN_BUDGET)
+            }
+        },
+        None => machine.run(RUN_BUDGET),
+    };
+    let instret = machine.instret();
+    let kernel = machine.into_handler();
+    let stats = *kernel.stats();
+    RunRecord {
+        outcome,
+        stdout: kernel.stdout().to_vec(),
+        stderr: kernel.stderr().to_vec(),
+        trace: kernel.trace().to_vec(),
+        alerts: kernel.alerts().to_vec(),
+        fs_digest: kernel.fs().digest(),
+        syscalls: stats.syscalls,
+        instret,
+        cache_fallbacks: stats.cache_fallbacks,
+        cache_scrubs: stats.cache_scrubs,
+    }
+}
+
+/// Classifies a perturbed run against the clean record.
+///
+/// The fail-stop contract is checked structurally, not just by the
+/// outcome variant: a kill must carry an alert, must not have diverged
+/// before the kill (stdout and trace are prefixes of the clean run's),
+/// and the killed call must never have dispatched — the trap counter
+/// exceeding the dispatched-trace length by exactly one proves the
+/// kill happened before any side effect of the offending call.
+pub fn classify(clean: &RunRecord, run: &RunRecord) -> (Outcome, String) {
+    match &run.outcome {
+        RunOutcome::Killed(msg) => {
+            if run.alerts.is_empty() {
+                return (Outcome::SilentCorruption, "killed without an alert".into());
+            }
+            if run.syscalls != run.trace.len() as u64 + 1 {
+                return (
+                    Outcome::SilentCorruption,
+                    format!(
+                        "killed call dispatched: {} trapped vs {} dispatched",
+                        run.syscalls,
+                        run.trace.len()
+                    ),
+                );
+            }
+            if !clean.stdout.starts_with(&run.stdout) {
+                return (
+                    Outcome::SilentCorruption,
+                    "stdout diverged before the kill".into(),
+                );
+            }
+            if run.trace.len() > clean.trace.len()
+                || run.trace[..] != clean.trace[..run.trace.len()]
+            {
+                return (
+                    Outcome::SilentCorruption,
+                    "syscall trace diverged before the kill".into(),
+                );
+            }
+            (Outcome::Killed, msg.clone())
+        }
+        RunOutcome::Fault(_) | RunOutcome::BadInstruction { .. } | RunOutcome::CycleLimit => {
+            (Outcome::Crashed, format!("{:?}", run.outcome))
+        }
+        outcome => {
+            if *outcome != clean.outcome {
+                return (
+                    Outcome::SilentCorruption,
+                    format!("exit changed: {:?} vs clean {:?}", outcome, clean.outcome),
+                );
+            }
+            if run.stdout != clean.stdout {
+                return (Outcome::SilentCorruption, "stdout diverged".into());
+            }
+            if run.stderr != clean.stderr {
+                return (Outcome::SilentCorruption, "stderr diverged".into());
+            }
+            if run.trace != clean.trace {
+                return (Outcome::SilentCorruption, "syscall trace diverged".into());
+            }
+            if run.fs_digest != clean.fs_digest {
+                return (
+                    Outcome::SilentCorruption,
+                    "filesystem state diverged".into(),
+                );
+            }
+            (Outcome::Benign, String::new())
+        }
+    }
+}
+
+/// One planned perturbation.
+enum PlannedFault {
+    /// XOR `mask` into the byte at `addr` after `at_instret` retires.
+    Mem {
+        at_instret: u64,
+        addr: u32,
+        mask: u8,
+    },
+    /// Kernel-side fault armed for a specific trap.
+    Trap(TrapFault),
+}
+
+fn nonzero_byte(rng: &mut Rng) -> u8 {
+    rng.range_u32(1, 256) as u8
+}
+
+fn nonzero_u32(rng: &mut Rng) -> u32 {
+    loop {
+        let mask = rng.next_u32();
+        if mask != 0 {
+            return mask;
+        }
+    }
+}
+
+/// Draws one fault of `class` from the inventory; `None` when the
+/// binary has no artifact of that kind.
+fn plan_fault(
+    class: FaultClass,
+    inv: &Inventory,
+    clean: &RunRecord,
+    rng: &mut Rng,
+) -> Option<PlannedFault> {
+    // Half the trials corrupt the artifact before the first instruction
+    // retires (so its first consumption sees the flip); the rest pick a
+    // uniform mid-run injection point.
+    let mem = |rng: &mut Rng, addr: u32, mask: u8| PlannedFault::Mem {
+        at_instret: if rng.chance(1, 2) {
+            0
+        } else {
+            rng.range_u64(0, clean.instret + 1)
+        },
+        addr,
+        mask,
+    };
+    match class {
+        FaultClass::CallMac => {
+            if inv.mac_slots.is_empty() {
+                return None;
+            }
+            let slot = *rng.pick(&inv.mac_slots);
+            let addr = slot + rng.range_u32(0, 16);
+            let mask = nonzero_byte(rng);
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::AuthString => {
+            if inv.string_blobs.is_empty() {
+                return None;
+            }
+            let blob = *rng.pick(&inv.string_blobs);
+            let addr = blob.contents_addr + rng.range_u32(0, blob.len);
+            let mask = nonzero_byte(rng);
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::PredecessorSet => {
+            if inv.pred_blobs.is_empty() {
+                return None;
+            }
+            let blob = *rng.pick(&inv.pred_blobs);
+            let addr = blob.contents_addr + rng.range_u32(0, blob.len);
+            let mask = nonzero_byte(rng);
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::PolicyState => {
+            let cell = inv.state_cell?;
+            let addr = cell + rng.range_u32(0, asc_crypto::POLICY_STATE_LEN as u32);
+            let mask = nonzero_byte(rng);
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::RewrittenText => {
+            if inv.imm_fields.is_empty() {
+                return None;
+            }
+            let field = *rng.pick(&inv.imm_fields);
+            let addr = field + rng.range_u32(0, 4);
+            let mask = nonzero_byte(rng);
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::TrapRegister => {
+            const TARGETS: [u8; 13] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+            let index = *rng.pick(&TARGETS);
+            let mask = nonzero_u32(rng);
+            Some(PlannedFault::Trap(TrapFault {
+                at_trap: rng.range_u64(1, clean.syscalls + 1),
+                action: FaultAction::XorReg { index, mask },
+            }))
+        }
+        FaultClass::EpochCounter => {
+            let magnitude = rng.range_u64(1, 9) as i64;
+            let delta = if rng.chance(1, 2) {
+                -magnitude
+            } else {
+                magnitude
+            };
+            Some(PlannedFault::Trap(TrapFault {
+                at_trap: rng.range_u64(1, clean.syscalls + 1),
+                action: FaultAction::SkewCounter { delta },
+            }))
+        }
+        FaultClass::CachePoison => {
+            let selector = rng.next_u64();
+            let mask = nonzero_byte(rng);
+            Some(PlannedFault::Trap(TrapFault {
+                at_trap: rng.range_u64(1, clean.syscalls + 1),
+                action: FaultAction::CorruptCache { selector, mask },
+            }))
+        }
+        FaultClass::CacheEpochSkew => Some(PlannedFault::Trap(TrapFault {
+            at_trap: rng.range_u64(1, clean.syscalls + 1),
+            action: FaultAction::SkewCacheEpoch {
+                delta: rng.range_u64(1, 9),
+            },
+        })),
+    }
+}
+
+/// Campaign parameters. Identical configs reproduce identical reports.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Trials per (workload, class) pair.
+    pub trials: u32,
+    /// Workload names (must be registered in `asc-workloads`).
+    pub workloads: Vec<String>,
+    /// OS personality for builds and kernels.
+    pub personality: Personality,
+}
+
+impl CampaignConfig {
+    /// Default campaign over the paper's policy workloads.
+    pub fn new(seed: u64, trials: u32) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            trials,
+            workloads: vec!["bison".into(), "calc".into(), "tar".into()],
+            personality: Personality::Linux,
+        }
+    }
+}
+
+/// Aggregated trials for one (workload, class) pair.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Fault class.
+    pub class: FaultClass,
+    /// Trials classified killed-with-alert.
+    pub killed: u32,
+    /// Trials classified benign.
+    pub benign: u32,
+    /// Trials that crashed the VM (asserted zero by `problems`).
+    pub crashed: u32,
+    /// Trials classified silent corruption (asserted zero).
+    pub silent: u32,
+    /// One representative alert from a killed trial.
+    pub sample_alert: Option<String>,
+    /// Details of every silent or crashed trial.
+    pub anomalies: Vec<String>,
+    /// Graceful cold fallbacks observed across the row's trials.
+    pub cache_fallbacks: u64,
+    /// Future-epoch scrubs observed across the row's trials.
+    pub cache_scrubs: u64,
+    /// Set when the class was inapplicable to this binary.
+    pub note: Option<String>,
+}
+
+impl Row {
+    fn new(workload: String, class: FaultClass) -> Row {
+        Row {
+            workload,
+            class,
+            killed: 0,
+            benign: 0,
+            crashed: 0,
+            silent: 0,
+            sample_alert: None,
+            anomalies: Vec::new(),
+            cache_fallbacks: 0,
+            cache_scrubs: 0,
+            note: None,
+        }
+    }
+
+    fn trials(&self) -> u32 {
+        self.killed + self.benign + self.crashed + self.silent
+    }
+}
+
+/// The full campaign result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Master seed the campaign ran under.
+    pub seed: u64,
+    /// Trials per row.
+    pub trials: u32,
+    /// One row per (workload, class) pair.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Total silent corruptions across all rows.
+    pub fn total_silent(&self) -> u32 {
+        self.rows.iter().map(|r| r.silent).sum()
+    }
+
+    /// Total kills across all rows.
+    pub fn total_killed(&self) -> u32 {
+        self.rows.iter().map(|r| r.killed).sum()
+    }
+
+    /// Total crashes across all rows.
+    pub fn total_crashed(&self) -> u32 {
+        self.rows.iter().map(|r| r.crashed).sum()
+    }
+
+    /// Everything wrong with the campaign outcome; empty means the
+    /// fail-stop contract held everywhere. Checks: zero silent
+    /// corruption, zero VM crashes, no false-positive kills on
+    /// cache-degradation classes, and at least one kill overall (the
+    /// oracle was actually exercised).
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for row in &self.rows {
+            let tag = format!("{}/{}", row.workload, row.class.name());
+            for detail in &row.anomalies {
+                problems.push(format!("{tag}: {detail}"));
+            }
+            if row.class.cache_degradation() && row.killed > 0 {
+                problems.push(format!(
+                    "{tag}: {} false-positive kill(s) — cache corruption must \
+                     degrade gracefully, not reject authentic calls",
+                    row.killed
+                ));
+            }
+        }
+        if self.total_killed() == 0 {
+            problems.push("campaign never observed a fail-stop kill".into());
+        }
+        problems
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fault-injection campaign  seed={:#x}  trials/row={}\n\n",
+            self.seed, self.trials
+        );
+        out.push_str(&format!(
+            "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>9}\n",
+            "workload", "class", "killed", "benign", "crashed", "SILENT", "degraded"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>9}\n",
+                row.workload,
+                row.class.name(),
+                row.killed,
+                row.benign,
+                row.crashed,
+                row.silent,
+                row.cache_fallbacks + row.cache_scrubs,
+            ));
+            if let Some(note) = &row.note {
+                out.push_str(&format!("           ({note})\n"));
+            }
+        }
+        out
+    }
+
+    /// Converts the report to a JSON value for `--json` mode.
+    pub fn to_value(&self) -> asc_core::json::Value {
+        use asc_core::json::Value;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::Object(vec![
+                    ("workload".into(), Value::Str(row.workload.clone())),
+                    ("class".into(), Value::Str(row.class.name().into())),
+                    ("trials".into(), Value::Num(f64::from(row.trials()))),
+                    ("killed".into(), Value::Num(f64::from(row.killed))),
+                    ("benign".into(), Value::Num(f64::from(row.benign))),
+                    ("crashed".into(), Value::Num(f64::from(row.crashed))),
+                    ("silent".into(), Value::Num(f64::from(row.silent))),
+                    (
+                        "degraded".into(),
+                        Value::Num((row.cache_fallbacks + row.cache_scrubs) as f64),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("trials_per_row".into(), Value::Num(f64::from(self.trials))),
+            ("rows".into(), Value::Array(rows)),
+            (
+                "total_silent".into(),
+                Value::Num(f64::from(self.total_silent())),
+            ),
+        ])
+    }
+}
+
+/// Builds, installs, and fault-injects every configured workload.
+///
+/// # Panics
+///
+/// Panics if a workload is unregistered, fails to build or install,
+/// or if its *clean* enforcing run does not succeed — those are
+/// harness preconditions, not campaign findings.
+pub fn run_campaign(cfg: &CampaignConfig) -> Report {
+    let key = campaign_key();
+    let mut rows = Vec::new();
+    for (wi, name) in cfg.workloads.iter().enumerate() {
+        let spec = program(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let plain = build(spec, cfg.personality).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let installer = Installer::new(
+            key.clone(),
+            InstallerOptions::new(cfg.personality).with_program_id(0x0FA0 + wi as u16),
+        );
+        let (auth, _) = installer
+            .install(&plain, spec.name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inv = scan(&auth);
+        assert!(inv.sites > 0, "{name}: no authenticated sites found");
+        let clean = run_instrumented(spec, &auth, cfg.personality, false, None, None);
+        assert!(
+            clean.outcome.is_success(),
+            "{name}: clean enforcing run failed: {:?} (alerts: {:?})",
+            clean.outcome,
+            clean.alerts
+        );
+        for (ci, class) in FaultClass::ALL.iter().copied().enumerate() {
+            let mut row = Row::new(name.clone(), class);
+            for trial in 0..cfg.trials {
+                let mut rng = Rng::new(
+                    cfg.seed
+                        ^ ((wi as u64 + 1) << 48)
+                        ^ ((ci as u64 + 1) << 40)
+                        ^ (u64::from(trial) + 1),
+                );
+                let Some(fault) = plan_fault(class, &inv, &clean, &mut rng) else {
+                    row.note = Some("no artifacts of this class in the binary".into());
+                    break;
+                };
+                let run = match fault {
+                    PlannedFault::Mem {
+                        at_instret,
+                        addr,
+                        mask,
+                    } => run_instrumented(
+                        spec,
+                        &auth,
+                        cfg.personality,
+                        false,
+                        Some((at_instret, addr, mask)),
+                        None,
+                    ),
+                    PlannedFault::Trap(tf) => {
+                        run_instrumented(spec, &auth, cfg.personality, false, None, Some(tf))
+                    }
+                };
+                row.cache_fallbacks += run.cache_fallbacks;
+                row.cache_scrubs += run.cache_scrubs;
+                let (outcome, detail) = classify(&clean, &run);
+                match outcome {
+                    Outcome::Killed => {
+                        row.killed += 1;
+                        if row.sample_alert.is_none() {
+                            row.sample_alert = run.alerts.first().cloned();
+                        }
+                    }
+                    Outcome::Benign => row.benign += 1,
+                    Outcome::Crashed => {
+                        row.crashed += 1;
+                        row.anomalies
+                            .push(format!("trial {trial}: crashed: {detail}"));
+                    }
+                    Outcome::SilentCorruption => {
+                        row.silent += 1;
+                        row.anomalies
+                            .push(format!("trial {trial}: SILENT-CORRUPTION: {detail}"));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+    Report {
+        seed: cfg.seed,
+        trials: cfg.trials,
+        rows,
+    }
+}
+
+/// Result of the deliberately-weakened-verifier demonstration.
+#[derive(Clone, Debug)]
+pub struct DemoResult {
+    /// Workload the demo ran against.
+    pub workload: String,
+    /// Fault combinations scanned.
+    pub scanned: u32,
+    /// First silent trial found: `(contents addr, offset, detail)`.
+    pub silent: Option<(u32, u32, String)>,
+    /// The same fault's verdict against the *hardened* verifier.
+    pub hardened_outcome: Option<Outcome>,
+}
+
+/// Proves the oracle detects verifier bypasses: with string-contents
+/// verification disabled (a test-only kernel hook), a corrupted
+/// authenticated string passes the call-MAC check (which covers only
+/// the `addr ‖ len ‖ mac` header tuple) and dispatches, so the run
+/// diverges without an alert — a SILENT-CORRUPTION row. The same
+/// fault against the hardened verifier is re-run for contrast.
+///
+/// Scans string blobs and byte offsets deterministically (corrupting
+/// before the first instruction retires) until a silent trial appears
+/// or `max_trials` combinations are exhausted.
+///
+/// # Panics
+///
+/// Panics on harness precondition failures (unknown workload, build
+/// or install errors, failing clean run).
+pub fn run_weakened_demo(workload: &str, personality: Personality, max_trials: u32) -> DemoResult {
+    let key = campaign_key();
+    let spec = program(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let plain = build(spec, personality).unwrap_or_else(|e| panic!("{workload}: {e}"));
+    let installer = Installer::new(
+        key,
+        InstallerOptions::new(personality).with_program_id(0x0FDE),
+    );
+    let (auth, _) = installer
+        .install(&plain, spec.name)
+        .unwrap_or_else(|e| panic!("{workload}: {e}"));
+    let inv = scan(&auth);
+    let clean = run_instrumented(spec, &auth, personality, true, None, None);
+    assert!(
+        clean.outcome.is_success(),
+        "{workload}: weakened clean run failed: {:?}",
+        clean.outcome
+    );
+    let mut scanned = 0;
+    for blob in &inv.string_blobs {
+        for offset in 0..blob.len {
+            if scanned >= max_trials {
+                break;
+            }
+            scanned += 1;
+            let fault = Some((0, blob.contents_addr + offset, 0x01));
+            let run = run_instrumented(spec, &auth, personality, true, fault, None);
+            let (outcome, detail) = classify(&clean, &run);
+            if outcome == Outcome::SilentCorruption {
+                let hardened = run_instrumented(spec, &auth, personality, false, fault, None);
+                let (hardened_outcome, _) = classify(&clean, &hardened);
+                return DemoResult {
+                    workload: workload.into(),
+                    scanned,
+                    silent: Some((blob.contents_addr, offset, detail)),
+                    hardened_outcome: Some(hardened_outcome),
+                };
+            }
+        }
+    }
+    DemoResult {
+        workload: workload.into(),
+        scanned,
+        silent: None,
+        hardened_outcome: None,
+    }
+}

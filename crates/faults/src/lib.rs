@@ -1,0 +1,41 @@
+//! Deterministic, seeded fault injection against the ASC verifier.
+//!
+//! The trust argument of authenticated system calls is that every
+//! artifact the kernel's verifier consumes — rewritten instruction
+//! bytes, call-MAC slots, authenticated-string blobs, predecessor
+//! sets, the `lastBlock ‖ lbMAC` policy-state cell, trapped register
+//! values, the in-kernel counter, and (with the warm path enabled)
+//! verified-call cache entries — is either authentic or provokes a
+//! fail-stop kill *before* the corrupted call dispatches. This crate
+//! turns that argument into an executable experiment:
+//!
+//! * [`inventory`] enumerates the trusted artifacts of an installed
+//!   binary by disassembling its rewritten call prologues;
+//! * [`campaign`] flips bytes in those artifacts at seeded-random
+//!   points of a run and classifies every perturbed execution as
+//!   *killed-with-alert*, *benign*, or **silent corruption** (always
+//!   a failure), with VM-level crashes tracked separately.
+//!
+//! The same machinery, pointed at a deliberately weakened verifier
+//! ([`campaign::run_weakened_demo`]), demonstrates that the oracle
+//! actually detects bypasses: with string verification disabled, a
+//! corrupted authenticated string dispatches and the run diverges
+//! silently.
+
+pub mod campaign;
+pub mod inventory;
+
+pub use campaign::{
+    classify, run_campaign, run_weakened_demo, CampaignConfig, DemoResult, FaultClass, Outcome,
+    Report, Row, RunRecord,
+};
+pub use inventory::{scan, Blob, Inventory};
+
+use asc_crypto::MacKey;
+
+/// The fixed campaign key (the simulated security administrator's
+/// secret; independent of the benchmark key so campaigns cannot be
+/// confused with table regeneration).
+pub fn campaign_key() -> MacKey {
+    MacKey::from_seed(0xFA17_1A7E)
+}

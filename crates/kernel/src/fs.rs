@@ -467,6 +467,54 @@ impl FileSystem {
             _ => Err(FsError::NotADirectory),
         }
     }
+
+    /// A deterministic digest over the whole tree — every path, inode
+    /// kind, and file/symlink payload, walked in sorted order. Two
+    /// filesystems digest equal exactly when an observer reading every
+    /// path would see identical trees; the fault-injection campaign uses
+    /// this to assert a killed run had no file-system side effect beyond
+    /// the un-faulted prefix.
+    pub fn digest(&self) -> u64 {
+        fn mix(d: &mut u64, bytes: &[u8]) {
+            // FNV-1a, 64-bit.
+            for &b in bytes {
+                *d ^= b as u64;
+                *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            mix_sep(d);
+        }
+        fn mix_sep(d: &mut u64) {
+            *d ^= 0xff;
+            *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fn walk(fs: &FileSystem, id: InodeId, path: &str, d: &mut u64) {
+            mix(d, path.as_bytes());
+            match &fs.inodes[id].kind {
+                InodeKind::File(contents) => {
+                    mix(d, b"F");
+                    mix(d, contents);
+                }
+                InodeKind::Symlink(target) => {
+                    mix(d, b"L");
+                    mix(d, target.as_bytes());
+                }
+                InodeKind::Dir(entries) => {
+                    mix(d, b"D");
+                    for (name, child) in entries {
+                        let child_path = if path == "/" {
+                            format!("/{name}")
+                        } else {
+                            format!("{path}/{name}")
+                        };
+                        walk(fs, *child, &child_path, d);
+                    }
+                }
+            }
+        }
+        let mut d = 0xcbf2_9ce4_8422_2325u64;
+        walk(self, self.root, "/", &mut d);
+        d
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +528,19 @@ mod tests {
         assert!(fs.resolve("/tmp", "/").is_ok());
         assert_eq!(fs.read_file("/etc/motd").unwrap(), b"welcome to svm32\n");
         assert_eq!(fs.resolve("/nope", "/"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn digest_tracks_observable_tree_changes() {
+        let a = FileSystem::new();
+        let mut b = FileSystem::new();
+        assert_eq!(a.digest(), b.digest(), "identical trees digest equal");
+        b.write_file("/tmp/x", b"x".to_vec()).unwrap();
+        assert_ne!(a.digest(), b.digest(), "new file changes the digest");
+        b.unlink("/tmp/x", "/").unwrap();
+        assert_eq!(a.digest(), b.digest(), "removal restores it");
+        b.write_file("/etc/motd", b"tampered\n".to_vec()).unwrap();
+        assert_ne!(a.digest(), b.digest(), "content change is visible");
     }
 
     #[test]

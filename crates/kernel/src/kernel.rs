@@ -7,7 +7,9 @@
 //! any [`Violation`] into fail-stop process termination plus an
 //! administrator alert.
 
-use asc_core::{verify_call_cached, AuthCallRegs, CacheStats, UserMemory, VerifyCache, Violation};
+use asc_core::{
+    verify_call_hooked, AuthCallRegs, CacheStats, UserMemory, VerifyCache, VerifyHooks, Violation,
+};
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
 use asc_vm::{MemFault, Memory, SyscallHandler, TrapContext, TrapOutcome};
@@ -85,6 +87,13 @@ pub struct KernelStats {
     /// Verification cycles charged on warm verifications (subset of
     /// `verify_cycles`).
     pub warm_verify_cycles: u64,
+    /// Verifications where a cache entry existed but no longer matched
+    /// (stale or poisoned): the kernel degraded gracefully to the full
+    /// cold CMAC path instead of trusting the entry.
+    pub cache_fallbacks: u64,
+    /// Poisoned cache state entries scrubbed because they claimed an
+    /// impossible (future) counter epoch.
+    pub cache_scrubs: u64,
 }
 
 impl KernelStats {
@@ -133,6 +142,11 @@ pub struct KernelOptions {
     /// performance tables reproduce the paper's (cache-less) prototype;
     /// the fast-path numbers are reported separately.
     pub verify_cache: bool,
+    /// **Test-only** deliberate weakening: skip the authenticated-string
+    /// contents check (`asc_core::VerifyHooks::accept_any_string`). Exists
+    /// so the fault-injection campaign can prove its oracle detects a
+    /// verifier that fails open; never enable outside that experiment.
+    pub weaken_string_check: bool,
 }
 
 impl KernelOptions {
@@ -145,6 +159,7 @@ impl KernelOptions {
             normalize_paths: false,
             charge_costs: true,
             verify_cache: false,
+            weaken_string_check: false,
         }
     }
 
@@ -164,6 +179,67 @@ impl KernelOptions {
             ..self
         }
     }
+
+    /// **Test-only**: deliberately weakens the verifier (see
+    /// [`KernelOptions::weaken_string_check`]).
+    pub fn with_weakened_string_check(self) -> KernelOptions {
+        KernelOptions {
+            weaken_string_check: true,
+            ..self
+        }
+    }
+}
+
+/// A kernel-side fault the campaign can arm: when trap number `at_trap`
+/// (1-based, counted over all trapped system calls) arrives, `action` is
+/// applied once, before verification.
+#[derive(Clone, Copy, Debug)]
+pub struct TrapFault {
+    /// Which trap fires the fault (compared against `KernelStats::syscalls`
+    /// after it is incremented for the arriving trap).
+    pub at_trap: u64,
+    /// What to corrupt.
+    pub action: FaultAction,
+}
+
+/// The kernel-side state a [`TrapFault`] corrupts. These model faults in
+/// what the *kernel* trusts beyond raw user memory: the trapped register
+/// values it reads, its anti-replay counter, and its verified-call cache.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultAction {
+    /// XOR `mask` into the verifier's copy of the register selected by
+    /// `index` (the [`AuthCallRegs`] field order: 0 = syscall number,
+    /// 1–6 = arguments, 7 = descriptor, 8 = block id, 9 = predecessor-set
+    /// pointer, 10 = state pointer, 11 = MAC pointer, 12 = hint pointer).
+    /// Only the copy handed to the verifier is corrupted — the machine's
+    /// real register file is untouched, so a *benign* outcome stays
+    /// possible when the verifier provably ignores the register.
+    XorReg {
+        /// Register index (0–12) as listed above.
+        index: u8,
+        /// XOR mask (forced to 1 if zero).
+        mask: u32,
+    },
+    /// Skew the memory checker's anti-replay counter by `delta`.
+    SkewCounter {
+        /// Signed counter shift.
+        delta: i64,
+    },
+    /// Corrupt one byte of one verified-call cache entry
+    /// (`VerifyCache::corrupt_entry_for_fault`).
+    CorruptCache {
+        /// Deterministic entry/byte selector.
+        selector: u64,
+        /// XOR mask (forced to 1 if zero).
+        mask: u8,
+    },
+    /// Shift the cached state entry's epoch into the future
+    /// (`VerifyCache::skew_state_epoch_for_fault`), which the next check
+    /// must scrub.
+    SkewCacheEpoch {
+        /// Epoch shift (forced to at least 1).
+        delta: u64,
+    },
 }
 
 /// The simulated kernel for one process.
@@ -193,6 +269,7 @@ pub struct Kernel {
     trace: Vec<TraceEntry>,
     log: Vec<String>,
     stats: KernelStats,
+    fault: Option<TrapFault>,
     /// Bytes moved by the last I/O-style call (input to the cost model).
     pub(crate) last_io_bytes: u64,
 }
@@ -259,6 +336,7 @@ impl Kernel {
             trace: Vec::new(),
             log: Vec::new(),
             stats: KernelStats::default(),
+            fault: None,
             last_io_bytes: 0,
         }
     }
@@ -276,6 +354,13 @@ impl Kernel {
     /// cache is disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.verify_cache.stats()
+    }
+
+    /// Arms one kernel-side fault for the fault-injection campaign; it
+    /// fires on trap number `fault.at_trap` and is then disarmed. Only one
+    /// fault can be armed at a time (campaigns inject exactly one per run).
+    pub fn arm_fault(&mut self, fault: TrapFault) {
+        self.fault = Some(fault);
     }
 
     /// Replaces the cost model.
@@ -389,7 +474,11 @@ impl Kernel {
             let Some(key) = self.key.as_ref() else {
                 return TrapOutcome::Kill("kernel misconfigured: enforcing without a key".into());
             };
-            let regs = AuthCallRegs {
+            let fired = match &self.fault {
+                Some(f) if f.at_trap == self.stats.syscalls => self.fault.take(),
+                _ => None,
+            };
+            let mut regs = AuthCallRegs {
                 nr: ctx.reg(Reg::R0),
                 call_site: ctx.pc,
                 args: [
@@ -407,19 +496,53 @@ impl Kernel {
                 call_mac_ptr: ctx.reg(Reg::R11),
                 hint_ptr: ctx.reg(Reg::R12),
             };
+            if let Some(f) = fired {
+                match f.action {
+                    FaultAction::XorReg { index, mask } => {
+                        let mask = if mask == 0 { 1 } else { mask };
+                        match index {
+                            0 => regs.nr ^= mask,
+                            1..=6 => regs.args[index as usize - 1] ^= mask,
+                            7 => regs.pol_des ^= mask,
+                            8 => regs.block_id ^= mask,
+                            9 => regs.pred_set_ptr ^= mask,
+                            10 => regs.lb_ptr ^= mask,
+                            11 => regs.call_mac_ptr ^= mask,
+                            _ => regs.hint_ptr ^= mask,
+                        }
+                    }
+                    FaultAction::SkewCounter { delta } => {
+                        self.checker.skew_counter_for_fault(delta);
+                    }
+                    FaultAction::CorruptCache { selector, mask } => {
+                        self.verify_cache.corrupt_entry_for_fault(selector, mask);
+                    }
+                    FaultAction::SkewCacheEpoch { delta } => {
+                        self.verify_cache.skew_state_epoch_for_fault(delta);
+                    }
+                }
+            }
             let mut mem = VmUserMemory(ctx.mem);
             let caps = &self.caps;
             let tracking = self.opts.capability_tracking;
             let mut cap_check = |fd: u32| caps.contains(fd);
+            let hooks = VerifyHooks {
+                accept_any_string: self.opts.weaken_string_check,
+            };
+            let cache_before = self.verify_cache.stats();
             let cache = self.opts.verify_cache.then_some(&mut self.verify_cache);
-            let result = verify_call_cached(
+            let result = verify_call_hooked(
                 key,
                 &mut self.checker,
                 cache,
                 &mut mem,
                 &regs,
                 tracking.then_some(&mut cap_check as &mut dyn FnMut(u32) -> bool),
+                hooks,
             );
+            let cache_after = self.verify_cache.stats();
+            self.stats.cache_fallbacks += cache_after.stale_misses - cache_before.stale_misses;
+            self.stats.cache_scrubs += cache_after.scrubs - cache_before.scrubs;
             match result {
                 Ok(outcome) => {
                     self.stats.verified += 1;

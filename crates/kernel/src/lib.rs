@@ -34,6 +34,8 @@ pub use abi::{spec, Personality, SyscallId, SyscallSpec, SPECS};
 pub use calls::oflags;
 pub use cost::CostModel;
 pub use fs::{FileSystem, FsError, Inode, InodeId, InodeKind};
-pub use kernel::{FdKind, Kernel, KernelOptions, KernelStats, OpenFile, TraceEntry};
+pub use kernel::{
+    FaultAction, FdKind, Kernel, KernelOptions, KernelStats, OpenFile, TraceEntry, TrapFault,
+};
 
 pub use asc_core::CacheStats;

@@ -339,6 +339,27 @@ impl<H: SyscallHandler> Machine<H> {
         StepOutcome::Running
     }
 
+    /// Runs until `instret` reaches `target` (or the program finishes
+    /// first). Returns [`StepOutcome::Running`] when the target was
+    /// reached with the program still alive — the caller may then inspect
+    /// or mutate machine state (fault-injection campaigns corrupt memory
+    /// at a deterministic instruction index this way) and resume with
+    /// [`Machine::run`].
+    pub fn run_until_instret(&mut self, target: u64, max_cycles: u64) -> StepOutcome {
+        let limit = self.cycles.saturating_add(max_cycles);
+        while self.instret < target {
+            match self.step() {
+                StepOutcome::Running => {
+                    if self.cycles >= limit {
+                        return StepOutcome::Done(RunOutcome::CycleLimit);
+                    }
+                }
+                done => return done,
+            }
+        }
+        StepOutcome::Running
+    }
+
     /// Runs until completion or until `max_cycles` additional cycles have
     /// been consumed.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
@@ -544,6 +565,36 @@ mod tests {
             m.step(),
             StepOutcome::Done(RunOutcome::BadInstruction { .. })
         ));
+    }
+
+    #[test]
+    fn run_until_instret_pauses_then_resumes() {
+        let b = assemble(
+            "
+            .text
+        main:
+            movi r1, 0
+            movi r2, 0
+        loop:
+            addi r2, r2, 1
+            add r1, r1, r2
+            movi r3, 10
+            bne r2, r3, loop
+            movi r0, 1
+            syscall
+        ",
+        )
+        .unwrap();
+        let mut m = Machine::load(&b, ToyKernel::default()).unwrap();
+        assert_eq!(m.run_until_instret(5, 1_000_000), StepOutcome::Running);
+        assert_eq!(m.instret(), 5);
+        assert_eq!(m.run(1_000_000), RunOutcome::Exited(55));
+        // A target beyond program end just finishes the program.
+        let mut m2 = Machine::load(&b, ToyKernel::default()).unwrap();
+        assert_eq!(
+            m2.run_until_instret(1_000_000, 1_000_000),
+            StepOutcome::Done(RunOutcome::Exited(55))
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Differential testing: authentication must be behaviour-preserving.
+//!
+//! Every registered workload runs under three regimes — the plain
+//! binary on a plain kernel, the installed binary on an enforcing
+//! kernel, and the installed binary on an enforcing kernel with the
+//! verified-call cache enabled — and all observable behaviour must be
+//! identical: exit status, stdout, stderr, the dispatched-syscall
+//! sequence, and the final filesystem tree. (Call-site addresses move
+//! when the installer rewrites the text, so the trace comparison is on
+//! the `(raw_nr, effective id)` sequence, which is what a monitor
+//! observes.)
+
+use asc::crypto::MacKey;
+use asc::installer::{Installer, InstallerOptions};
+use asc::kernel::{Kernel, Personality, SyscallId};
+use asc::vm::RunOutcome;
+use asc::workloads::{build, measure, measure_cached, programs, run_plain};
+
+fn key() -> MacKey {
+    MacKey::from_seed(0x0DD5_EED5)
+}
+
+/// The observables of one run, site addresses excluded.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: RunOutcome,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    calls: Vec<(u16, SyscallId)>,
+    fs_digest: u64,
+}
+
+fn observe(outcome: RunOutcome, kernel: &Kernel) -> Observed {
+    Observed {
+        outcome,
+        stdout: kernel.stdout().to_vec(),
+        stderr: kernel.stderr().to_vec(),
+        calls: kernel
+            .trace()
+            .iter()
+            .map(|entry| (entry.raw_nr, entry.id))
+            .collect(),
+        fs_digest: kernel.fs().digest(),
+    }
+}
+
+#[test]
+fn every_workload_is_behaviour_identical_across_all_three_regimes() {
+    let personality = Personality::Linux;
+    let mut total_cache_hits = 0;
+    for (index, spec) in programs().iter().enumerate() {
+        let plain = build(spec, personality).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let installer = Installer::new(
+            key(),
+            InstallerOptions::new(personality).with_program_id(0x0D1F + index as u16),
+        );
+        let (auth, _) = installer
+            .install(&plain, spec.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+        let (base_outcome, base_kernel) = run_plain(spec, &plain, personality);
+        let base = observe(base_outcome, &base_kernel);
+        assert!(
+            base.outcome.is_success(),
+            "{}: plain run failed: {:?}",
+            spec.name,
+            base.outcome
+        );
+
+        let enforcing = measure(spec, &auth, personality, Some(key()));
+        let observed = observe(enforcing.outcome.clone(), &enforcing.kernel);
+        assert_eq!(
+            base,
+            observed,
+            "{}: enforcing run diverged from plain (alerts: {:?})",
+            spec.name,
+            enforcing.kernel.alerts()
+        );
+
+        let cached = measure_cached(spec, &auth, personality, key());
+        let observed = observe(cached.outcome.clone(), &cached.kernel);
+        assert_eq!(
+            base,
+            observed,
+            "{}: cached enforcing run diverged from plain (alerts: {:?})",
+            spec.name,
+            cached.kernel.alerts()
+        );
+        total_cache_hits += cached.kernel.stats().cache_hits;
+    }
+    // Programs that never re-execute a call site legitimately stay cold,
+    // but across the suite the warm path must have been exercised.
+    assert!(
+        total_cache_hits > 0,
+        "cache never went warm on any workload"
+    );
+}

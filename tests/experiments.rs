@@ -150,6 +150,62 @@ fn attacks_matrix() {
 }
 
 #[test]
+fn attack_alerts_name_the_violated_check() {
+    // Each blocked attack must be stopped by the *right* verification
+    // layer, pinned by the violation class (and offending syscall) in
+    // the administrator alert — so a refactor that keeps attacks
+    // blocked but routes them through the wrong check still fails.
+    use asc::attacks::{frankenstein::run_frankenstein, AttackLab, AttackOutcome};
+    let expect = |name: &str, outcome: AttackOutcome, substrings: &[&str]| {
+        let AttackOutcome::Blocked(alert) = outcome else {
+            panic!("{name}: expected Blocked, got {outcome:?}");
+        };
+        for needle in substrings {
+            assert!(
+                alert.contains(needle),
+                "{name}: alert {alert:?} does not mention {needle:?}"
+            );
+        }
+    };
+    let lab = AttackLab::new(key()).with_verify_cache();
+    expect(
+        "shellcode",
+        lab.shellcode_attack(true),
+        &["call MAC mismatch", "`execve`"],
+    );
+    expect(
+        "mimicry",
+        lab.mimicry_attack(),
+        &["call MAC mismatch", "`exit`"],
+    );
+    expect(
+        "non-control-data",
+        lab.non_control_data_attack(true),
+        &["string MAC mismatch on argument 0", "`execve`"],
+    );
+    expect(
+        "stale-cache string rewrite",
+        lab.stale_cache_string_attack(),
+        &["string MAC mismatch on argument 0", "`access`"],
+    );
+    expect(
+        "stale-cache state replay",
+        lab.stale_cache_state_replay_attack(),
+        &["policy state MAC mismatch", "`access`"],
+    );
+    expect(
+        "frankenstein",
+        run_frankenstein(&key(), true),
+        &["control-flow violation", "not a predecessor", "`write`"],
+    );
+    // Every alert carries the fail-stop preamble.
+    let AttackOutcome::Blocked(alert) = lab.shellcode_attack(true) else {
+        unreachable!("pinned blocked above");
+    };
+    assert!(alert.starts_with("ALERT: pid 1 killed:"), "{alert:?}");
+}
+
+#[test]
 fn microbench_per_call_costs_match_table4_originals() {
     // The cost model's unmodified-syscall cycles were calibrated to the
     // paper's Table 4 "Original Cost" column; pin them.
