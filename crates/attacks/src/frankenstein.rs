@@ -211,7 +211,10 @@ pub fn run_frankenstein(key: &MacKey, unique_block_ids: bool) -> AttackOutcome {
         );
     }
     match outcome {
-        RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+        RunOutcome::Killed(msg) => match kernel.alerts().last() {
+            Some(alert) => AttackOutcome::Blocked(alert.clone()),
+            None => AttackOutcome::Failed(format!("killed without an alert: {msg}")),
+        },
         other => AttackOutcome::Failed(format!("{other:?} (stdout {:?})", kernel.stdout())),
     }
 }
@@ -230,9 +233,13 @@ mod tests {
     fn frankenstein_blocked_by_unique_block_ids() {
         let outcome = run_frankenstein(&MacKey::from_seed(0xF2A2), true);
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else {
+        let AttackOutcome::Blocked(alert) = outcome else {
             unreachable!()
         };
-        assert!(msg.contains("control-flow"), "{msg}");
+        assert_eq!(
+            alert.reason(),
+            asc_kernel::ReasonCode::NotInPredecessorSet,
+            "{alert}"
+        );
     }
 }

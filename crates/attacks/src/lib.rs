@@ -28,7 +28,7 @@ pub mod frankenstein;
 use asc_crypto::{MacKey, POLICY_STATE_LEN};
 use asc_installer::{Installer, InstallerOptions};
 use asc_isa::{Instruction, Opcode, Reg, INSTR_LEN};
-use asc_kernel::{Kernel, KernelOptions, Personality};
+use asc_kernel::{Alert, Kernel, KernelOptions, Personality};
 use asc_object::Binary;
 use asc_vm::{Machine, PageFlags, RunOutcome, StepOutcome};
 
@@ -37,8 +37,9 @@ use asc_vm::{Machine, PageFlags, RunOutcome, StepOutcome};
 pub enum AttackOutcome {
     /// The attack achieved its goal (e.g. `/bin/sh` executed).
     Succeeded(String),
-    /// The kernel killed the process; the string is the alert.
-    Blocked(String),
+    /// The kernel killed the process; the structured alert names the call
+    /// site, syscall, and violated check.
+    Blocked(Alert),
     /// The attack failed for an unexpected reason (harness bug).
     Failed(String),
 }
@@ -228,7 +229,10 @@ impl AttackLab {
             return AttackOutcome::Succeeded("/bin/sh executed".into());
         }
         match outcome {
-            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
+            RunOutcome::Killed(msg) => match kernel.alerts().last() {
+                Some(alert) => AttackOutcome::Blocked(alert.clone()),
+                None => AttackOutcome::Failed(format!("killed without an alert: {msg}")),
+            },
             other => AttackOutcome::Failed(format!("{other:?}")),
         }
     }
@@ -359,13 +363,13 @@ impl AttackLab {
             .kwrite(target, b"/etc/pass\0")
             .expect("overwrite");
         let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
         match outcome {
             // Reaching exit means iterations ran with the forged string.
             RunOutcome::Exited(_) => {
                 AttackOutcome::Succeeded("forged string accepted from warm cache".into())
             }
-            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
-            other => AttackOutcome::Failed(format!("{other:?}")),
+            other => Self::classify(other, &kernel),
         }
     }
 
@@ -408,12 +412,12 @@ impl AttackLab {
             .kwrite(asc_addr, &snapshot)
             .expect("replay state");
         let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
         match outcome {
             RunOutcome::Exited(_) => {
                 AttackOutcome::Succeeded("replayed policy state accepted".into())
             }
-            RunOutcome::Killed(msg) => AttackOutcome::Blocked(msg),
-            other => AttackOutcome::Failed(format!("{other:?}")),
+            other => Self::classify(other, &kernel),
         }
     }
 }
@@ -488,10 +492,14 @@ mod tests {
         assert!(outcome.is_blocked(), "{outcome:?}");
         // Specifically: the stolen gadget's MAC does not match the new
         // call site.
-        let AttackOutcome::Blocked(msg) = outcome else {
+        let AttackOutcome::Blocked(alert) = outcome else {
             unreachable!()
         };
-        assert!(msg.contains("call MAC"), "{msg}");
+        assert_eq!(
+            alert.reason(),
+            asc_kernel::ReasonCode::BadCallMac,
+            "{alert}"
+        );
     }
 
     #[test]
@@ -506,10 +514,14 @@ mod tests {
         let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
         let outcome = lab.non_control_data_attack(true);
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else {
+        let AttackOutcome::Blocked(alert) = outcome else {
             unreachable!()
         };
-        assert!(msg.contains("string MAC"), "{msg}");
+        assert_eq!(
+            alert.reason(),
+            asc_kernel::ReasonCode::BadStringMac,
+            "{alert}"
+        );
     }
 
     #[test]
@@ -531,10 +543,14 @@ mod tests {
         let lab = lab.with_verify_cache();
         let outcome = lab.stale_cache_string_attack();
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else {
+        let AttackOutcome::Blocked(alert) = outcome else {
             unreachable!()
         };
-        assert!(msg.contains("string MAC"), "{msg}");
+        assert_eq!(
+            alert.reason(),
+            asc_kernel::ReasonCode::BadStringMac,
+            "{alert}"
+        );
     }
 
     #[test]
@@ -545,10 +561,14 @@ mod tests {
         let lab = lab.with_verify_cache();
         let outcome = lab.stale_cache_state_replay_attack();
         assert!(outcome.is_blocked(), "{outcome:?}");
-        let AttackOutcome::Blocked(msg) = outcome else {
+        let AttackOutcome::Blocked(alert) = outcome else {
             unreachable!()
         };
-        assert!(msg.contains("policy state"), "{msg}");
+        assert_eq!(
+            alert.reason(),
+            asc_kernel::ReasonCode::BadPolicyState,
+            "{alert}"
+        );
     }
 
     #[test]

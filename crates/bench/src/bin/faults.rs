@@ -50,7 +50,7 @@ fn main() {
 
     let report = run_campaign(&cfg);
     if json {
-        println!("{}", report.to_value().to_pretty());
+        asc_bench::print_json(&report.to_value());
     } else {
         println!("{}", report.render());
         if let Some(alert) = report.rows.iter().find_map(|r| r.sample_alert.as_ref()) {

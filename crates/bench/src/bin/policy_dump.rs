@@ -34,7 +34,7 @@ fn main() {
         .expect("analyzes");
 
     if json {
-        println!("{}", policy.to_json());
+        asc_bench::print_json(&policy.to_value());
         return;
     }
 

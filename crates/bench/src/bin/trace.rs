@@ -1,0 +1,34 @@
+//! The verifier flight recorder report: per-call-site verification
+//! profile of a workload under an enforcing, cache-enabled kernel.
+//!
+//! For every authenticated call site the table shows the call count, the
+//! cold/warm split, and — per check family (call-MAC, auth-string,
+//! pattern, capability, predecessor-set, policy-state) — how many checks
+//! ran, how many failed, and what they cost in AES blocks, cycles, and
+//! bytes. This is the per-check attribution behind the paper's end-to-end
+//! overhead numbers (§4.3).
+//!
+//! `--workload <name>` profiles one registered program (installer pass
+//! spans included); the default profiles one iteration of the Andrew-style
+//! multiprogram benchmark. `--json` exports the same data as JSON.
+
+use asc_bench::{print_json, profile_andrew, profile_to_value, profile_workload, render_profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let workload = args
+        .iter()
+        .position(|a| a == "--workload")
+        .map(|i| args.get(i + 1).expect("--workload takes a name").clone());
+
+    let run = match workload.as_deref() {
+        None | Some("andrew") => profile_andrew(),
+        Some(name) => profile_workload(name),
+    };
+    if json {
+        print_json(&profile_to_value(&run));
+    } else {
+        print!("{}", render_profile(&run));
+    }
+}

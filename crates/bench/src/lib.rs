@@ -1,10 +1,15 @@
 //! Shared harness code for the table-regeneration binaries.
 
+use std::collections::HashMap;
+
 use asc_core::json::Value;
 use asc_crypto::MacKey;
 use asc_installer::{InstallReport, Installer, InstallerOptions};
-use asc_kernel::Personality;
+use asc_kernel::{FileSystem, Kernel, KernelOptions, KernelStats, Personality};
 use asc_object::Binary;
+use asc_trace::{CheckKind, Profile, ProfileTotals, SiteProfile, CHECK_FAMILIES};
+use asc_vm::Machine;
+use asc_workloads::tools::{iteration_plan, setup_corpus, tool_source, TOOLS};
 use asc_workloads::{measure, program, ProgramSpec, RunReport};
 
 /// The fixed experiment key (the security administrator's secret).
@@ -118,4 +123,328 @@ fn expect_ok(spec: &ProgramSpec, report: RunReport) -> RunReport {
 /// Formats cycles as simulated seconds.
 pub fn sim_seconds(cycles: u64) -> f64 {
     cycles as f64 / CLOCK_HZ
+}
+
+/// Prints a JSON value in the shared pretty format — the single `--json`
+/// output path for every reporting binary.
+pub fn print_json(value: &Value) {
+    println!("{}", value.to_pretty());
+}
+
+/// A profiled enforcing run: the flight-recorder [`Profile`] plus the
+/// kernel's own counters, so reports can cross-check the two.
+pub struct ProfiledRun {
+    /// Workload label for report headers.
+    pub workload: String,
+    /// Per-call-site aggregation from the attached trace sink.
+    pub profile: Profile,
+    /// The kernel's aggregate counters for the same run(s).
+    pub stats: KernelStats,
+}
+
+/// Runs one registered workload under an enforcing, cache-enabled kernel
+/// with a [`Profile`] sink attached. The installer's pass spans land in the
+/// same profile, so the report covers install-time coverage too.
+pub fn profile_workload(name: &str) -> ProfiledRun {
+    let spec = program(name).expect("registered program");
+    let personality = Personality::Linux;
+    let plain =
+        asc_workloads::build(spec, personality).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let installer = Installer::new(
+        bench_key(),
+        InstallerOptions::new(personality).with_program_id(1),
+    );
+    let mut profile = Profile::new();
+    profile.set_context(spec.name);
+    let (auth, _) = installer
+        .install_traced(&plain, spec.name, &mut profile)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+
+    let mut fs = FileSystem::new();
+    (spec.setup_fs)(&mut fs);
+    let mut kernel = Kernel::with_fs(
+        KernelOptions::enforcing(personality).with_verify_cache(),
+        fs,
+    );
+    kernel.set_key(bench_key());
+    kernel.set_stdin(spec.stdin.to_vec());
+    kernel.set_brk(auth.highest_addr());
+    kernel.set_trace_sink(Box::new(profile));
+    let mut machine = Machine::load(&auth, kernel).expect("workload fits in memory");
+    let outcome = machine.run(asc_workloads::RUN_BUDGET);
+    let mut kernel = machine.into_handler();
+    assert!(
+        outcome.is_success(),
+        "{} failed: {outcome:?} (alerts: {:?}, stderr: {:?})",
+        spec.name,
+        kernel.alerts(),
+        String::from_utf8_lossy(kernel.stderr()),
+    );
+    let stats = *kernel.stats();
+    let profile = kernel
+        .take_trace_sink()
+        .expect("sink attached")
+        .into_any()
+        .downcast::<Profile>()
+        .expect("profile sink");
+    ProfiledRun {
+        workload: name.to_string(),
+        profile: *profile,
+        stats,
+    }
+}
+
+/// Profiles one iteration of the Andrew-style multiprogram benchmark: every
+/// tool step runs on its own enforcing, cache-enabled kernel, with a single
+/// [`Profile`] threaded through them (context = tool name, so same-address
+/// call sites of different tools do not merge).
+pub fn profile_andrew() -> ProfiledRun {
+    let personality = Personality::Linux;
+    let tools: HashMap<&'static str, Binary> = TOOLS
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let src = tool_source(t.name).expect("registered tool");
+            let plain = asc_workloads::build_source(&src, personality).expect("tool builds");
+            let installer = Installer::new(
+                bench_key(),
+                InstallerOptions::new(personality).with_program_id(200 + i as u16),
+            );
+            let auth = installer.install(&plain, t.name).expect("tool installs").0;
+            (t.name, auth)
+        })
+        .collect();
+
+    let mut fs = FileSystem::new();
+    setup_corpus(&mut fs);
+    let mut profile = Box::new(Profile::new());
+    let mut stats = KernelStats::default();
+    for step in iteration_plan() {
+        let binary = &tools[step.tool];
+        let mut kernel = Kernel::with_fs(
+            KernelOptions::enforcing(personality).with_verify_cache(),
+            fs,
+        );
+        kernel.set_key(bench_key());
+        kernel.set_stdin(step.stdin.clone().into_bytes());
+        kernel.set_brk(binary.highest_addr());
+        profile.set_context(step.tool);
+        kernel.set_trace_sink(profile);
+        let mut machine = Machine::load(binary, kernel).expect("tool loads");
+        let outcome = machine.run(10_000_000_000);
+        let mut kernel = machine.into_handler();
+        assert!(
+            outcome.is_success(),
+            "step `{}` failed: {outcome:?} (alerts: {:?}, stderr: {:?})",
+            step.tool,
+            kernel.alerts(),
+            String::from_utf8_lossy(kernel.stderr()),
+        );
+        stats.absorb(kernel.stats());
+        profile = kernel
+            .take_trace_sink()
+            .expect("sink attached")
+            .into_any()
+            .downcast::<Profile>()
+            .expect("profile sink");
+        fs = kernel.into_fs();
+    }
+    ProfiledRun {
+        workload: "andrew".to_string(),
+        profile: *profile,
+        stats,
+    }
+}
+
+/// Renders a profiled run as the per-call-site text table.
+pub fn render_profile(run: &ProfiledRun) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Verifier flight recorder — per-call-site profile ({})",
+        run.workload
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10}  {:<12} {:>7} {:>6} {:>6} {:>12} {:>12} {:>9}",
+        "context",
+        "site",
+        "syscall",
+        "calls",
+        "warm",
+        "kills",
+        "verify-cyc",
+        "fixed-cyc",
+        "aes-blk"
+    );
+    for row in run.profile.rows() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>#10x}  {:<12} {:>7} {:>6} {:>6} {:>12} {:>12} {:>9}",
+            row.context,
+            row.site,
+            Personality::Linux.name_of(row.nr),
+            row.calls,
+            row.warm_calls,
+            row.kills,
+            row.verify_cycles,
+            row.fixed_cycles,
+            row.aes_blocks,
+        );
+        for family in 0..CHECK_FAMILIES {
+            let agg = &row.checks[family];
+            if agg.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "           | {:<12} {:>5} checks ({} failed)  {:>7} aes-blk  {:>10} cyc  {:>8} B  cache {}h/{}f/{}s",
+                CheckKind::family_name(family),
+                agg.count,
+                agg.failed,
+                agg.aes_blocks,
+                agg.cycles,
+                agg.bytes,
+                agg.hits,
+                agg.fallbacks,
+                agg.scrubs,
+            );
+        }
+    }
+    let t = run.profile.totals();
+    let _ = writeln!(
+        out,
+        "totals: {} calls ({} warm, {} cold), {} kills, {} verify cycles ({} fixed), {} aes blocks, {} bytes checked",
+        t.calls,
+        t.warm_calls,
+        t.calls - t.warm_calls,
+        t.kills,
+        t.verify_cycles,
+        t.fixed_cycles,
+        t.aes_blocks,
+        t.bytes,
+    );
+    let s = &run.stats;
+    let _ = writeln!(
+        out,
+        "kernel:  {} verified ({} cache hits, {} fallbacks, {} scrubs), {} verify cycles, {} aes blocks",
+        s.verified, s.cache_hits, s.cache_fallbacks, s.cache_scrubs, s.verify_cycles, s.verify_aes_blocks,
+    );
+    if !run.profile.passes().is_empty() {
+        let _ = writeln!(out, "installer passes:");
+        for (pass, counters) in run.profile.passes() {
+            let rendered: Vec<String> = counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "  {:<16} {}", pass, rendered.join(" "));
+        }
+    }
+    out
+}
+
+fn site_to_value(row: &SiteProfile) -> Value {
+    let mut checks = Vec::new();
+    for family in 0..CHECK_FAMILIES {
+        let agg = &row.checks[family];
+        if agg.count == 0 {
+            continue;
+        }
+        checks.push((
+            CheckKind::family_name(family).to_string(),
+            Value::Object(vec![
+                ("count".into(), Value::Num(agg.count as f64)),
+                ("failed".into(), Value::Num(agg.failed as f64)),
+                ("aes_blocks".into(), Value::Num(agg.aes_blocks as f64)),
+                ("cycles".into(), Value::Num(agg.cycles as f64)),
+                ("bytes".into(), Value::Num(agg.bytes as f64)),
+                ("hits".into(), Value::Num(agg.hits as f64)),
+                ("fallbacks".into(), Value::Num(agg.fallbacks as f64)),
+                ("scrubs".into(), Value::Num(agg.scrubs as f64)),
+            ]),
+        ));
+    }
+    Value::Object(vec![
+        ("context".into(), Value::Str(row.context.clone())),
+        ("site".into(), Value::Num(row.site as f64)),
+        ("nr".into(), Value::Num(row.nr as f64)),
+        (
+            "syscall".into(),
+            Value::Str(Personality::Linux.name_of(row.nr).to_string()),
+        ),
+        ("calls".into(), Value::Num(row.calls as f64)),
+        ("warm_calls".into(), Value::Num(row.warm_calls as f64)),
+        ("kills".into(), Value::Num(row.kills as f64)),
+        ("verify_cycles".into(), Value::Num(row.verify_cycles as f64)),
+        ("fixed_cycles".into(), Value::Num(row.fixed_cycles as f64)),
+        ("aes_blocks".into(), Value::Num(row.aes_blocks as f64)),
+        ("checks".into(), Value::Object(checks)),
+    ])
+}
+
+fn totals_to_value(t: &ProfileTotals) -> Value {
+    Value::Object(vec![
+        ("calls".into(), Value::Num(t.calls as f64)),
+        ("warm_calls".into(), Value::Num(t.warm_calls as f64)),
+        ("kills".into(), Value::Num(t.kills as f64)),
+        ("verify_cycles".into(), Value::Num(t.verify_cycles as f64)),
+        ("fixed_cycles".into(), Value::Num(t.fixed_cycles as f64)),
+        ("aes_blocks".into(), Value::Num(t.aes_blocks as f64)),
+        ("bytes".into(), Value::Num(t.bytes as f64)),
+    ])
+}
+
+/// Converts a profiled run to a JSON value for the `--json` report mode.
+pub fn profile_to_value(run: &ProfiledRun) -> Value {
+    let sites: Vec<Value> = run.profile.rows().map(site_to_value).collect();
+    let passes: Vec<Value> = run
+        .profile
+        .passes()
+        .iter()
+        .map(|(pass, counters)| {
+            Value::Object(vec![
+                ("pass".into(), Value::Str(pass.clone())),
+                (
+                    "counters".into(),
+                    Value::Object(
+                        counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let s = &run.stats;
+    Value::Object(vec![
+        ("workload".into(), Value::Str(run.workload.clone())),
+        ("totals".into(), totals_to_value(&run.profile.totals())),
+        (
+            "kernel_stats".into(),
+            Value::Object(vec![
+                ("syscalls".into(), Value::Num(s.syscalls as f64)),
+                ("verified".into(), Value::Num(s.verified as f64)),
+                ("cache_hits".into(), Value::Num(s.cache_hits as f64)),
+                (
+                    "cache_fallbacks".into(),
+                    Value::Num(s.cache_fallbacks as f64),
+                ),
+                ("cache_scrubs".into(), Value::Num(s.cache_scrubs as f64)),
+                ("verify_cycles".into(), Value::Num(s.verify_cycles as f64)),
+                (
+                    "verify_aes_blocks".into(),
+                    Value::Num(s.verify_aes_blocks as f64),
+                ),
+                (
+                    "warm_verify_cycles".into(),
+                    Value::Num(s.warm_verify_cycles as f64),
+                ),
+                (
+                    "warm_aes_blocks".into(),
+                    Value::Num(s.warm_aes_blocks as f64),
+                ),
+            ]),
+        ),
+        ("sites".into(), Value::Array(sites)),
+        ("passes".into(), Value::Array(passes)),
+    ])
 }

@@ -1,0 +1,67 @@
+//! Byte-identity guard for the paper tables: with no trace sink attached
+//! (the default for every table binary), the flight recorder must not
+//! change a single byte of output relative to the checked-in goldens.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! for t in table1 table2 table3 table4 table6 ablation andrew; do
+//!     cargo run --release -p asc-bench --bin $t > crates/bench/golden/$t.txt
+//! done
+//! ```
+
+use std::process::Command;
+
+fn check(bin: &str, golden: &str) {
+    let out = Command::new(bin).output().expect("table binary runs");
+    assert!(
+        out.status.success(),
+        "{golden}: exit {:?}, stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let path = format!("{}/golden/{golden}", env!("CARGO_MANIFEST_DIR"));
+    let want = std::fs::read(&path).expect("golden checked in");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&want),
+        "{golden} drifted from its golden — if intentional, regenerate it \
+         (see this file's header)"
+    );
+}
+
+#[test]
+fn table1_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_table1"), "table1.txt");
+}
+
+#[test]
+fn table2_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_table2"), "table2.txt");
+}
+
+#[test]
+fn table3_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_table3"), "table3.txt");
+}
+
+#[test]
+fn table4_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_table4"), "table4.txt");
+}
+
+#[test]
+fn table6_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_table6"), "table6.txt");
+}
+
+#[test]
+fn ablation_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_ablation"), "ablation.txt");
+}
+
+#[test]
+#[ignore = "multi-iteration Andrew benchmark takes ~40s; run with --ignored"]
+fn andrew_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_andrew"), "andrew.txt");
+}

@@ -47,6 +47,6 @@ pub use encoding::{encode_call, EncodedArg, EncodedCall};
 pub use pattern::{match_pattern, produce_hint, Pattern, PatternError};
 pub use policy::{ArgPolicy, ProgramPolicy, SyscallPolicy, MAX_ARGS};
 pub use verify::{
-    verify_call, verify_call_cached, verify_call_hooked, AuthCallRegs, UserMemory, VerifyHooks,
-    VerifyOutcome, Violation,
+    verify_call, verify_call_cached, verify_call_hooked, verify_call_traced, AuthCallRegs,
+    UserMemory, VerifyHooks, VerifyOutcome, Violation,
 };

@@ -16,8 +16,9 @@
 //! charged only for the blocks it actually ran.
 
 use asc_crypto::{MacKey, MemoryChecker, PolicyState, MAC_LEN, POLICY_STATE_LEN};
+use asc_trace::{CacheDecision, CallMeter, CheckKind, CheckRecord, ReasonCode};
 
-use crate::cache::VerifyCache;
+use crate::cache::{CacheStats, VerifyCache};
 use crate::descriptor::PolicyDescriptor;
 use crate::encoding::{encode_call, EncodedArg, EncodedCall};
 use crate::pattern::Pattern;
@@ -190,6 +191,30 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
+impl Violation {
+    /// The machine-readable [`ReasonCode`] for this violation (argument
+    /// details folded away) — what campaigns and tests classify on instead
+    /// of substring-matching the [`Display`](std::fmt::Display) rendering.
+    pub fn reason_code(&self) -> ReasonCode {
+        match self {
+            Violation::BadCallMac => ReasonCode::BadCallMac,
+            Violation::BadDescriptor => ReasonCode::BadDescriptor,
+            Violation::BadStringMac { .. } => ReasonCode::BadStringMac,
+            Violation::StringTooLong { arg } if *arg == usize::MAX => {
+                ReasonCode::OversizedPredecessorSet
+            }
+            Violation::StringTooLong { .. } => ReasonCode::StringTooLong,
+            Violation::BadPattern { .. } => ReasonCode::BadPattern,
+            Violation::PatternMismatch { .. } => ReasonCode::PatternMismatch,
+            Violation::MalformedPredecessorSet => ReasonCode::MalformedPredecessorSet,
+            Violation::BadPolicyState => ReasonCode::BadPolicyState,
+            Violation::NotInPredecessorSet { .. } => ReasonCode::NotInPredecessorSet,
+            Violation::CapabilityViolation { .. } => ReasonCode::CapabilityViolation,
+            Violation::MemoryFault { .. } => ReasonCode::MemoryFault,
+        }
+    }
+}
+
 /// Metering data from a successful verification, consumed by the kernel's
 /// cycle model.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -311,12 +336,81 @@ pub struct VerifyHooks {
 pub fn verify_call_hooked(
     key: &MacKey,
     checker: &mut MemoryChecker,
+    cache: Option<&mut VerifyCache>,
+    mem: &mut dyn UserMemory,
+    regs: &AuthCallRegs,
+    cap_check: Option<&mut dyn FnMut(u32) -> bool>,
+    hooks: VerifyHooks,
+) -> Result<VerifyOutcome, Violation> {
+    let mut meter = CallMeter::disabled();
+    verify_call_traced(key, checker, cache, mem, regs, cap_check, hooks, &mut meter)
+}
+
+/// Derives the per-check cache decision from the cache's counter deltas
+/// around the check (`None` stats means no cache was attached).
+fn cache_decision(
+    hit: bool,
+    before: Option<CacheStats>,
+    after: Option<CacheStats>,
+) -> CacheDecision {
+    match (before, after) {
+        (Some(b), Some(a)) => {
+            if hit {
+                CacheDecision::Hit
+            } else if a.scrubs > b.scrubs {
+                CacheDecision::Scrub
+            } else if a.stale_misses > b.stale_misses {
+                CacheDecision::Fallback
+            } else {
+                CacheDecision::Cold
+            }
+        }
+        _ => CacheDecision::Disabled,
+    }
+}
+
+/// [`verify_call_hooked`] with a [`CallMeter`]: when the meter is
+/// recording, every verification check pushes one [`CheckRecord`] — kind,
+/// pass/fail, *measured* AES blocks (snapshotted around the check, so the
+/// records of one call partition `VerifyOutcome::aes_blocks` exactly),
+/// bytes compared, and the cache decision. Metering never changes what is
+/// verified or what the outcome meters charge; with a disabled meter this
+/// is byte-for-byte the un-traced path.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] encountered; the caller logs it and
+/// kills the process. The failed check's record is pushed before the
+/// early return, so a recording meter always ends with the check that
+/// killed the call.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_call_traced(
+    key: &MacKey,
+    checker: &mut MemoryChecker,
     mut cache: Option<&mut VerifyCache>,
     mem: &mut dyn UserMemory,
     regs: &AuthCallRegs,
     mut cap_check: Option<&mut dyn FnMut(u32) -> bool>,
     hooks: VerifyHooks,
+    meter: &mut CallMeter,
 ) -> Result<VerifyOutcome, Violation> {
+    let metering = meter.is_recording();
+    // Records one check: AES blocks are the key's block-counter delta
+    // since `$blocks0`, the cache decision comes from the stats delta
+    // since `$stats0` (pass `None` for checks the cache never serves).
+    macro_rules! meter_check {
+        ($kind:expr, $passed:expr, $blocks0:expr, $stats0:expr, $hit:expr, $bytes:expr) => {
+            if metering {
+                meter.record(CheckRecord {
+                    kind: $kind,
+                    passed: $passed,
+                    aes_blocks: key.block_ops().wrapping_sub($blocks0),
+                    bytes: $bytes,
+                    cache: cache_decision($hit, $stats0, cache.as_deref().map(|c| c.stats())),
+                });
+            }
+        };
+    }
     let blocks_at_entry = key.block_ops();
     let mut outcome = VerifyOutcome::default();
     let descriptor = PolicyDescriptor::from_bits(regs.pol_des);
@@ -386,6 +480,8 @@ pub fn verify_call_hooked(
         lb_ptr: control_flow.then_some(regs.lb_ptr),
     };
     let encoding = encode_call(&encoded);
+    let call_blocks0 = key.block_ops();
+    let call_stats0 = cache.as_deref().map(|c| c.stats());
     let call_cached = match cache.as_deref_mut() {
         Some(c) => c.check_call(regs.call_site, &encoding, &call_mac),
         None => false,
@@ -394,12 +490,28 @@ pub fn verify_call_hooked(
         outcome.cache_hit = true;
     } else {
         if !key.verify(&encoding, &call_mac) {
+            meter_check!(
+                CheckKind::CallMac,
+                false,
+                call_blocks0,
+                call_stats0,
+                false,
+                0
+            );
             return Err(Violation::BadCallMac);
         }
         if let Some(c) = cache.as_deref_mut() {
             c.record_call(regs.call_site, &encoding, &call_mac);
         }
     }
+    meter_check!(
+        CheckKind::CallMac,
+        true,
+        call_blocks0,
+        call_stats0,
+        call_cached,
+        0
+    );
 
     // --- Step 2: check the integrity of authenticated strings. ---
     for (i, arg) in &encoded.args {
@@ -407,36 +519,77 @@ pub fn verify_call_hooked(
             EncodedArg::AuthString { addr, len, mac } => {
                 let contents = mem.read_bytes(*addr, *len)?;
                 outcome.bytes_checked += contents.len() as u64;
+                let blocks0 = key.block_ops();
+                let stats0 = cache.as_deref().map(|c| c.stats());
                 let cached = cache
                     .as_deref_mut()
                     .is_some_and(|c| c.check_blob(*addr, mac, &contents));
                 if !cached && !hooks.accept_any_string {
                     if !key.verify(&contents, mac) {
+                        meter_check!(
+                            CheckKind::AuthString { arg: *i },
+                            false,
+                            blocks0,
+                            stats0,
+                            false,
+                            contents.len() as u64
+                        );
                         return Err(Violation::BadStringMac { arg: *i });
                     }
                     if let Some(c) = cache.as_deref_mut() {
                         c.record_blob(*addr, mac, &contents);
                     }
                 }
+                meter_check!(
+                    CheckKind::AuthString { arg: *i },
+                    true,
+                    blocks0,
+                    stats0,
+                    cached,
+                    contents.len() as u64
+                );
             }
             EncodedArg::Pattern { addr, len, mac } => {
                 let pattern_text = mem.read_bytes(*addr, *len)?;
                 outcome.bytes_checked += pattern_text.len() as u64;
+                // One record covers the whole pattern check: AS integrity,
+                // parse, and the hinted match against the live argument.
+                let blocks0 = key.block_ops();
+                let stats0 = cache.as_deref().map(|c| c.stats());
+                let mut pat_bytes = pattern_text.len() as u64;
                 let cached = cache
                     .as_deref_mut()
                     .is_some_and(|c| c.check_blob(*addr, mac, &pattern_text));
                 if !cached {
                     if !key.verify(&pattern_text, mac) {
+                        meter_check!(
+                            CheckKind::Pattern { arg: *i },
+                            false,
+                            blocks0,
+                            stats0,
+                            false,
+                            pat_bytes
+                        );
                         return Err(Violation::BadPattern { arg: *i });
                     }
                     if let Some(c) = cache.as_deref_mut() {
                         c.record_blob(*addr, mac, &pattern_text);
                     }
                 }
-                let text = std::str::from_utf8(&pattern_text)
-                    .map_err(|_| Violation::BadPattern { arg: *i })?;
-                let pattern =
-                    Pattern::parse(text).map_err(|_| Violation::BadPattern { arg: *i })?;
+                let parsed = std::str::from_utf8(&pattern_text)
+                    .ok()
+                    .and_then(|text| Pattern::parse(text).ok());
+                let Some(pattern) = parsed else {
+                    meter_check!(
+                        CheckKind::Pattern { arg: *i },
+                        false,
+                        blocks0,
+                        stats0,
+                        cached,
+                        pat_bytes
+                    );
+                    return Err(Violation::BadPattern { arg: *i });
+                };
                 let (_, _, hint) = pattern_info
                     .iter()
                     .find(|(pi, _, _)| pi == i)
@@ -444,9 +597,26 @@ pub fn verify_call_hooked(
                 // The actual argument is a C string in user memory.
                 let value = mem.read_cstr(regs.args[*i], MAX_AS_LEN)?;
                 outcome.bytes_checked += value.len() as u64;
+                pat_bytes += value.len() as u64;
                 if !pattern.match_with_hint(&value, hint) {
+                    meter_check!(
+                        CheckKind::Pattern { arg: *i },
+                        false,
+                        blocks0,
+                        stats0,
+                        cached,
+                        pat_bytes
+                    );
                     return Err(Violation::PatternMismatch { arg: *i });
                 }
+                meter_check!(
+                    CheckKind::Pattern { arg: *i },
+                    true,
+                    blocks0,
+                    stats0,
+                    cached,
+                    pat_bytes
+                );
             }
             EncodedArg::Immediate(_) | EncodedArg::Capability => {}
         }
@@ -457,6 +627,16 @@ pub fn verify_call_hooked(
         if descriptor.arg_is_capability(i) {
             let fd = regs.args[i];
             let ok = cap_check.as_mut().is_none_or(|f| f(fd));
+            // Capability checks are table lookups: no AES, no bytes, and the
+            // verify cache never applies, so the record is always `Disabled`.
+            meter_check!(
+                CheckKind::Capability { arg: i },
+                ok,
+                key.block_ops(),
+                None::<CacheStats>,
+                false,
+                0
+            );
             if !ok {
                 return Err(Violation::CapabilityViolation { arg: i, fd });
             }
@@ -469,22 +649,52 @@ pub fn verify_call_hooked(
         let (addr, len, mac) = pred_set.expect("set when control_flow");
         let contents = mem.read_bytes(addr, len)?;
         outcome.bytes_checked += contents.len() as u64;
+        let set_blocks0 = key.block_ops();
+        let set_stats0 = cache.as_deref().map(|c| c.stats());
+        let set_bytes = contents.len() as u64;
         let set_cached = cache
             .as_deref_mut()
             .is_some_and(|c| c.check_blob(addr, &mac, &contents));
         if !set_cached {
             if !key.verify(&contents, &mac) {
+                meter_check!(
+                    CheckKind::PredecessorSet,
+                    false,
+                    set_blocks0,
+                    set_stats0,
+                    false,
+                    set_bytes
+                );
                 return Err(Violation::MalformedPredecessorSet);
             }
             if let Some(c) = cache.as_deref_mut() {
                 c.record_blob(addr, &mac, &contents);
             }
         }
-        let preds = SyscallPolicy::parse_predecessor_bytes(&contents)
-            .ok_or(Violation::MalformedPredecessorSet)?;
+        let Some(preds) = SyscallPolicy::parse_predecessor_bytes(&contents) else {
+            meter_check!(
+                CheckKind::PredecessorSet,
+                false,
+                set_blocks0,
+                set_stats0,
+                set_cached,
+                set_bytes
+            );
+            return Err(Violation::MalformedPredecessorSet);
+        };
+        meter_check!(
+            CheckKind::PredecessorSet,
+            true,
+            set_blocks0,
+            set_stats0,
+            set_cached,
+            set_bytes
+        );
 
         let state_bytes = mem.read_bytes(regs.lb_ptr, POLICY_STATE_LEN as u32)?;
         let state = PolicyState::parse(&state_bytes).expect("exact length read");
+        let state_blocks0 = key.block_ops();
+        let state_stats0 = cache.as_deref().map(|c| c.stats());
         // The state entry is only valid for the current counter epoch: the
         // kernel wrote these exact bytes itself after the last update, so
         // re-verifying them would be redundant AES work. Any divergence —
@@ -494,9 +704,25 @@ pub fn verify_call_hooked(
             .as_deref_mut()
             .is_some_and(|c| c.check_state(regs.lb_ptr, &state_bytes, checker.counter()));
         if !state_cached && !checker.verify(key, &state) {
+            meter_check!(
+                CheckKind::PolicyState,
+                false,
+                state_blocks0,
+                state_stats0,
+                false,
+                0
+            );
             return Err(Violation::BadPolicyState);
         }
         if !preds.contains(&state.last_block) {
+            meter_check!(
+                CheckKind::PolicyState,
+                false,
+                state_blocks0,
+                state_stats0,
+                state_cached,
+                0
+            );
             return Err(Violation::NotInPredecessorSet {
                 last_block: state.last_block,
             });
@@ -505,10 +731,18 @@ pub fn verify_call_hooked(
         // (it is the anti-replay nonce), so the update always runs.
         let new_state = checker.update(key, regs.block_id);
         mem.write_bytes(regs.lb_ptr, &new_state.to_bytes())?;
-        if let Some(c) = cache {
+        if let Some(c) = cache.as_deref_mut() {
             c.record_state(regs.lb_ptr, new_state.to_bytes(), checker.counter());
         }
         outcome.state_updated = true;
+        meter_check!(
+            CheckKind::PolicyState,
+            true,
+            state_blocks0,
+            state_stats0,
+            state_cached,
+            0
+        );
     }
 
     outcome.aes_blocks = key.block_ops().wrapping_sub(blocks_at_entry);

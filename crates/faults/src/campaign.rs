@@ -11,7 +11,8 @@
 
 use asc_installer::{Installer, InstallerOptions};
 use asc_kernel::{
-    FaultAction, FileSystem, Kernel, KernelOptions, Personality, TraceEntry, TrapFault,
+    Alert, FaultAction, FileSystem, Kernel, KernelOptions, Personality, ReasonCode, TraceEntry,
+    TrapFault,
 };
 use asc_object::Binary;
 use asc_testkit::Rng;
@@ -124,8 +125,8 @@ pub struct RunRecord {
     pub stderr: Vec<u8>,
     /// The dispatched-syscall trace.
     pub trace: Vec<TraceEntry>,
-    /// Administrator alerts (kill messages).
-    pub alerts: Vec<String>,
+    /// Structured administrator alerts (call site, syscall, violation).
+    pub alerts: Vec<Alert>,
     /// Digest of the final filesystem tree.
     pub fs_digest: u64,
     /// Syscalls trapped (dispatched or killed).
@@ -208,8 +209,19 @@ fn run_instrumented(
 pub fn classify(clean: &RunRecord, run: &RunRecord) -> (Outcome, String) {
     match &run.outcome {
         RunOutcome::Killed(msg) => {
-            if run.alerts.is_empty() {
+            let Some(alert) = run.alerts.last() else {
                 return (Outcome::SilentCorruption, "killed without an alert".into());
+            };
+            // The kill must be attributable: the outcome's message and the
+            // structured alert record must describe the same event.
+            if *msg != alert.to_string() {
+                return (
+                    Outcome::SilentCorruption,
+                    format!(
+                        "kill message does not match the recorded alert: \
+                         {msg:?} vs {alert}"
+                    ),
+                );
             }
             if run.syscalls != run.trace.len() as u64 + 1 {
                 return (
@@ -235,7 +247,7 @@ pub fn classify(clean: &RunRecord, run: &RunRecord) -> (Outcome, String) {
                     "syscall trace diverged before the kill".into(),
                 );
             }
-            (Outcome::Killed, msg.clone())
+            (Outcome::Killed, alert.reason().code().to_string())
         }
         RunOutcome::Fault(_) | RunOutcome::BadInstruction { .. } | RunOutcome::CycleLimit => {
             (Outcome::Crashed, format!("{:?}", run.outcome))
@@ -434,7 +446,9 @@ pub struct Row {
     /// Trials classified silent corruption (asserted zero).
     pub silent: u32,
     /// One representative alert from a killed trial.
-    pub sample_alert: Option<String>,
+    pub sample_alert: Option<Alert>,
+    /// Kill counts by structured reason code, in first-seen order.
+    pub kill_reasons: Vec<(ReasonCode, u32)>,
     /// Details of every silent or crashed trial.
     pub anomalies: Vec<String>,
     /// Graceful cold fallbacks observed across the row's trials.
@@ -455,6 +469,7 @@ impl Row {
             crashed: 0,
             silent: 0,
             sample_alert: None,
+            kill_reasons: Vec::new(),
             anomalies: Vec::new(),
             cache_fallbacks: 0,
             cache_scrubs: 0,
@@ -541,6 +556,14 @@ impl Report {
                 row.silent,
                 row.cache_fallbacks + row.cache_scrubs,
             ));
+            if !row.kill_reasons.is_empty() {
+                let reasons: Vec<String> = row
+                    .kill_reasons
+                    .iter()
+                    .map(|(r, n)| format!("{} x{n}", r.code()))
+                    .collect();
+                out.push_str(&format!("           kills: {}\n", reasons.join(", ")));
+            }
             if let Some(note) = &row.note {
                 out.push_str(&format!("           ({note})\n"));
             }
@@ -566,6 +589,15 @@ impl Report {
                     (
                         "degraded".into(),
                         Value::Num((row.cache_fallbacks + row.cache_scrubs) as f64),
+                    ),
+                    (
+                        "kill_reasons".into(),
+                        Value::Object(
+                            row.kill_reasons
+                                .iter()
+                                .map(|(r, n)| (r.code().to_string(), Value::Num(f64::from(*n))))
+                                .collect(),
+                        ),
                     ),
                 ])
             })
@@ -647,8 +679,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Report {
                 match outcome {
                     Outcome::Killed => {
                         row.killed += 1;
-                        if row.sample_alert.is_none() {
-                            row.sample_alert = run.alerts.first().cloned();
+                        if let Some(alert) = run.alerts.last() {
+                            let reason = alert.reason();
+                            match row.kill_reasons.iter_mut().find(|(r, _)| *r == reason) {
+                                Some((_, n)) => *n += 1,
+                                None => row.kill_reasons.push((reason, 1)),
+                            }
+                            if row.sample_alert.is_none() {
+                                row.sample_alert = Some(alert.clone());
+                            }
                         }
                     }
                     Outcome::Benign => row.benign += 1,

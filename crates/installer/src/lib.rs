@@ -55,6 +55,7 @@ use asc_core::ProgramPolicy;
 use asc_crypto::MacKey;
 use asc_kernel::Personality;
 use asc_object::Binary;
+use asc_trace::{NullSink, TraceSink};
 
 /// Installer configuration.
 #[derive(Clone, Debug)]
@@ -198,7 +199,24 @@ impl Installer {
         binary: &Binary,
         program: &str,
     ) -> Result<(ProgramPolicy, CoverageStats, Vec<String>), InstallError> {
-        let plan = rewrite::plan(self, binary, program)?;
+        self.generate_policy_traced(binary, program, &mut NullSink)
+    }
+
+    /// [`Installer::generate_policy`] with flight-recorder telemetry: each
+    /// pass (analysis, classification) emits an
+    /// [`asc_trace::EventKind::InstallerPass`] event with its coverage
+    /// counters into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Lift`] if the binary cannot be disassembled.
+    pub fn generate_policy_traced(
+        &self,
+        binary: &Binary,
+        program: &str,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(ProgramPolicy, CoverageStats, Vec<String>), InstallError> {
+        let plan = rewrite::plan(self, binary, program, sink)?;
         Ok((plan.policy, plan.stats, plan.warnings))
     }
 
@@ -212,10 +230,27 @@ impl Installer {
         binary: &Binary,
         program: &str,
     ) -> Result<(Binary, InstallReport), InstallError> {
+        self.install_traced(binary, program, &mut NullSink)
+    }
+
+    /// [`Installer::install`] with flight-recorder telemetry: the
+    /// analysis, classification, and rewrite passes each emit an
+    /// [`asc_trace::EventKind::InstallerPass`] event with coverage
+    /// counters into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError`] on lift failure or double installation.
+    pub fn install_traced(
+        &self,
+        binary: &Binary,
+        program: &str,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(Binary, InstallReport), InstallError> {
         if binary.is_authenticated() {
             return Err(InstallError::AlreadyAuthenticated);
         }
-        rewrite::install(self, binary, program)
+        rewrite::install(self, binary, program, sink)
     }
 
     pub(crate) fn key(&self) -> &MacKey {

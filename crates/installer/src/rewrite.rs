@@ -8,6 +8,7 @@ use asc_analysis::ProgramAnalysis;
 use asc_core::{ArgPolicy, EncodedArg, EncodedCall, ProgramPolicy, SyscallPolicy};
 use asc_isa::{Instruction, Reg, INSTR_LEN};
 use asc_object::{sections, Binary, Section, SectionFlags};
+use asc_trace::{Event, EventKind, Severity, SpanId, TraceSink};
 
 use crate::ascdata::AscBuilder;
 use crate::classify::{classify_site, CoverageStats};
@@ -15,6 +16,28 @@ use crate::metapolicy::{PolicyTemplate, TemplateHole};
 use crate::{InstallError, InstallReport, Installer};
 
 const PAGE: u32 = 0x1000;
+
+/// Installer-pass span ids (the installer runs outside the simulated
+/// machine, so passes are identified positionally rather than by clock).
+const SPAN_ANALYSIS: u64 = 0;
+const SPAN_CLASSIFICATION: u64 = 1;
+const SPAN_REWRITE: u64 = 2;
+
+/// Emits one pass-completion event (no-op when the sink is disabled).
+fn emit_pass(sink: &mut dyn TraceSink, span: u64, pass: &str, counters: Vec<(String, u64)>) {
+    if !sink.enabled() {
+        return;
+    }
+    sink.record(Event {
+        span: SpanId(span),
+        at_cycles: 0,
+        severity: Severity::Info,
+        kind: EventKind::InstallerPass {
+            pass: pass.to_string(),
+            counters,
+        },
+    });
+}
 
 /// Everything decided about one syscall site before rewriting.
 #[derive(Clone, Debug)]
@@ -44,12 +67,26 @@ pub(crate) fn plan(
     installer: &Installer,
     binary: &Binary,
     program: &str,
+    sink: &mut dyn TraceSink,
 ) -> Result<Plan, InstallError> {
     let opts = installer.options();
     let unit = Unit::lift(binary).map_err(|e| InstallError::Lift(e.to_string()))?;
     let analysis = ProgramAnalysis::run(unit);
     let mut warnings = analysis.warnings.clone();
     let inlined = analysis.inlined_stubs.clone();
+    emit_pass(
+        sink,
+        SPAN_ANALYSIS,
+        "analysis",
+        vec![
+            (
+                "syscall_sites".to_string(),
+                analysis.syscall_sites().len() as u64,
+            ),
+            ("inlined_stubs".to_string(), inlined.len() as u64),
+            ("warnings".to_string(), warnings.len() as u64),
+        ],
+    );
 
     let mut policy = ProgramPolicy::new(program, opts.personality.name());
     policy.undisassembled_regions = warnings
@@ -161,6 +198,21 @@ pub(crate) fn plan(
     }
     stats.calls = distinct.len();
     policy.warnings = warnings.clone();
+    emit_pass(
+        sink,
+        SPAN_CLASSIFICATION,
+        "classification",
+        vec![
+            ("sites".to_string(), stats.sites as u64),
+            ("calls".to_string(), stats.calls as u64),
+            ("args".to_string(), stats.args as u64),
+            ("out_params".to_string(), stats.out_params as u64),
+            ("auth".to_string(), stats.auth as u64),
+            ("multi_value".to_string(), stats.multi_value as u64),
+            ("fds".to_string(), stats.fds as u64),
+            ("templates".to_string(), templates.len() as u64),
+        ],
+    );
 
     Ok(Plan {
         unit: analysis.into_unit(),
@@ -197,10 +249,11 @@ pub(crate) fn install(
     installer: &Installer,
     binary: &Binary,
     program: &str,
+    sink: &mut dyn TraceSink,
 ) -> Result<(Binary, InstallReport), InstallError> {
     let opts = installer.options().clone();
     let key = installer.key();
-    let plan = plan(installer, binary, program)?;
+    let plan = plan(installer, binary, program, sink)?;
     let Plan {
         unit,
         sites,
@@ -591,10 +644,21 @@ pub(crate) fn install(
         }
         final_policy.insert(sp);
     }
+    let asc_bytes = asc.into_bytes();
+    emit_pass(
+        sink,
+        SPAN_REWRITE,
+        "rewrite",
+        vec![
+            ("sites_rewritten".to_string(), sites.len() as u64),
+            ("asc_bytes".to_string(), asc_bytes.len() as u64),
+            ("warnings".to_string(), warnings.len() as u64),
+        ],
+    );
     out.push_section(Section::new(
         sections::ASC,
         asc_base,
-        asc.into_bytes(),
+        asc_bytes,
         SectionFlags::RW,
     ));
 

@@ -1,0 +1,41 @@
+//! Structured administrator alerts.
+//!
+//! When the trap handler kills a process (the paper's fail-stop response to
+//! a verification failure), it records *what* failed as data, not prose:
+//! the call site, the syscall, and the exact [`Violation`]. Campaign
+//! harnesses classify on [`Alert::reason`]; humans (and the log-format
+//! stability test) read the [`Display`](std::fmt::Display) rendering,
+//! which is byte-identical to the pre-structured string log.
+
+use asc_core::Violation;
+use asc_trace::ReasonCode;
+
+/// One administrator alert: a process was killed for a policy violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alert {
+    /// Address of the `syscall` instruction that trapped (the call site).
+    pub site: u32,
+    /// The syscall number the process requested.
+    pub nr: u16,
+    /// The personality's name for that syscall (`"?"` if unknown).
+    pub name: String,
+    /// The verification failure that triggered the kill.
+    pub violation: Violation,
+}
+
+impl Alert {
+    /// Stable machine-readable classification of the failure.
+    pub fn reason(&self) -> ReasonCode {
+        self.violation.reason_code()
+    }
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ALERT: pid 1 killed: {} (syscall {} `{}` at {:#x})",
+            self.violation, self.nr, self.name, self.site
+        )
+    }
+}

@@ -98,14 +98,28 @@ impl CostModel {
     /// cache hit. Bytes are always charged — the warm path still re-reads
     /// and compares every checked byte.
     pub fn verify_cost_for(&self, outcome: &VerifyOutcome) -> u64 {
-        let fixed = if outcome.cache_hit {
+        self.verify_fixed_for(outcome.cache_hit)
+            + self.check_cost(outcome.aes_blocks, outcome.bytes_checked)
+    }
+
+    /// The fixed (per-call, check-independent) part of the verification
+    /// cost: cold marshalling or the warm cache-lookup replacement.
+    pub fn verify_fixed_for(&self, cache_hit: bool) -> u64 {
+        if cache_hit {
             self.verify_cached_fixed
         } else {
             self.verify_fixed
-        };
-        fixed
-            + outcome.aes_blocks * self.cycles_per_aes_block
-            + outcome.bytes_checked * self.verify_per_byte_num
+        }
+    }
+
+    /// The variable cost of one verification check given its metered AES
+    /// blocks and bytes touched. Because [`CostModel::verify_cost_for`] is
+    /// linear in blocks and bytes, summing `check_cost` over a call's
+    /// checks reproduces its total verify cost minus the fixed part
+    /// *exactly* — the flight recorder's per-check attribution relies on
+    /// this.
+    pub fn check_cost(&self, aes_blocks: u64, bytes: u64) -> u64 {
+        aes_blocks * self.cycles_per_aes_block + bytes * self.verify_per_byte_num
     }
 }
 

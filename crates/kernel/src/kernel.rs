@@ -8,13 +8,15 @@
 //! administrator alert.
 
 use asc_core::{
-    verify_call_hooked, AuthCallRegs, CacheStats, UserMemory, VerifyCache, VerifyHooks, Violation,
+    verify_call_traced, AuthCallRegs, CacheStats, UserMemory, VerifyCache, VerifyHooks, Violation,
 };
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
+use asc_trace::{CallMeter, Event, EventKind, Severity, SpanId, TraceSink};
 use asc_vm::{MemFault, Memory, SyscallHandler, TrapContext, TrapOutcome};
 
 use crate::abi::{spec, Personality, SyscallId};
+use crate::alert::Alert;
 use crate::cost::CostModel;
 use crate::fs::FileSystem;
 
@@ -114,6 +116,21 @@ impl KernelStats {
         self.warm_verify_cycles
             .checked_div(self.cache_hits)
             .unwrap_or(0)
+    }
+
+    /// Adds another kernel's counters into this one (multi-program
+    /// harnesses run tools on separate kernels and report one total).
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.syscalls += other.syscalls;
+        self.verified += other.verified;
+        self.verify_aes_blocks += other.verify_aes_blocks;
+        self.verify_cycles += other.verify_cycles;
+        self.kernel_cycles += other.kernel_cycles;
+        self.cache_hits += other.cache_hits;
+        self.warm_aes_blocks += other.warm_aes_blocks;
+        self.warm_verify_cycles += other.warm_verify_cycles;
+        self.cache_fallbacks += other.cache_fallbacks;
+        self.cache_scrubs += other.cache_scrubs;
     }
 }
 
@@ -267,9 +284,14 @@ pub struct Kernel {
     pub(crate) hostname: String,
     pub(crate) exec_requests: Vec<String>,
     trace: Vec<TraceEntry>,
-    log: Vec<String>,
+    log: Vec<Alert>,
     stats: KernelStats,
     fault: Option<TrapFault>,
+    /// Flight-recorder sink. `None` (the default) means telemetry is off
+    /// and the trap handler builds no events at all.
+    trace_sink: Option<Box<dyn TraceSink>>,
+    /// Next span id to allocate (one span per enforced trap).
+    next_span: u64,
     /// Bytes moved by the last I/O-style call (input to the cost model).
     pub(crate) last_io_bytes: u64,
 }
@@ -337,6 +359,8 @@ impl Kernel {
             log: Vec::new(),
             stats: KernelStats::default(),
             fault: None,
+            trace_sink: None,
+            next_span: 0,
             last_io_bytes: 0,
         }
     }
@@ -417,9 +441,25 @@ impl Kernel {
         &self.trace
     }
 
-    /// Administrator alerts (policy violations).
-    pub fn alerts(&self) -> &[String] {
+    /// Administrator alerts (policy violations), newest last. Each alert
+    /// carries the call site, syscall, and structured [`Violation`];
+    /// render with `Display` for the classic log line.
+    pub fn alerts(&self) -> &[Alert] {
         &self.log
+    }
+
+    /// Attaches a flight-recorder sink. The trap handler emits one span
+    /// per enforced call (enter, per-check records, exit or kill) into it.
+    /// With no sink attached — the default — no events are built and no
+    /// cycles change: telemetry never perturbs the paper tables.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Detaches and returns the flight-recorder sink, if any (use
+    /// [`asc_trace::TraceSink::into_any`] to recover the concrete type).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_sink.take()
     }
 
     /// Aggregate statistics.
@@ -474,6 +514,25 @@ impl Kernel {
             let Some(key) = self.key.as_ref() else {
                 return TrapOutcome::Kill("kernel misconfigured: enforcing without a key".into());
             };
+            // Telemetry is armed only when a sink is attached *and* wants
+            // events; otherwise no span is allocated, no meter records,
+            // and no event is ever built (the no-perturbation rule).
+            let tracing = self.trace_sink.as_ref().is_some_and(|s| s.enabled());
+            let span = SpanId(self.next_span);
+            if tracing {
+                self.next_span += 1;
+                if let Some(sink) = self.trace_sink.as_mut() {
+                    sink.record(Event {
+                        span,
+                        at_cycles: ctx.cycles(),
+                        severity: Severity::Info,
+                        kind: EventKind::TrapEnter {
+                            site: ctx.pc,
+                            nr: ctx.reg(Reg::R0) as u16,
+                        },
+                    });
+                }
+            }
             let fired = match &self.fault {
                 Some(f) if f.at_trap == self.stats.syscalls => self.fault.take(),
                 _ => None,
@@ -531,7 +590,12 @@ impl Kernel {
             };
             let cache_before = self.verify_cache.stats();
             let cache = self.opts.verify_cache.then_some(&mut self.verify_cache);
-            let result = verify_call_hooked(
+            let mut meter = if tracing {
+                CallMeter::recording()
+            } else {
+                CallMeter::disabled()
+            };
+            let result = verify_call_traced(
                 key,
                 &mut self.checker,
                 cache,
@@ -539,6 +603,7 @@ impl Kernel {
                 &regs,
                 tracking.then_some(&mut cap_check as &mut dyn FnMut(u32) -> bool),
                 hooks,
+                &mut meter,
             );
             let cache_after = self.verify_cache.stats();
             self.stats.cache_fallbacks += cache_after.stale_misses - cache_before.stale_misses;
@@ -551,17 +616,98 @@ impl Kernel {
                         self.stats.cache_hits += 1;
                         self.stats.warm_aes_blocks += outcome.aes_blocks;
                     }
+                    let vc = if self.opts.charge_costs {
+                        self.cost.verify_cost_for(&outcome)
+                    } else {
+                        0
+                    };
                     if self.opts.charge_costs {
-                        let vc = self.cost.verify_cost_for(&outcome);
                         self.stats.verify_cycles += vc;
                         if outcome.cache_hit {
                             self.stats.warm_verify_cycles += vc;
                         }
                         charged += vc;
                     }
+                    // The warm counters partition the totals; a violation
+                    // here means warm work was double counted somewhere.
+                    debug_assert!(
+                        self.stats.warm_aes_blocks <= self.stats.verify_aes_blocks,
+                        "warm AES blocks exceed total"
+                    );
+                    debug_assert!(
+                        self.stats.warm_verify_cycles <= self.stats.verify_cycles,
+                        "warm verify cycles exceed total"
+                    );
+                    debug_assert!(
+                        self.stats.cache_hits + self.stats.cache_fallbacks <= self.stats.verified,
+                        "more cache outcomes than verified calls"
+                    );
+                    if tracing {
+                        let at = ctx.cycles();
+                        let fixed = if self.opts.charge_costs {
+                            self.cost.verify_fixed_for(outcome.cache_hit)
+                        } else {
+                            0
+                        };
+                        let cost = self.cost;
+                        let charge_costs = self.opts.charge_costs;
+                        if let Some(sink) = self.trace_sink.as_mut() {
+                            for record in &meter.checks {
+                                let cycles = if charge_costs {
+                                    cost.check_cost(record.aes_blocks, record.bytes)
+                                } else {
+                                    0
+                                };
+                                sink.record(Event {
+                                    span,
+                                    at_cycles: at,
+                                    severity: Severity::Info,
+                                    kind: EventKind::Check {
+                                        record: *record,
+                                        cycles,
+                                    },
+                                });
+                            }
+                            sink.record(Event {
+                                span,
+                                at_cycles: at,
+                                severity: Severity::Info,
+                                kind: EventKind::TrapExit {
+                                    verified: true,
+                                    cache_hit: outcome.cache_hit,
+                                    verify_cycles: vc,
+                                    fixed_cycles: fixed,
+                                },
+                            });
+                        }
+                    }
                 }
                 Err(violation) => {
-                    return self.kill(ctx, charged, &violation);
+                    if tracing {
+                        let at = ctx.cycles();
+                        if let Some(sink) = self.trace_sink.as_mut() {
+                            // Failed calls are charged no verification
+                            // cycles, so the per-check cycle attribution
+                            // is 0; the AES blocks they burnt are real
+                            // and are reported.
+                            for record in &meter.checks {
+                                sink.record(Event {
+                                    span,
+                                    at_cycles: at,
+                                    severity: if record.passed {
+                                        Severity::Info
+                                    } else {
+                                        Severity::Warn
+                                    },
+                                    kind: EventKind::Check {
+                                        record: *record,
+                                        cycles: 0,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    return self.kill(ctx, charged, span, tracing, &violation);
                 }
             }
         }
@@ -638,13 +784,34 @@ impl Kernel {
         &mut self,
         ctx: &mut TrapContext<'_>,
         charged: u64,
+        span: SpanId,
+        tracing: bool,
         violation: &Violation,
     ) -> TrapOutcome {
         let site = ctx.pc;
         let nr = ctx.reg(Reg::R0) as u16;
-        let name = self.opts.personality.name_of(nr);
-        let msg = format!("ALERT: pid 1 killed: {violation} (syscall {nr} `{name}` at {site:#x})");
-        self.log.push(msg.clone());
+        let alert = Alert {
+            site,
+            nr,
+            name: self.opts.personality.name_of(nr).to_string(),
+            violation: violation.clone(),
+        };
+        let msg = alert.to_string();
+        if tracing {
+            if let Some(sink) = self.trace_sink.as_mut() {
+                sink.record(Event {
+                    span,
+                    at_cycles: ctx.cycles(),
+                    severity: Severity::Alert,
+                    kind: EventKind::Kill {
+                        site,
+                        nr,
+                        reason: alert.reason(),
+                    },
+                });
+            }
+        }
+        self.log.push(alert);
         if self.opts.charge_costs {
             ctx.charge(charged);
             self.stats.kernel_cycles += charged;

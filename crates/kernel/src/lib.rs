@@ -25,12 +25,14 @@
 //! ```
 
 pub mod abi;
+mod alert;
 mod calls;
 pub mod cost;
 pub mod fs;
 mod kernel;
 
 pub use abi::{spec, Personality, SyscallId, SyscallSpec, SPECS};
+pub use alert::Alert;
 pub use calls::oflags;
 pub use cost::CostModel;
 pub use fs::{FileSystem, FsError, Inode, InodeId, InodeKind};
@@ -39,3 +41,4 @@ pub use kernel::{
 };
 
 pub use asc_core::CacheStats;
+pub use asc_trace::ReasonCode;

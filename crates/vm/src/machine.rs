@@ -50,6 +50,12 @@ impl<'a> TrapContext<'a> {
     pub fn charge(&mut self, cycles: u64) {
         *self.cycles += cycles;
     }
+
+    /// Current value of the process's cycle meter (used to timestamp
+    /// kernel-side trace events on the virtual clock).
+    pub fn cycles(&self) -> u64 {
+        *self.cycles
+    }
 }
 
 /// The kernel interface: invoked on every `syscall` instruction.

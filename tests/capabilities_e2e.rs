@@ -71,8 +71,9 @@ fn use_after_close_is_killed() {
     );
     let (outcome, kernel) = run(&auth);
     assert!(outcome.is_killed(), "{outcome:?}");
-    assert!(
-        kernel.alerts()[0].contains("capability violation"),
+    assert_eq!(
+        kernel.alerts()[0].reason(),
+        asc::kernel::ReasonCode::CapabilityViolation,
         "{:?}",
         kernel.alerts()
     );

@@ -152,57 +152,64 @@ fn attacks_matrix() {
 #[test]
 fn attack_alerts_name_the_violated_check() {
     // Each blocked attack must be stopped by the *right* verification
-    // layer, pinned by the violation class (and offending syscall) in
-    // the administrator alert — so a refactor that keeps attacks
+    // layer, pinned by the structured reason code (and offending syscall)
+    // in the administrator alert — so a refactor that keeps attacks
     // blocked but routes them through the wrong check still fails.
     use asc::attacks::{frankenstein::run_frankenstein, AttackLab, AttackOutcome};
-    let expect = |name: &str, outcome: AttackOutcome, substrings: &[&str]| {
+    use asc::kernel::ReasonCode;
+    let expect = |name: &str, outcome: AttackOutcome, reason: ReasonCode, syscall: &str| {
         let AttackOutcome::Blocked(alert) = outcome else {
             panic!("{name}: expected Blocked, got {outcome:?}");
         };
-        for needle in substrings {
-            assert!(
-                alert.contains(needle),
-                "{name}: alert {alert:?} does not mention {needle:?}"
-            );
-        }
+        assert_eq!(alert.reason(), reason, "{name}: {alert}");
+        assert_eq!(alert.name, syscall, "{name}: {alert}");
     };
     let lab = AttackLab::new(key()).with_verify_cache();
     expect(
         "shellcode",
         lab.shellcode_attack(true),
-        &["call MAC mismatch", "`execve`"],
+        ReasonCode::BadCallMac,
+        "execve",
     );
     expect(
         "mimicry",
         lab.mimicry_attack(),
-        &["call MAC mismatch", "`exit`"],
+        ReasonCode::BadCallMac,
+        "exit",
     );
     expect(
         "non-control-data",
         lab.non_control_data_attack(true),
-        &["string MAC mismatch on argument 0", "`execve`"],
+        ReasonCode::BadStringMac,
+        "execve",
     );
     expect(
         "stale-cache string rewrite",
         lab.stale_cache_string_attack(),
-        &["string MAC mismatch on argument 0", "`access`"],
+        ReasonCode::BadStringMac,
+        "access",
     );
     expect(
         "stale-cache state replay",
         lab.stale_cache_state_replay_attack(),
-        &["policy state MAC mismatch", "`access`"],
+        ReasonCode::BadPolicyState,
+        "access",
     );
     expect(
         "frankenstein",
         run_frankenstein(&key(), true),
-        &["control-flow violation", "not a predecessor", "`write`"],
+        ReasonCode::NotInPredecessorSet,
+        "write",
     );
-    // Every alert carries the fail-stop preamble.
+    // The human-readable rendering stays stable: fail-stop preamble plus
+    // the violation text and offending call.
     let AttackOutcome::Blocked(alert) = lab.shellcode_attack(true) else {
         unreachable!("pinned blocked above");
     };
-    assert!(alert.starts_with("ALERT: pid 1 killed:"), "{alert:?}");
+    let rendered = alert.to_string();
+    assert!(rendered.starts_with("ALERT: pid 1 killed:"), "{rendered:?}");
+    assert!(rendered.contains("call MAC mismatch"), "{rendered:?}");
+    assert!(rendered.contains("`execve`"), "{rendered:?}");
 }
 
 #[test]

@@ -35,6 +35,32 @@ fn hardened_campaign_has_no_silent_corruption() {
             assert_eq!(row.killed, 0, "{}: cache fault killed", row.workload);
         }
     }
+    // Kills are classified by structured reason code, not substring
+    // scraping: every killed trial is tallied under a ReasonCode and a
+    // sample Alert survives for the report.
+    for row in &report.rows {
+        let tallied: u32 = row.kill_reasons.iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            tallied,
+            row.killed,
+            "{} / {}: kill tally does not match reason codes {:?}",
+            row.workload,
+            row.class.name(),
+            row.kill_reasons
+        );
+        if row.killed > 0 {
+            let alert = row
+                .sample_alert
+                .as_ref()
+                .expect("killed rows carry a sample alert");
+            assert!(
+                row.kill_reasons.iter().any(|(r, _)| *r == alert.reason()),
+                "sample alert reason {:?} missing from tally {:?}",
+                alert.reason(),
+                row.kill_reasons
+            );
+        }
+    }
     // Graceful degradation is observable in the kernel statistics.
     let degraded: u64 = report
         .rows

@@ -122,8 +122,9 @@ fn escaping_the_prefix_is_killed() {
     sec.data[pos..pos + 5].copy_from_slice(b"/etc/");
     let (outcome, kernel) = run(&tampered, b"x\n");
     assert!(outcome.is_killed(), "{outcome:?}");
-    assert!(
-        kernel.alerts()[0].contains("bad pattern"),
+    assert_eq!(
+        kernel.alerts()[0].reason(),
+        asc::kernel::ReasonCode::BadPattern,
         "{:?}",
         kernel.alerts()
     );
@@ -154,8 +155,9 @@ fn non_matching_argument_is_killed() {
     // Non-compliant input: pattern mismatch at the open.
     let (outcome, kernel) = run(&auth, b"evil\n");
     assert!(outcome.is_killed(), "{outcome:?}");
-    assert!(
-        kernel.alerts()[0].contains("pattern mismatch"),
+    assert_eq!(
+        kernel.alerts()[0].reason(),
+        asc::kernel::ReasonCode::PatternMismatch,
         "{:?}",
         kernel.alerts()
     );
