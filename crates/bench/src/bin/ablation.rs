@@ -19,8 +19,9 @@ fn run_monitored(
     name: &str,
     make: fn(asc_kernel::Kernel, asc_monitors::SystracePolicy) -> MonitoredKernel,
 ) -> u64 {
-    let spec = program(name).expect("registered");
-    let binary = asc_workloads::build(spec, PERSONALITY).expect("builds");
+    let spec = program(name).expect("name appears in the asc_workloads program registry");
+    let binary = asc_workloads::build(spec, PERSONALITY)
+        .expect("registered workload source compiles and links");
     // Train the monitor on one observation run.
     let (outcome, kernel) = asc_workloads::run_plain(spec, &binary, PERSONALITY);
     assert!(outcome.is_success());
@@ -30,7 +31,8 @@ fn run_monitored(
     inner.set_brk(binary.highest_addr());
     let mut handler = make(inner, policy);
     handler.set_personality(PERSONALITY);
-    let mut machine = Machine::load(&binary, handler).expect("loads");
+    let mut machine =
+        Machine::load(&binary, handler).expect("authenticated binary fits in guest memory");
     let outcome = machine.run(asc_workloads::RUN_BUDGET);
     assert!(
         outcome.is_success(),
@@ -48,7 +50,7 @@ fn main() {
         "Program", "base cycles", "ASC%", "ASC warm%", "in-kernel%", "user-space%"
     );
     for (i, name) in ["gzip", "pyramid", "vortex"].iter().enumerate() {
-        let spec = program(name).expect("registered");
+        let spec = program(name).expect("name appears in the asc_workloads program registry");
         let (plain, auth, _) = build_and_install(spec, PERSONALITY, 300 + i as u16);
         let base = measure(spec, &plain, PERSONALITY, None);
         assert!(base.outcome.is_success());

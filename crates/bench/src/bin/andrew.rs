@@ -23,14 +23,18 @@ fn build_tools(authenticated: bool) -> HashMap<&'static str, Binary> {
         .iter()
         .enumerate()
         .map(|(i, t)| {
-            let src = tool_source(t.name).expect("registered tool");
-            let plain = asc_workloads::build_source(&src, PERSONALITY).expect("tool builds");
+            let src = tool_source(t.name).expect("tool name appears in the Andrew tool registry");
+            let plain = asc_workloads::build_source(&src, PERSONALITY)
+                .expect("registered tool source compiles and links");
             let binary = if authenticated {
                 let installer = Installer::new(
                     bench_key(),
                     InstallerOptions::new(PERSONALITY).with_program_id(200 + i as u16),
                 );
-                installer.install(&plain, t.name).expect("tool installs").0
+                installer
+                    .install(&plain, t.name)
+                    .expect("installer authenticates the plain tool binary")
+                    .0
             } else {
                 plain
             };
@@ -60,7 +64,7 @@ fn run_iteration(
         }
         kernel.set_stdin(step.stdin.clone().into_bytes());
         kernel.set_brk(binary.highest_addr());
-        let mut machine = Machine::load(binary, kernel).expect("tool loads");
+        let mut machine = Machine::load(binary, kernel).expect("tool binary fits in guest memory");
         let outcome = machine.run(10_000_000_000);
         assert!(
             outcome.is_success(),

@@ -113,8 +113,8 @@ fn main() {
 fn parse_u64(text: &str) -> u64 {
     let text = text.trim();
     if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).expect("hex seed")
+        u64::from_str_radix(hex, 16).expect("--seed hex digits parse as u64")
     } else {
-        text.parse().expect("decimal seed")
+        text.parse().expect("--seed decimal digits parse as u64")
     }
 }

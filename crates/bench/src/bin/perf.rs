@@ -1,0 +1,104 @@
+//! Perf-trajectory harness: sweeps every registered workload (the SPEC
+//! analogues plus the Andrew multiprogram benchmark) base/cold/warm with a
+//! metrics registry attached, writes the schema-versioned `BENCH_4.json`,
+//! prints the quantile table, and — with `--check <baseline.json>` — exits
+//! nonzero when any tracked total or quantile regressed beyond its
+//! per-metric tolerance. CI runs this as the `perf-gate` job against
+//! `crates/bench/golden/perf_baseline.json`.
+//!
+//! Usage: `perf [--out FILE] [--check BASELINE] [--json]`
+
+use std::process::ExitCode;
+
+use asc_bench::perf::{compare, render_table, sweep, REPORT_FILE};
+use asc_core::json::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = REPORT_FILE.to_string();
+    let mut check: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out requires a file path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("--check requires a baseline file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument `{other}` (expected --out/--check/--json)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = sweep(|name| eprintln!("measuring {name}..."));
+    let value = report.to_value();
+    let text = value.to_pretty();
+    if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", render_table(&report));
+    println!("report written to {out}");
+    if json {
+        println!("{text}");
+    }
+
+    let Some(baseline_path) = check else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Value::parse(&baseline_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("baseline {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compare(&baseline, &value) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("perf gate: OK (no regressions vs {baseline_path})");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "perf gate: {} regression(s) vs {baseline_path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf gate: cannot compare reports: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

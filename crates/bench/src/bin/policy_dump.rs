@@ -27,11 +27,12 @@ fn main() {
         }
         std::process::exit(1);
     };
-    let binary = asc_workloads::build(spec, personality).expect("builds");
+    let binary = asc_workloads::build(spec, personality)
+        .expect("registered workload source compiles and links");
     let installer = Installer::new(bench_key(), InstallerOptions::new(personality));
     let (policy, stats, warnings) = installer
         .generate_policy(&binary, program)
-        .expect("analyzes");
+        .expect("installer lifts and analyzes the plain binary");
 
     if json {
         asc_bench::print_json(&policy.to_value());

@@ -40,14 +40,14 @@ fn paper_row(name: &str) -> Option<(&'static str, &'static str)> {
 
 fn main() {
     let personality = Personality::OpenBsd;
-    let spec = program("bison").expect("registered");
-    let binary = build(spec, personality).expect("builds");
+    let spec = program("bison").expect("name appears in the asc_workloads program registry");
+    let binary = build(spec, personality).expect("registered workload source compiles and links");
 
     // ASC policy via static analysis.
     let installer = Installer::new(bench_key(), InstallerOptions::new(personality));
     let (policy, _, warnings) = installer
         .generate_policy(&binary, "bison")
-        .expect("analyzes");
+        .expect("installer lifts and analyzes the plain binary");
     let asc: BTreeSet<String> = policy
         .distinct_syscalls()
         .iter()

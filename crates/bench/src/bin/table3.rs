@@ -24,10 +24,13 @@ fn main() {
         "prog", "sites", "calls", "args", "o/p", "auth", "mv", "fds", "auth%"
     );
     for name in ["bison", "calc", "screen", "tar"] {
-        let spec = program(name).expect("registered");
-        let binary = build(spec, Personality::Linux).expect("builds");
+        let spec = program(name).expect("name appears in the asc_workloads program registry");
+        let binary =
+            build(spec, Personality::Linux).expect("registered workload source compiles and links");
         let installer = Installer::new(bench_key(), InstallerOptions::new(Personality::Linux));
-        let (_, stats, _) = installer.generate_policy(&binary, name).expect("analyzes");
+        let (_, stats, _) = installer
+            .generate_policy(&binary, name)
+            .expect("installer lifts and analyzes the plain binary");
         let p = paper_row(name);
         println!(
             "{:<8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>4} {:>5} {:>6.1}% | {:>12} {:>5} {:>4} {:>3} {:>4} {:>2} {:>3}",

@@ -148,14 +148,14 @@ fn program(case: &Case, empty_loop: bool) -> String {
 fn fixture_fs() -> FileSystem {
     let mut fs = FileSystem::new();
     fs.write_file("/bigfile", vec![0x41; (N as usize + 1) * 4096])
-        .expect("fixture");
+        .expect("fixture file writes into the fresh in-memory filesystem");
     fs
 }
 
 /// Runs a program and returns total cycles plus the kernel's statistics.
 /// `cache` additionally enables the verified-call cache (warm fast path).
 fn run_measured(src: &str, authenticated: bool, cache: bool) -> (u64, asc_kernel::KernelStats) {
-    let binary = asc_asm::assemble(src).expect("assembles");
+    let binary = asc_asm::assemble(src).expect("micro-benchmark source assembles");
     let (binary, enforce) = if authenticated {
         let installer = Installer::new(
             bench_key(),
@@ -163,7 +163,9 @@ fn run_measured(src: &str, authenticated: bool, cache: bool) -> (u64, asc_kernel
             // WITHOUT control flow policies.
             InstallerOptions::new(Personality::Linux).without_control_flow(),
         );
-        let (auth, _) = installer.install(&binary, "micro").expect("installs");
+        let (auth, _) = installer
+            .install(&binary, "micro")
+            .expect("installer authenticates the plain binary");
         (auth, true)
     } else {
         (binary, false)
@@ -183,7 +185,8 @@ fn run_measured(src: &str, authenticated: bool, cache: bool) -> (u64, asc_kernel
         kernel.set_key(bench_key());
     }
     kernel.set_brk(binary.highest_addr());
-    let mut machine = Machine::load(&binary, kernel).expect("loads");
+    let mut machine =
+        Machine::load(&binary, kernel).expect("authenticated binary fits in guest memory");
     let outcome = machine.run(10_000_000_000);
     assert!(
         outcome.is_success(),

@@ -22,7 +22,8 @@ fn main() {
     println!("Table 5: Benchmark suite");
     println!("{:<12} {:<14} description", "Program", "Type");
     for name in SUITE {
-        let spec = asc_workloads::program(name).expect("registered");
+        let spec = asc_workloads::program(name)
+            .expect("name appears in the asc_workloads program registry");
         let kind = match spec.kind {
             asc_workloads::ProgramKind::Cpu => "CPU",
             asc_workloads::ProgramKind::Syscall => "syscall",

@@ -1,5 +1,7 @@
 //! Shared harness code for the table-regeneration binaries.
 
+pub mod perf;
+
 use std::collections::HashMap;
 
 use asc_core::json::Value;
@@ -73,25 +75,27 @@ impl PerfRow {
     }
 }
 
-/// Paper Table 6 overhead percentages.
-pub fn paper_overhead(name: &str) -> f64 {
+/// Paper Table 6 overhead percentages; `None` for programs the paper did
+/// not measure (callers decide how to render the gap — the table binaries
+/// print `NaN` via [`f64::NAN`]).
+pub fn paper_overhead(name: &str) -> Option<f64> {
     match name {
-        "gzip-spec" => 1.41,
-        "crafty" => 1.40,
-        "mcf" => 0.73,
-        "vpr" => 1.16,
-        "twolf" => 1.70,
-        "gcc" => 1.39,
-        "vortex" => 0.84,
-        "pyramid" => 7.92,
-        "gzip" => 1.06,
-        _ => f64::NAN,
+        "gzip-spec" => Some(1.41),
+        "crafty" => Some(1.40),
+        "mcf" => Some(0.73),
+        "vpr" => Some(1.16),
+        "twolf" => Some(1.70),
+        "gcc" => Some(1.39),
+        "vortex" => Some(0.84),
+        "pyramid" => Some(7.92),
+        "gzip" => Some(1.06),
+        _ => None,
     }
 }
 
 /// Runs the original-vs-authenticated measurement for one program.
 pub fn measure_program(name: &str, program_id: u16) -> PerfRow {
-    let spec = program(name).expect("registered program");
+    let spec = program(name).expect("name appears in the asc_workloads program registry");
     let personality = Personality::Linux;
     let (plain, auth, _) = build_and_install(spec, personality, program_id);
     let base = expect_ok(spec, measure(spec, &plain, personality, None));
@@ -104,7 +108,7 @@ pub fn measure_program(name: &str, program_id: u16) -> PerfRow {
         auth_cycles: with.cycles,
         overhead_pct,
         syscalls: base.kernel.stats().syscalls,
-        paper_pct: paper_overhead(name),
+        paper_pct: paper_overhead(name).unwrap_or(f64::NAN),
     }
 }
 
@@ -146,7 +150,7 @@ pub struct ProfiledRun {
 /// with a [`Profile`] sink attached. The installer's pass spans land in the
 /// same profile, so the report covers install-time coverage too.
 pub fn profile_workload(name: &str) -> ProfiledRun {
-    let spec = program(name).expect("registered program");
+    let spec = program(name).expect("name appears in the asc_workloads program registry");
     let personality = Personality::Linux;
     let plain =
         asc_workloads::build(spec, personality).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
@@ -170,7 +174,7 @@ pub fn profile_workload(name: &str) -> ProfiledRun {
     kernel.set_stdin(spec.stdin.to_vec());
     kernel.set_brk(auth.highest_addr());
     kernel.set_trace_sink(Box::new(profile));
-    let mut machine = Machine::load(&auth, kernel).expect("workload fits in memory");
+    let mut machine = Machine::load(&auth, kernel).expect("workload binary fits in guest memory");
     let outcome = machine.run(asc_workloads::RUN_BUDGET);
     let mut kernel = machine.into_handler();
     assert!(
@@ -183,10 +187,10 @@ pub fn profile_workload(name: &str) -> ProfiledRun {
     let stats = *kernel.stats();
     let profile = kernel
         .take_trace_sink()
-        .expect("sink attached")
+        .expect("the trace sink attached before the run is still present")
         .into_any()
         .downcast::<Profile>()
-        .expect("profile sink");
+        .expect("the attached sink was the Profile installed above");
     ProfiledRun {
         workload: name.to_string(),
         profile: *profile,
@@ -204,13 +208,17 @@ pub fn profile_andrew() -> ProfiledRun {
         .iter()
         .enumerate()
         .map(|(i, t)| {
-            let src = tool_source(t.name).expect("registered tool");
-            let plain = asc_workloads::build_source(&src, personality).expect("tool builds");
+            let src = tool_source(t.name).expect("tool name appears in the Andrew tool registry");
+            let plain = asc_workloads::build_source(&src, personality)
+                .expect("registered tool source compiles and links");
             let installer = Installer::new(
                 bench_key(),
                 InstallerOptions::new(personality).with_program_id(200 + i as u16),
             );
-            let auth = installer.install(&plain, t.name).expect("tool installs").0;
+            let auth = installer
+                .install(&plain, t.name)
+                .expect("installer authenticates the plain tool binary")
+                .0;
             (t.name, auth)
         })
         .collect();
@@ -230,7 +238,7 @@ pub fn profile_andrew() -> ProfiledRun {
         kernel.set_brk(binary.highest_addr());
         profile.set_context(step.tool);
         kernel.set_trace_sink(profile);
-        let mut machine = Machine::load(binary, kernel).expect("tool loads");
+        let mut machine = Machine::load(binary, kernel).expect("tool binary fits in guest memory");
         let outcome = machine.run(10_000_000_000);
         let mut kernel = machine.into_handler();
         assert!(
@@ -243,10 +251,10 @@ pub fn profile_andrew() -> ProfiledRun {
         stats.absorb(kernel.stats());
         profile = kernel
             .take_trace_sink()
-            .expect("sink attached")
+            .expect("the trace sink attached before the run is still present")
             .into_any()
             .downcast::<Profile>()
-            .expect("profile sink");
+            .expect("the attached sink was the Profile installed above");
         fs = kernel.into_fs();
     }
     ProfiledRun {

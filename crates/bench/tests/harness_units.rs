@@ -1,0 +1,43 @@
+//! Unit coverage for the small shared harness helpers: the cycle→seconds
+//! conversion every table prints, and the paper's Table 6 reference
+//! overheads (exact values, and a clean `None` on unknown names).
+
+use asc_bench::{paper_overhead, sim_seconds, CLOCK_HZ};
+
+#[test]
+fn sim_seconds_is_exact_at_the_100mhz_clock() {
+    assert_eq!(CLOCK_HZ, 100_000_000.0);
+    assert_eq!(sim_seconds(0), 0.0);
+    assert_eq!(sim_seconds(100_000_000), 1.0);
+    assert_eq!(sim_seconds(50_000_000), 0.5);
+    assert_eq!(sim_seconds(1), 1e-8);
+    // 259.66 simulated seconds — the paper's Andrew original runtime.
+    assert_eq!(sim_seconds(25_966_000_000), 259.66);
+}
+
+#[test]
+fn paper_overheads_match_table_6_exactly() {
+    let table6 = [
+        ("gzip-spec", 1.41),
+        ("crafty", 1.40),
+        ("mcf", 0.73),
+        ("vpr", 1.16),
+        ("twolf", 1.70),
+        ("gcc", 1.39),
+        ("vortex", 0.84),
+        ("pyramid", 7.92),
+        ("gzip", 1.06),
+    ];
+    for (name, pct) in table6 {
+        assert_eq!(paper_overhead(name), Some(pct), "{name}");
+    }
+}
+
+#[test]
+fn unknown_program_has_no_paper_overhead() {
+    assert_eq!(paper_overhead("no-such-program"), None);
+    assert_eq!(paper_overhead(""), None);
+    // Programs the suite runs but the paper's Table 6 does not list.
+    assert_eq!(paper_overhead("andrew"), None);
+    assert_eq!(paper_overhead("victim"), None);
+}

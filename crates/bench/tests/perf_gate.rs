@@ -1,0 +1,107 @@
+//! End-to-end guard for the perf-trajectory harness: the `perf` bin must
+//! sweep cleanly, emit a `BENCH_4.json` that passes the gate against the
+//! checked-in baseline, round-trip through `asc_core::json`, and the gate
+//! must demonstrably fail on an injected slowdown.
+//!
+//! Regenerate the baseline after an intentional perf change with:
+//!
+//! ```sh
+//! cargo run --release -p asc-bench --bin perf -- \
+//!     --out crates/bench/golden/perf_baseline.json
+//! ```
+//! (then reset `git_commit`/`git_dirty` to `"baseline"`/`false`).
+
+use std::process::Command;
+
+use asc_bench::perf::compare;
+use asc_core::json::Value;
+
+fn baseline_path() -> String {
+    format!("{}/golden/perf_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// One sweep, shared by every assertion below (the sweep is the expensive
+/// part; everything else is JSON shuffling).
+fn sweep_once() -> (Value, Value) {
+    let out = std::env::temp_dir().join(format!("asc_perf_gate_{}.json", std::process::id()));
+    let run = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args([
+            "--out",
+            out.to_str().expect("temp path is UTF-8"),
+            "--check",
+            &baseline_path(),
+        ])
+        .output()
+        .expect("perf binary runs");
+    assert!(
+        run.status.success(),
+        "perf gate failed against the checked-in baseline:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&run.stdout),
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let report_text = std::fs::read_to_string(&out).expect("perf wrote its report");
+    let _ = std::fs::remove_file(&out);
+    let report = Value::parse(&report_text).expect("emitted BENCH_4.json parses");
+    let baseline_text = std::fs::read_to_string(baseline_path()).expect("baseline checked in");
+    let baseline = Value::parse(&baseline_text).expect("baseline parses");
+    (report, baseline)
+}
+
+/// Scales every cycle total and quantile in `report` down by `factor`,
+/// which makes the *other* report look that much slower to the gate.
+fn scaled_down(report: &Value, factor: f64) -> Value {
+    fn walk(v: &Value, factor: f64) -> Value {
+        match v {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        let scaled = match (k.as_str(), val) {
+                            (
+                                "base_cycles" | "cold_cycles" | "warm_cycles" | "sum" | "p50"
+                                | "p90" | "p99" | "max",
+                                Value::Num(n),
+                            ) => Value::Num((n * factor).floor()),
+                            _ => walk(val, factor),
+                        };
+                        (k.clone(), scaled)
+                    })
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(|i| walk(i, factor)).collect()),
+            other => other.clone(),
+        }
+    }
+    walk(report, factor)
+}
+
+#[test]
+fn perf_bin_passes_gate_and_detects_injected_slowdown() {
+    let (report, baseline) = sweep_once();
+
+    // The emitted report re-renders to the same value (schema round-trip).
+    let reparsed = Value::parse(&report.to_pretty()).expect("re-render parses");
+    assert_eq!(reparsed, report, "BENCH_4.json does not round-trip");
+
+    // Library-level gate agrees with the bin: no regressions vs baseline.
+    let clean = compare(&baseline, &report).expect("schemas match");
+    assert_eq!(clean, Vec::<String>::new());
+
+    // Injected slowdown: against a baseline 25% faster across the board,
+    // the same report must trip the gate on every workload's totals.
+    let fast_baseline = scaled_down(&baseline, 0.75);
+    let regressions = compare(&fast_baseline, &report).expect("schemas match");
+    let workloads = baseline
+        .get("workloads")
+        .and_then(Value::as_array)
+        .expect("baseline has workloads")
+        .len();
+    assert!(
+        regressions.len() >= workloads,
+        "expected at least one regression per workload, got {regressions:?}"
+    );
+    assert!(
+        regressions.iter().any(|r| r.contains("cold_cycles")),
+        "{regressions:?}"
+    );
+}

@@ -54,8 +54,9 @@ pub use metapolicy::{Metapolicy, MetapolicyRule, PolicyTemplate, TemplateHole};
 use asc_core::ProgramPolicy;
 use asc_crypto::MacKey;
 use asc_kernel::Personality;
+use asc_metrics::Registry;
 use asc_object::Binary;
-use asc_trace::{NullSink, TraceSink};
+use asc_trace::{Event, EventKind, NullSink, TraceSink};
 
 /// Installer configuration.
 #[derive(Clone, Debug)]
@@ -253,7 +254,80 @@ impl Installer {
         rewrite::install(self, binary, program, sink)
     }
 
+    /// [`Installer::install`] with metrics: each pass (analysis,
+    /// classification, rewrite) records its wall-clock duration into the
+    /// `asc_installer_pass_us{pass=...}` histogram and its coverage
+    /// counters into `asc_installer_coverage{pass=...,counter=...}` gauges.
+    /// Durations are the only wall-clock metric in the stack (the installer
+    /// runs outside the simulated machine, so there is no virtual clock to
+    /// stamp); the perf-trajectory gate therefore never compares them.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError`] on lift failure or double installation.
+    pub fn install_metered(
+        &self,
+        binary: &Binary,
+        program: &str,
+        registry: &mut Registry,
+    ) -> Result<(Binary, InstallReport), InstallError> {
+        let mut capture = PassCapture::new();
+        let result = self.install_traced(binary, program, &mut capture)?;
+        capture.fold_into(registry);
+        Ok(result)
+    }
+
     pub(crate) fn key(&self) -> &MacKey {
         &self.key
+    }
+}
+
+/// One captured installer pass: name, coverage counters, and duration in
+/// microseconds.
+type CapturedPass = (String, Vec<(String, u64)>, u64);
+
+/// A trace sink that keeps only the installer-pass events, stamping each
+/// with the wall-clock time elapsed since the previous pass completed —
+/// i.e. the duration of the pass itself, since passes run back to back.
+struct PassCapture {
+    passes: Vec<CapturedPass>,
+    last: std::time::Instant,
+}
+
+impl PassCapture {
+    fn new() -> PassCapture {
+        PassCapture {
+            passes: Vec::new(),
+            last: std::time::Instant::now(),
+        }
+    }
+
+    fn fold_into(self, registry: &mut Registry) {
+        for (pass, counters, micros) in self.passes {
+            let duration = registry.histogram("asc_installer_pass_us", &[("pass", &pass)]);
+            registry.observe(duration, micros);
+            for (counter, value) in counters {
+                let gauge = registry.gauge(
+                    "asc_installer_coverage",
+                    &[("pass", &pass), ("counter", &counter)],
+                );
+                registry.set(gauge, value as f64);
+            }
+        }
+    }
+}
+
+impl TraceSink for PassCapture {
+    fn record(&mut self, event: Event) {
+        if let EventKind::InstallerPass { pass, counters } = event.kind {
+            let now = std::time::Instant::now();
+            let micros = now.duration_since(self.last).as_micros() as u64;
+            self.last = now;
+            self.passes.push((pass, counters, micros));
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }

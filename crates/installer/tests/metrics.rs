@@ -1,0 +1,92 @@
+//! `Installer::install_metered`: pass durations land in the
+//! `asc_installer_pass_us` histogram and coverage counters in the
+//! `asc_installer_coverage` gauges — and the metered install produces a
+//! byte-identical binary and report to the plain one.
+
+use asc_asm::assemble;
+use asc_crypto::MacKey;
+use asc_installer::{Installer, InstallerOptions};
+use asc_kernel::Personality;
+use asc_metrics::Registry;
+
+const SRC: &str = r#"
+    .text
+main:
+    movi r0, 4          ; write
+    movi r1, 1
+    movi r2, msg
+    movi r3, 6
+    syscall
+    movi r0, 20         ; getpid
+    syscall
+    movi r0, 1          ; exit
+    movi r1, 0
+    syscall
+    .rodata
+msg: .ascii "hello\n"
+"#;
+
+fn installer() -> Installer {
+    Installer::new(
+        MacKey::from_seed(0xA5C),
+        InstallerOptions::new(Personality::Linux),
+    )
+}
+
+#[test]
+fn metered_install_records_passes_and_changes_nothing() {
+    let binary = assemble(SRC).expect("assembles");
+    let mut registry = Registry::new();
+    let (metered, metered_report) = installer()
+        .install_metered(&binary, "metered", &mut registry)
+        .expect("metered install succeeds");
+    let (plain, plain_report) = installer()
+        .install(&binary, "metered")
+        .expect("plain install succeeds");
+
+    // Metering must not change the artifact.
+    assert_eq!(metered.to_bytes(), plain.to_bytes());
+    assert_eq!(
+        format!("{:?}", metered_report.stats),
+        format!("{:?}", plain_report.stats)
+    );
+
+    let snap = registry.snapshot();
+    let passes: Vec<&str> = snap
+        .entries()
+        .filter(|(k, _)| k.name == "asc_installer_pass_us")
+        .filter_map(|(k, _)| k.label("pass"))
+        .collect();
+    assert!(
+        !passes.is_empty(),
+        "no installer passes recorded: {:?}",
+        snap.entries().map(|(k, _)| k.render()).collect::<Vec<_>>()
+    );
+    for pass in &passes {
+        let h = snap
+            .histogram("asc_installer_pass_us", &[("pass", pass)])
+            .expect("pass histogram exists");
+        assert_eq!(h.count(), 1, "pass {pass} ran once");
+    }
+
+    // Coverage gauges exist for at least one pass and carry the report's
+    // site count somewhere (the classification pass exports its counters).
+    let coverage = snap
+        .entries()
+        .filter(|(k, _)| k.name == "asc_installer_coverage")
+        .count();
+    assert!(coverage > 0, "no coverage gauges recorded");
+}
+
+#[test]
+fn metered_install_still_rejects_double_installation() {
+    let binary = assemble(SRC).expect("assembles");
+    let mut registry = Registry::new();
+    let (auth, _) = installer()
+        .install_metered(&binary, "once", &mut registry)
+        .expect("first install succeeds");
+    let err = installer()
+        .install_metered(&auth, "twice", &mut registry)
+        .expect_err("double install must fail");
+    assert_eq!(err, asc_installer::InstallError::AlreadyAuthenticated);
+}

@@ -19,6 +19,7 @@ use crate::abi::{spec, Personality, SyscallId};
 use crate::alert::Alert;
 use crate::cost::CostModel;
 use crate::fs::FileSystem;
+use crate::metrics::{KernelMetrics, PATH_COLD, PATH_FALLBACK, PATH_SCRUB, PATH_WARM};
 
 /// What an open file descriptor refers to.
 #[derive(Clone, Debug)]
@@ -290,6 +291,9 @@ pub struct Kernel {
     /// Flight-recorder sink. `None` (the default) means telemetry is off
     /// and the trap handler builds no events at all.
     trace_sink: Option<Box<dyn TraceSink>>,
+    /// Metrics registry. `None` (the default) means no distributions are
+    /// recorded; recording never feeds back into charged cycles.
+    metrics: Option<Box<KernelMetrics>>,
     /// Next span id to allocate (one span per enforced trap).
     next_span: u64,
     /// Bytes moved by the last I/O-style call (input to the cost model).
@@ -360,6 +364,7 @@ impl Kernel {
             stats: KernelStats::default(),
             fault: None,
             trace_sink: None,
+            metrics: None,
             next_span: 0,
             last_io_bytes: 0,
         }
@@ -462,6 +467,32 @@ impl Kernel {
         self.trace_sink.take()
     }
 
+    /// Attaches a fresh metrics registry (off by default). The trap
+    /// handler then records per-call histograms of verification cycles,
+    /// AES blocks, and bytes touched — labeled by cache path and check
+    /// family — plus syscall/kill/cache-outcome counters. Recording never
+    /// changes charged cycles or `KernelStats` (the no-perturbation rule).
+    pub fn attach_metrics(&mut self) {
+        self.metrics = Some(Box::new(KernelMetrics::new()));
+    }
+
+    /// Installs an existing metrics registry: a multi-kernel benchmark
+    /// threads one registry through every kernel so the final distributions
+    /// cover the whole run.
+    pub fn set_metrics(&mut self, metrics: Box<KernelMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Detaches and returns the metrics registry, if one was attached.
+    pub fn take_metrics(&mut self) -> Option<Box<KernelMetrics>> {
+        self.metrics.take()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&KernelMetrics> {
+        self.metrics.as_deref()
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
@@ -500,6 +531,10 @@ impl Kernel {
 
     fn handle_trap(&mut self, ctx: &mut TrapContext<'_>) -> TrapOutcome {
         self.stats.syscalls += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            let id = m.syscalls;
+            m.inc(id);
+        }
         let mut charged = 0u64;
         if self.opts.charge_costs {
             charged += self.cost.trap_base;
@@ -590,7 +625,10 @@ impl Kernel {
             };
             let cache_before = self.verify_cache.stats();
             let cache = self.opts.verify_cache.then_some(&mut self.verify_cache);
-            let mut meter = if tracing {
+            // The metrics registry needs the per-check partition too, so
+            // the meter records whenever either consumer is attached.
+            let metering = self.metrics.is_some();
+            let mut meter = if tracing || metering {
                 CallMeter::recording()
             } else {
                 CallMeter::disabled()
@@ -606,8 +644,10 @@ impl Kernel {
                 &mut meter,
             );
             let cache_after = self.verify_cache.stats();
-            self.stats.cache_fallbacks += cache_after.stale_misses - cache_before.stale_misses;
-            self.stats.cache_scrubs += cache_after.scrubs - cache_before.scrubs;
+            let fallback_delta = cache_after.stale_misses - cache_before.stale_misses;
+            let scrub_delta = cache_after.scrubs - cache_before.scrubs;
+            self.stats.cache_fallbacks += fallback_delta;
+            self.stats.cache_scrubs += scrub_delta;
             match result {
                 Ok(outcome) => {
                     self.stats.verified += 1;
@@ -642,6 +682,33 @@ impl Kernel {
                         self.stats.cache_hits + self.stats.cache_fallbacks <= self.stats.verified,
                         "more cache outcomes than verified calls"
                     );
+                    if let Some(m) = self.metrics.as_mut() {
+                        let path = if outcome.cache_hit {
+                            PATH_WARM
+                        } else if fallback_delta > 0 {
+                            PATH_FALLBACK
+                        } else if scrub_delta > 0 {
+                            PATH_SCRUB
+                        } else {
+                            PATH_COLD
+                        };
+                        let charge_costs = self.opts.charge_costs;
+                        let fixed = if charge_costs {
+                            self.cost.verify_fixed_for(outcome.cache_hit)
+                        } else {
+                            0
+                        };
+                        m.record_verified(
+                            path,
+                            vc,
+                            fixed,
+                            &outcome,
+                            &meter.checks,
+                            &self.cost,
+                            charge_costs,
+                            self.opts.verify_cache,
+                        );
+                    }
                     if tracing {
                         let at = ctx.cycles();
                         let fixed = if self.opts.charge_costs {
@@ -797,6 +864,10 @@ impl Kernel {
             violation: violation.clone(),
         };
         let msg = alert.to_string();
+        if let Some(m) = self.metrics.as_mut() {
+            let id = m.kills;
+            m.inc(id);
+        }
         if tracing {
             if let Some(sink) = self.trace_sink.as_mut() {
                 sink.record(Event {

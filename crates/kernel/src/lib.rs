@@ -30,6 +30,7 @@ mod calls;
 pub mod cost;
 pub mod fs;
 mod kernel;
+pub mod metrics;
 
 pub use abi::{spec, Personality, SyscallId, SyscallSpec, SPECS};
 pub use alert::Alert;
@@ -39,6 +40,7 @@ pub use fs::{FileSystem, FsError, Inode, InodeId, InodeKind};
 pub use kernel::{
     FaultAction, FdKind, Kernel, KernelOptions, KernelStats, OpenFile, TraceEntry, TrapFault,
 };
+pub use metrics::{KernelMetrics, VERIFY_PATHS};
 
 pub use asc_core::CacheStats;
 pub use asc_trace::ReasonCode;

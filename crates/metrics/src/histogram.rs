@@ -1,0 +1,267 @@
+//! The log-linear histogram: exact count/sum, bounded relative error on
+//! quantiles.
+//!
+//! Values `0..16` get one bucket each (exact). Above that, every power-of-two
+//! octave is split into 16 linear sub-buckets, so a bucket's width is at most
+//! 1/16 of its lower bound — quantile estimates carry ≤ 6.25% relative error
+//! while the whole `u64` range fits in a few hundred buckets. `count`, `sum`,
+//! `min`, and `max` are tracked exactly, and [`Histogram::merge`] is a plain
+//! element-wise add, so merging is associative and commutative and the merged
+//! count/sum equal the element-wise totals bit for bit.
+
+/// Sub-bucket resolution: each octave is split into `1 << SUB_BITS` linear
+/// sub-buckets.
+const SUB_BITS: u32 = 4;
+/// Number of linear sub-buckets per octave (and the exact-bucket cutoff).
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Maps a value to its bucket index.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = msb - SUB_BITS;
+    let sub = (value >> octave) & (SUB - 1);
+    (SUB as u32 + octave * SUB as u32 + sub as u32) as usize
+}
+
+/// The inclusive upper bound of a bucket index (saturating at `u64::MAX`).
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let octave = ((index - SUB) / SUB) as u32;
+    let sub = (index - SUB) % SUB;
+    let lo = (SUB << octave) + (sub << octave);
+    lo.saturating_add((1u64 << octave) - 1)
+}
+
+/// A log-linear histogram over `u64` values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts, grown lazily to the highest bucket observed.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations (one bucket touch).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        self.sum += value * n;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` observation, clamped to the exact
+    /// observed `max`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s observations into `self`. Element-wise over buckets,
+    /// so merge order never changes the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, in ascending
+    /// bound order (rendering; the Prometheus exposition cumulates these).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_upper(idx), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let got = h.quantile(q);
+            assert!(got < 16, "q={q} -> {got}");
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every value lands in a bucket whose bounds contain it, and bucket
+        // indices are monotone in the value.
+        let mut prev_idx = 0;
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            4096,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            prev_idx = idx;
+            let hi = bucket_upper(idx);
+            assert!(v <= hi, "value {v} above bucket upper {hi}");
+            if idx > 0 {
+                let prev_hi = bucket_upper(idx - 1);
+                assert!(v > prev_hi, "value {v} not above previous bucket {prev_hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err <= 0.0625, "q={q}: got {got}, exact {exact}, err {err}");
+            assert!(got >= exact, "upper-bound estimate must not undershoot");
+        }
+        assert_eq!(h.quantile(1.0), 10_000, "max is exact");
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_recording() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i.wrapping_mul(2654435761) % 100_000;
+            all.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,541 @@
+//! A typed, zero-external-dependency metrics registry.
+//!
+//! The paper's evaluation (and `KernelStats`) reports only aggregate sums
+//! and averages; this crate is the substrate for *distributions*: counters,
+//! gauges, and log-linear [`Histogram`]s (exact count/sum, bounded-error
+//! p50/p90/p99, exact max) keyed by metric name plus a small label set —
+//! e.g. `asc_verify_cycles{path="warm"}`. The kernel's trap handler, the
+//! installer, and the bench harnesses all record into a [`Registry`];
+//! [`Snapshot`]s are mergeable across kernels (multi-program benchmarks run
+//! tools on separate kernels and report one distribution) and render two
+//! ways: Prometheus-style text exposition ([`Snapshot::to_prometheus`]) and
+//! [`asc_core::json`] values ([`Snapshot::to_value`]).
+//!
+//! Like the flight recorder, metrics follow the **no-perturbation rule**:
+//! recording is attached behind an off-by-default option and never feeds
+//! back into the cost model, so charged cycles and the paper tables are
+//! byte-identical with or without a registry attached.
+
+mod histogram;
+
+pub use histogram::Histogram;
+
+use std::collections::BTreeMap;
+
+use asc_core::json::Value;
+
+/// A metric's identity: its name plus a (sorted) label set.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus conventions: `snake_case`, unit-suffixed).
+    pub name: String,
+    /// Label pairs, sorted by key so equal label sets compare equal
+    /// regardless of construction order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders as `name` or `name{k="v",...}`.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+/// One metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(f64),
+    /// A value distribution.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Handle to a registered counter (stable for the registry's lifetime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// The metrics registry. Registration resolves `(name, labels)` to a dense
+/// handle once; the hot path (the trap handler records per-syscall) is then
+/// an array index, no lookups and no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    metrics: Vec<(MetricKey, MetricValue)>,
+    index: BTreeMap<MetricKey, usize>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn slot(&mut self, key: MetricKey, init: MetricValue) -> usize {
+        if let Some(&i) = self.index.get(&key) {
+            assert_eq!(
+                self.metrics[i].1.type_name(),
+                init.type_name(),
+                "metric `{}` re-registered as a different type",
+                key.render()
+            );
+            return i;
+        }
+        let i = self.metrics.len();
+        self.index.insert(key.clone(), i);
+        self.metrics.push((key, init));
+        i
+    }
+
+    /// Registers (or finds) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        CounterId(self.slot(MetricKey::new(name, labels), MetricValue::Counter(0)))
+    }
+
+    /// Registers (or finds) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        GaugeId(self.slot(MetricKey::new(name, labels), MetricValue::Gauge(0.0)))
+    }
+
+    /// Registers (or finds) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
+        HistogramId(self.slot(
+            MetricKey::new(name, labels),
+            MetricValue::Histogram(Histogram::new()),
+        ))
+    }
+
+    /// Adds `n` to a counter.
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        match &mut self.metrics[id.0].1 {
+            MetricValue::Counter(c) => *c += n,
+            _ => unreachable!("CounterId always indexes a counter"),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        match &mut self.metrics[id.0].1 {
+            MetricValue::Gauge(g) => *g = value,
+            _ => unreachable!("GaugeId always indexes a gauge"),
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        match &mut self.metrics[id.0].1 {
+            MetricValue::Histogram(h) => h.record(value),
+            _ => unreachable!("HistogramId always indexes a histogram"),
+        }
+    }
+
+    /// Immutable view of a histogram.
+    pub fn histogram_at(&self, id: HistogramId) -> &Histogram {
+        match &self.metrics[id.0].1 {
+            MetricValue::Histogram(h) => h,
+            _ => unreachable!("HistogramId always indexes a histogram"),
+        }
+    }
+
+    /// A point-in-time, mergeable copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A mergeable point-in-time copy of a [`Registry`]'s metrics, ordered by
+/// key so every rendering is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// The entries, in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.entries.iter()
+    }
+
+    /// Looks up one metric by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.entries.get(&MetricKey::new(name, labels))
+    }
+
+    /// The histogram under `(name, labels)`, if that metric is one.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        match self.get(name, labels) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The counter value under `(name, labels)`, if that metric is one.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Sums a histogram-valued metric's `sum` over every label combination
+    /// it was recorded under (the cross-path reconstruction identity:
+    /// `sum_over_labels(asc_verify_cycles) == KernelStats::verify_cycles`).
+    pub fn histogram_sum_across_labels(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Histogram(h) => h.sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Merges a histogram-valued metric across every label combination.
+    pub fn histogram_across_labels(&self, name: &str) -> Histogram {
+        let mut merged = Histogram::new();
+        for (k, v) in &self.entries {
+            if k.name == name {
+                if let MetricValue::Histogram(h) = v {
+                    merged.merge(h);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Merges `other` into `self`: counters and histograms add (associative
+    /// and commutative, exact); gauges keep the maximum, the high-water
+    /// mark a merged report wants from point-in-time levels.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (key, value) in &other.entries {
+            match self.entries.get_mut(key) {
+                None => {
+                    self.entries.insert(key.clone(), value.clone());
+                }
+                Some(mine) => match (mine, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.max(*b),
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (mine, theirs) => panic!(
+                        "metric `{}` is a {} here but a {} in the merged snapshot",
+                        key.render(),
+                        mine.type_name(),
+                        theirs.type_name()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` comments, cumulative
+    /// `_bucket{le=...}` series with a `+Inf` terminator, `_sum`/`_count`
+    /// per histogram.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, value) in &self.entries {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} {}", key.name, value.type_name());
+                last_name = &key.name;
+            }
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{} {c}", key.render());
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{} {g}", key.render());
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (upper, count) in h.nonzero_buckets() {
+                        cumulative += count;
+                        let mut labels: Vec<(&str, String)> = key
+                            .labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.clone()))
+                            .collect();
+                        labels.push(("le", upper.to_string()));
+                        let body: Vec<String> =
+                            labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{{}}} {cumulative}",
+                            key.name,
+                            body.join(",")
+                        );
+                    }
+                    let mut inf_labels: Vec<String> = key
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{v}\""))
+                        .collect();
+                    inf_labels.push("le=\"+Inf\"".to_string());
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{{}}} {}",
+                        key.name,
+                        inf_labels.join(","),
+                        h.count()
+                    );
+                    let suffixed = |suffix: &str| {
+                        let mut k = key.clone();
+                        k.name = format!("{}{suffix}", key.name);
+                        k.render()
+                    };
+                    let _ = writeln!(out, "{} {}", suffixed("_sum"), h.sum());
+                    let _ = writeln!(out, "{} {}", suffixed("_count"), h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders as an [`asc_core::json`] value: an array of entries, each
+    /// `{name, labels, type, ...}`; histograms carry exact count/sum/min/max,
+    /// the p50/p90/p99 quantiles, and the non-empty `[upper, count]` buckets.
+    pub fn to_value(&self) -> Value {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|(key, value)| {
+                let mut fields = vec![
+                    ("name".to_string(), Value::Str(key.name.clone())),
+                    (
+                        "labels".to_string(),
+                        Value::Object(
+                            key.labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "type".to_string(),
+                        Value::Str(value.type_name().to_string()),
+                    ),
+                ];
+                match value {
+                    MetricValue::Counter(c) => {
+                        fields.push(("value".to_string(), Value::Num(*c as f64)));
+                    }
+                    MetricValue::Gauge(g) => {
+                        fields.push(("value".to_string(), Value::Num(*g)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push(("count".to_string(), Value::Num(h.count() as f64)));
+                        fields.push(("sum".to_string(), Value::Num(h.sum() as f64)));
+                        fields.push(("min".to_string(), Value::Num(h.min() as f64)));
+                        fields.push(("max".to_string(), Value::Num(h.max() as f64)));
+                        fields.push(("p50".to_string(), Value::Num(h.quantile(0.50) as f64)));
+                        fields.push(("p90".to_string(), Value::Num(h.quantile(0.90) as f64)));
+                        fields.push(("p99".to_string(), Value::Num(h.quantile(0.99) as f64)));
+                        fields.push((
+                            "buckets".to_string(),
+                            Value::Array(
+                                h.nonzero_buckets()
+                                    .map(|(upper, count)| {
+                                        Value::Array(vec![
+                                            Value::Num(upper as f64),
+                                            Value::Num(count as f64),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Array(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_deduplicated() {
+        let mut r = Registry::new();
+        let a = r.counter("calls_total", &[("path", "cold")]);
+        let b = r.counter("calls_total", &[("path", "cold")]);
+        assert_eq!(a, b, "same key resolves to the same handle");
+        let c = r.counter("calls_total", &[("path", "warm")]);
+        assert_ne!(a, c);
+        r.inc(a, 2);
+        r.inc(c, 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("calls_total", &[("path", "cold")]), Some(2));
+        assert_eq!(snap.counter("calls_total", &[("path", "warm")]), Some(5));
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut r = Registry::new();
+        let a = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_is_rejected() {
+        let mut r = Registry::new();
+        r.counter("m", &[]);
+        r.histogram("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let mut r1 = Registry::new();
+        let c1 = r1.counter("n", &[]);
+        let h1 = r1.histogram("h", &[]);
+        r1.inc(c1, 3);
+        r1.observe(h1, 100);
+        let mut r2 = Registry::new();
+        let c2 = r2.counter("n", &[]);
+        let h2 = r2.histogram("h", &[]);
+        let g2 = r2.gauge("g", &[]);
+        r2.inc(c2, 4);
+        r2.observe(h2, 200);
+        r2.observe(h2, 300);
+        r2.set(g2, 7.5);
+
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("n", &[]), Some(7));
+        let h = merged.histogram("h", &[]).expect("histogram merged");
+        assert_eq!((h.count(), h.sum()), (3, 600));
+        assert_eq!(
+            merged.get("g", &[]),
+            Some(&MetricValue::Gauge(7.5)),
+            "absent gauge adopts the other side's value"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_typed() {
+        let mut r = Registry::new();
+        let h = r.histogram("verify_cycles", &[("path", "cold")]);
+        r.observe(h, 10);
+        r.observe(h, 10);
+        r.observe(h, 5000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE verify_cycles histogram"), "{text}");
+        assert!(
+            text.contains("verify_cycles_bucket{path=\"cold\",le=\"10\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("verify_cycles_bucket{path=\"cold\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("verify_cycles_sum{path=\"cold\"} 5020"),
+            "{text}"
+        );
+        assert!(
+            text.contains("verify_cycles_count{path=\"cold\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let mut r = Registry::new();
+        let h = r.histogram("h", &[("k", "v")]);
+        r.observe(h, 42);
+        let c = r.counter("c", &[]);
+        r.inc(c, 9);
+        let value = r.snapshot().to_value();
+        let text = value.to_pretty();
+        let parsed = asc_core::json::Value::parse(&text).expect("snapshot JSON parses");
+        assert_eq!(parsed, value, "snapshot JSON round-trips");
+    }
+
+    #[test]
+    fn cross_label_reconstruction_helpers() {
+        let mut r = Registry::new();
+        for (path, v) in [("cold", 100u64), ("warm", 20), ("warm", 30)] {
+            let h = r.histogram("cycles", &[("path", path)]);
+            r.observe(h, v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram_sum_across_labels("cycles"), 150);
+        let merged = snap.histogram_across_labels("cycles");
+        assert_eq!((merged.count(), merged.sum()), (3, 150));
+    }
+}

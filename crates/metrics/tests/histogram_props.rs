@@ -1,0 +1,113 @@
+//! Seeded property tests (via `asc-testkit`) for the histogram algebra the
+//! perf-trajectory harness leans on: merging snapshots from many kernels
+//! must behave like one kernel that saw every observation, regardless of
+//! how the observations were split or in which order the parts merge.
+
+use asc_metrics::Histogram;
+use asc_testkit::{check, Rng};
+
+/// Draws a value with a wide dynamic range (0 to ~2^40), like cycle counts.
+fn value(rng: &mut Rng) -> u64 {
+    let magnitude = rng.range_u32(0, 41);
+    rng.next_u64() & ((1u64 << magnitude) - 1).max(1)
+}
+
+fn fill(rng: &mut Rng, n: usize) -> Histogram {
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        let v = value(rng);
+        h.record(v);
+    }
+    h
+}
+
+/// `fill` with a size drawn from `0..hi` (hoists the draw so the borrow
+/// checker sees one `rng` borrow at a time).
+fn fill_upto(rng: &mut Rng, hi: usize) -> Histogram {
+    let n = rng.range_usize(0, hi);
+    fill(rng, n)
+}
+
+#[test]
+fn merge_is_commutative() {
+    check(0xA5C_0001, 64, |rng| {
+        let a = fill_upto(rng, 40);
+        let b = fill_upto(rng, 40);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "a∪b != b∪a");
+    });
+}
+
+#[test]
+fn merge_is_associative() {
+    check(0xA5C_0002, 64, |rng| {
+        let a = fill_upto(rng, 30);
+        let b = fill_upto(rng, 30);
+        let c = fill_upto(rng, 30);
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "(a∪b)∪c != a∪(b∪c)");
+    });
+}
+
+#[test]
+fn merged_count_and_sum_equal_elementwise_totals() {
+    check(0xA5C_0003, 64, |rng| {
+        let parts: Vec<Histogram> = (0..rng.range_usize(1, 6))
+            .map(|_| fill_upto(rng, 50))
+            .collect();
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        let count: u64 = parts.iter().map(Histogram::count).sum();
+        let sum: u64 = parts.iter().map(Histogram::sum).sum();
+        assert_eq!(merged.count(), count, "merged count != Σ part counts");
+        assert_eq!(merged.sum(), sum, "merged sum != Σ part sums");
+        if count > 0 {
+            let max = parts.iter().map(Histogram::max).max().expect("non-empty");
+            let min = parts
+                .iter()
+                .filter(|p| p.count() > 0)
+                .map(Histogram::min)
+                .min()
+                .expect("non-empty");
+            assert_eq!(merged.max(), max);
+            assert_eq!(merged.min(), min);
+        }
+    });
+}
+
+#[test]
+fn merge_equals_single_recorder() {
+    // Splitting a stream across k histograms and merging reproduces the
+    // histogram that saw the whole stream — the exact situation of the
+    // Andrew benchmark (one registry per tool kernel, merged for the
+    // report).
+    check(0xA5C_0004, 48, |rng| {
+        let k = rng.range_usize(1, 5);
+        let mut whole = Histogram::new();
+        let mut parts = vec![Histogram::new(); k];
+        for _ in 0..rng.range_usize(0, 120) {
+            let v = value(rng);
+            whole.record(v);
+            let which = rng.range_usize(0, k);
+            parts[which].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole, "split-and-merge != single recorder");
+    });
+}
