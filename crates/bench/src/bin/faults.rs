@@ -7,23 +7,31 @@
 //! or behaves bit-identically to the clean run. Any other outcome is
 //! silent corruption and fails the campaign (non-zero exit).
 //!
-//! A second section repeats the authenticated-string faults against a
+//! A second section runs the cross-process classes: one pid of a
+//! scheduled fleet is perturbed (shared-cache poisoning, counter skew)
+//! and every peer must stay bit-identical — any cross-pid leak fails
+//! the campaign.
+//!
+//! A third section repeats the authenticated-string faults against a
 //! deliberately weakened verifier (string-contents check disabled) to
 //! prove the oracle actually detects bypasses: that configuration
 //! must produce a SILENT-CORRUPTION row.
 //!
 //! ```text
 //! cargo run --release -p asc-bench --bin faults -- \
-//!     [--seed N] [--trials N] [--workloads a,b,c] [--json] [--no-demo]
+//!     [--seed N] [--trials N] [--workloads a,b,c] [--json] [--no-demo] [--no-cross]
 //! ```
 
-use asc_faults::{run_campaign, run_weakened_demo, CampaignConfig, Outcome};
+use asc_faults::{
+    run_campaign, run_cross_campaign, run_weakened_demo, CampaignConfig, CrossConfig, Outcome,
+};
 use asc_kernel::Personality;
 
 fn main() {
     let mut cfg = CampaignConfig::new(0x0A5C_F417, 8);
     let mut json = false;
     let mut demo = true;
+    let mut cross = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,6 +49,7 @@ fn main() {
             }
             "--json" => json = true,
             "--no-demo" => demo = false,
+            "--no-cross" => cross = false,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -58,11 +67,39 @@ fn main() {
         }
     }
 
-    let problems = report.problems();
+    let mut problems = report.problems();
     if !problems.is_empty() {
         eprintln!("\nCAMPAIGN FAILED:");
         for problem in &problems {
             eprintln!("  {problem}");
+        }
+    }
+
+    if cross {
+        let cross_cfg = CrossConfig {
+            workloads: cfg.workloads.clone(),
+            ..CrossConfig::new(cfg.seed ^ 0x0C80_5501, cfg.trials)
+        };
+        let cross_report = run_cross_campaign(&cross_cfg);
+        if json {
+            asc_bench::print_json(&cross_report.to_value());
+        } else {
+            println!("{}", cross_report.render());
+            if let Some(alert) = cross_report
+                .rows
+                .iter()
+                .find_map(|r| r.sample_alert.as_ref())
+            {
+                println!("sample cross-pid alert: {alert}");
+            }
+        }
+        let cross_problems = cross_report.problems();
+        if !cross_problems.is_empty() {
+            eprintln!("\nCROSS-PROCESS CAMPAIGN FAILED:");
+            for problem in &cross_problems {
+                eprintln!("  {problem}");
+            }
+            problems.extend(cross_problems);
         }
     }
 

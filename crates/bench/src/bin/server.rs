@@ -1,0 +1,60 @@
+//! Multi-process server throughput benchmark: M concurrent processes over
+//! the syscall-heavy workloads, time-sliced deterministically, each with
+//! its own enforcing kernel and a pid namespace in the shared verify
+//! cache. Reports aggregate verified calls per simulated second plus
+//! per-pid verify-cycle quantiles.
+//!
+//! The default configuration is fully fixed-seed: its output is pinned at
+//! `crates/bench/golden/server.txt` and diffed by the `server-smoke` CI
+//! job.
+//!
+//! ```text
+//! cargo run --release -p asc-bench --bin server -- \
+//!     [--procs N] [--seed N] [--slice N] [--round-robin] [--json]
+//! ```
+
+use asc_bench::server::{render_server, run_server, server_to_value, ServerConfig, ServerMode};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--procs" => {
+                let value = args.next().expect("--procs needs a value");
+                config.procs = value.parse().expect("--procs needs a number");
+            }
+            "--seed" => {
+                let value = args.next().expect("--seed needs a value");
+                config.seed = parse_u64(&value);
+            }
+            "--slice" => {
+                let value = args.next().expect("--slice needs a value");
+                config.slice_instrs = value.parse().expect("--slice needs a number");
+            }
+            "--round-robin" => config.round_robin = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = run_server(&config, ServerMode::Warm);
+    if json {
+        asc_bench::print_json(&server_to_value(&run));
+    } else {
+        print!("{}", render_server(&run));
+    }
+}
+
+fn parse_u64(text: &str) -> u64 {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("--seed hex digits parse as u64")
+    } else {
+        text.parse().expect("--seed decimal digits parse as u64")
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared harness code for the table-regeneration binaries.
 
 pub mod perf;
+pub mod server;
 
 use std::collections::HashMap;
 

@@ -374,8 +374,50 @@ pub fn measure_andrew() -> WorkloadPerf {
     }
 }
 
+/// Measures the multi-process server workload base/cold/warm with the
+/// default fixed-seed configuration (`asc-bench --bin server`'s scenario).
+/// Every histogram summary carries a `pid` label, so the trajectory gate
+/// covers per-pid distributions, not just the single-process ones.
+pub fn measure_server() -> WorkloadPerf {
+    use crate::server::{run_server, ServerConfig, ServerMode};
+    let config = ServerConfig::default();
+    let base = run_server(&config, ServerMode::Base);
+    let cold = run_server(&config, ServerMode::Cold);
+    let warm = run_server(&config, ServerMode::Warm);
+
+    let mut metrics = summarize_snapshot("cold", &cold.merged_metrics);
+    metrics.extend(summarize_snapshot("warm", &warm.merged_metrics));
+    // Per-pid entries carry a `pid` label, so the table's all-process
+    // lookup key would miss; add the cross-pid aggregate under the same
+    // key the single-process workloads use.
+    let across = cold
+        .merged_metrics
+        .histogram_across_labels("asc_verify_cycles");
+    if across.count() > 0 {
+        metrics.push(MetricSummary {
+            metric: "cold:asc_verify_cycles{path=\"cold\"}".into(),
+            count: across.count(),
+            sum: across.sum(),
+            p50: across.quantile(0.50),
+            p90: across.quantile(0.90),
+            p99: across.quantile(0.99),
+            max: across.max(),
+        });
+    }
+    WorkloadPerf {
+        name: "server".to_string(),
+        base_cycles: base.clock,
+        cold_cycles: cold.clock,
+        warm_cycles: warm.clock,
+        cold_overhead_pct: overhead_pct(base.clock, cold.clock),
+        warm_overhead_pct: overhead_pct(base.clock, warm.clock),
+        syscalls: base.aggregate.syscalls,
+        metrics,
+    }
+}
+
 /// The names the sweep covers: every registered `perf_experiment` workload
-/// plus `andrew`.
+/// plus `andrew` and the multi-process `server` scenario.
 pub fn sweep_names() -> Vec<String> {
     let mut names: Vec<String> = asc_workloads::programs()
         .iter()
@@ -383,6 +425,7 @@ pub fn sweep_names() -> Vec<String> {
         .map(|p| p.name.to_string())
         .collect();
     names.push("andrew".to_string());
+    names.push("server".to_string());
     names
 }
 
@@ -400,6 +443,8 @@ pub fn sweep(mut progress: impl FnMut(&str)) -> PerfReport {
     }
     progress("andrew");
     workloads.push(measure_andrew());
+    progress("server");
+    workloads.push(measure_server());
     let (git_commit, git_dirty) = git_metadata();
     PerfReport {
         git_commit,

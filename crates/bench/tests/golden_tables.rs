@@ -5,7 +5,7 @@
 //! Regenerate after an intentional change with:
 //!
 //! ```sh
-//! for t in table1 table2 table3 table4 table6 ablation andrew; do
+//! for t in table1 table2 table3 table4 table6 ablation andrew server; do
 //!     cargo run --release -p asc-bench --bin $t > crates/bench/golden/$t.txt
 //! done
 //! ```
@@ -64,4 +64,9 @@ fn ablation_is_byte_identical() {
 #[ignore = "multi-iteration Andrew benchmark takes ~40s; run with --ignored"]
 fn andrew_is_byte_identical() {
     check(env!("CARGO_BIN_EXE_andrew"), "andrew.txt");
+}
+
+#[test]
+fn server_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_server"), "server.txt");
 }

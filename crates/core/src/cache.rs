@@ -237,6 +237,13 @@ impl VerifyCache {
         self.calls.len() + self.blobs.len()
     }
 
+    /// The counter epoch the state entry was recorded under, if one is
+    /// held. Isolation tests use this to assert that another process's
+    /// kill or cache activity never moved this process's epoch.
+    pub fn state_epoch(&self) -> Option<u64> {
+        self.state.as_ref().map(|s| s.epoch)
+    }
+
     /// Whether the cache holds no call or blob entries.
     pub fn is_empty(&self) -> bool {
         self.calls.is_empty() && self.blobs.is_empty()
@@ -307,6 +314,91 @@ impl VerifyCache {
             }
             None => false,
         }
+    }
+}
+
+/// A pid-keyed family of [`VerifyCache`]s for multi-process kernels.
+///
+/// The paper's verifier is per-process: the policy-state MAC is keyed by a
+/// per-process counter and the kernel maps pid → installed policy. The
+/// cache must honour the same boundary — an entry verified under pid A's
+/// counter epoch means nothing under pid B's, and a kill or exec of pid A
+/// must never invalidate (or worse, *serve*) pid B's entries. Rather than
+/// tagging every key with a pid inside one map, each pid gets its own
+/// [`VerifyCache`] namespace: cross-pid sharing is then impossible by
+/// construction, and dropping a dead pid's entries is O(1) on everyone
+/// else.
+///
+/// A scheduler owns one of these behind `Rc<RefCell<…>>` and hands the
+/// handle to every kernel it spawns (`asc_kernel::Kernel::share_cache`);
+/// each trap then operates on the calling pid's namespace only.
+#[derive(Clone, Debug, Default)]
+pub struct SharedVerifyCache {
+    caches: std::collections::BTreeMap<u32, VerifyCache>,
+}
+
+impl SharedVerifyCache {
+    /// An empty cache family.
+    pub fn new() -> SharedVerifyCache {
+        SharedVerifyCache::default()
+    }
+
+    /// The cache namespace for `pid`, created empty on first use.
+    pub fn pid_cache(&mut self, pid: u32) -> &mut VerifyCache {
+        self.caches.entry(pid).or_default()
+    }
+
+    /// Read-only view of `pid`'s namespace, if it has one.
+    pub fn get(&self, pid: u32) -> Option<&VerifyCache> {
+        self.caches.get(&pid)
+    }
+
+    /// Drops `pid`'s namespace wholesale (kill or exec). Every other pid's
+    /// entries — and their epochs and statistics — are untouched.
+    pub fn drop_pid(&mut self, pid: u32) {
+        self.caches.remove(&pid);
+    }
+
+    /// Behaviour counters for `pid`'s namespace (zero if it has none).
+    pub fn pid_stats(&self, pid: u32) -> CacheStats {
+        self.caches.get(&pid).map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Behaviour counters summed over every live namespace. Namespaces
+    /// dropped by [`SharedVerifyCache::drop_pid`] no longer contribute.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for cache in self.caches.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.blob_hits += s.blob_hits;
+            total.state_hits += s.state_hits;
+            total.evictions += s.evictions;
+            total.stale_misses += s.stale_misses;
+            total.scrubs += s.scrubs;
+        }
+        total
+    }
+
+    /// The pids that currently hold a namespace, in ascending order.
+    pub fn pids(&self) -> Vec<u32> {
+        self.caches.keys().copied().collect()
+    }
+
+    /// Fault-injection hook: corrupts one entry inside *`pid`'s* namespace
+    /// (see [`VerifyCache::corrupt_entry_for_fault`]). Cross-process
+    /// campaigns use this to poison a victim pid's entries and then assert
+    /// every other pid is bit-identical to its clean run.
+    pub fn corrupt_pid_entry_for_fault(
+        &mut self,
+        pid: u32,
+        selector: u64,
+        mask: u8,
+    ) -> Option<&'static str> {
+        self.caches
+            .get_mut(&pid)
+            .and_then(|c| c.corrupt_entry_for_fault(selector, mask))
     }
 }
 
@@ -445,6 +537,63 @@ mod tests {
             None,
             "empty cache has nothing to corrupt"
         );
+    }
+
+    #[test]
+    fn shared_cache_keeps_pids_apart() {
+        let mut shared = SharedVerifyCache::new();
+        let mac = [7u8; 16];
+        shared.pid_cache(1).record_call(0x1000, b"enc", &mac);
+        shared
+            .pid_cache(1)
+            .record_state(0x3000, [3u8; POLICY_STATE_LEN], 5);
+        // pid 2 never sees pid 1's entries, even for identical keys.
+        assert!(!shared.pid_cache(2).check_call(0x1000, b"enc", &mac));
+        assert!(!shared
+            .pid_cache(2)
+            .check_state(0x3000, &[3u8; POLICY_STATE_LEN], 5));
+        // pid 1's own entries still hit.
+        assert!(shared.pid_cache(1).check_call(0x1000, b"enc", &mac));
+        assert_eq!(shared.pid_cache(1).state_epoch(), Some(5));
+        assert_eq!(shared.pid_cache(2).state_epoch(), None);
+    }
+
+    #[test]
+    fn shared_cache_drop_pid_is_isolated() {
+        let mut shared = SharedVerifyCache::new();
+        let mac = [7u8; 16];
+        shared.pid_cache(1).record_call(0x1000, b"enc", &mac);
+        shared.pid_cache(2).record_call(0x1000, b"enc", &mac);
+        shared
+            .pid_cache(2)
+            .record_state(0x3000, [3u8; POLICY_STATE_LEN], 9);
+        shared.drop_pid(1);
+        assert!(shared.get(1).is_none(), "pid 1's namespace is gone");
+        // pid 2's namespace (entries, epoch, stats) is untouched.
+        assert!(shared.pid_cache(2).check_call(0x1000, b"enc", &mac));
+        assert_eq!(shared.pid_cache(2).state_epoch(), Some(9));
+        assert_eq!(shared.pids(), vec![2]);
+    }
+
+    #[test]
+    fn shared_cache_corruption_targets_one_pid() {
+        let mut shared = SharedVerifyCache::new();
+        let mac = [7u8; 16];
+        shared.pid_cache(1).record_call(0x1000, b"enc", &mac);
+        shared.pid_cache(2).record_call(0x1000, b"enc", &mac);
+        assert_eq!(shared.corrupt_pid_entry_for_fault(1, 0, 0x40), Some("call"));
+        assert!(
+            !shared.pid_cache(1).check_call(0x1000, b"enc", &mac),
+            "victim falls back"
+        );
+        assert!(
+            shared.pid_cache(2).check_call(0x1000, b"enc", &mac),
+            "bystander still warm"
+        );
+        assert_eq!(shared.corrupt_pid_entry_for_fault(3, 0, 1), None);
+        let agg = shared.stats();
+        assert_eq!(agg.hits, 1);
+        assert_eq!(agg.stale_misses, 1);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   *killed-with-alert*, *benign*, or **silent corruption** (always
 //!   a failure), with VM-level crashes tracked separately.
 //!
+//! * [`crosspid`] scales the experiment to a scheduled multi-process
+//!   fleet: perturb exactly one pid (shared-cache poisoning, counter
+//!   skew) and demand that no effect crosses a pid boundary.
+//!
 //! The same machinery, pointed at a deliberately weakened verifier
 //! ([`campaign::run_weakened_demo`]), demonstrates that the oracle
 //! actually detects bypasses: with string verification disabled, a
@@ -23,12 +27,14 @@
 //! silently.
 
 pub mod campaign;
+pub mod crosspid;
 pub mod inventory;
 
 pub use campaign::{
     classify, run_campaign, run_weakened_demo, CampaignConfig, DemoResult, FaultClass, Outcome,
     Report, Row, RunRecord,
 };
+pub use crosspid::{run_cross_campaign, CrossConfig, CrossFaultClass, CrossReport, CrossRow};
 pub use inventory::{scan, Blob, Inventory};
 
 use asc_crypto::MacKey;

@@ -13,6 +13,11 @@ use asc_trace::ReasonCode;
 /// One administrator alert: a process was killed for a policy violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Alert {
+    /// The process the kernel killed. Single-process harnesses always run
+    /// as pid 1 (the historical rendering); a scheduler assigns real pids
+    /// via [`crate::Kernel::set_pid`] so alerts attribute the kill to the
+    /// offending process, not a hardcoded placeholder.
+    pub pid: u32,
     /// Address of the `syscall` instruction that trapped (the call site).
     pub site: u32,
     /// The syscall number the process requested.
@@ -34,8 +39,8 @@ impl std::fmt::Display for Alert {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ALERT: pid 1 killed: {} (syscall {} `{}` at {:#x})",
-            self.violation, self.nr, self.name, self.site
+            "ALERT: pid {} killed: {} (syscall {} `{}` at {:#x})",
+            self.pid, self.violation, self.nr, self.name, self.site
         )
     }
 }

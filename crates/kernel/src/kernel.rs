@@ -7,8 +7,12 @@
 //! any [`Violation`] into fail-stop process termination plus an
 //! administrator alert.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use asc_core::{
-    verify_call_traced, AuthCallRegs, CacheStats, UserMemory, VerifyCache, VerifyHooks, Violation,
+    verify_call_traced, AuthCallRegs, CacheStats, SharedVerifyCache, UserMemory, VerifyCache,
+    VerifyHooks, Violation,
 };
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
@@ -70,7 +74,7 @@ pub struct TraceEntry {
 }
 
 /// Aggregate counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Total system calls trapped.
     pub syscalls: u64,
@@ -272,6 +276,18 @@ pub struct Kernel {
     pub(crate) mmap_cursor: u32,
     checker: MemoryChecker,
     verify_cache: VerifyCache,
+    /// Scheduler-owned pid-keyed cache family. When attached, the trap
+    /// handler uses this pid's namespace inside it instead of the private
+    /// `verify_cache`, so concurrent processes can never serve (or
+    /// invalidate) each other's entries.
+    shared_cache: Option<Rc<RefCell<SharedVerifyCache>>>,
+    /// Process id, 1-based. Single-process harnesses keep the default 1
+    /// (the historical alert rendering); a scheduler assigns real pids.
+    pid: u32,
+    /// The policy-state cell address (`R10`) of the most recent
+    /// *successful* control-flow verification; isolation tests use it to
+    /// replay one process's cell against another.
+    last_policy_cell: Option<u32>,
     caps: CapabilitySet,
     pub(crate) stdin: Vec<u8>,
     pub(crate) stdin_pos: usize,
@@ -347,6 +363,9 @@ impl Kernel {
             mmap_cursor: 0x60_0000,
             checker: MemoryChecker::new(),
             verify_cache: VerifyCache::new(),
+            shared_cache: None,
+            pid: 1,
+            last_policy_cell: None,
             caps: [0u32, 1, 2].into_iter().collect(),
             stdin: Vec::new(),
             stdin_pos: 0,
@@ -377,12 +396,54 @@ impl Kernel {
     pub fn set_key(&mut self, key: MacKey) {
         self.key = Some(key);
         self.verify_cache.clear();
+        if let Some(shared) = self.shared_cache.as_ref() {
+            shared.borrow_mut().pid_cache(self.pid).clear();
+        }
     }
 
     /// Behaviour counters of the verified-call cache (all zero when the
-    /// cache is disabled).
+    /// cache is disabled). With a shared cache attached, these are the
+    /// counters of this pid's namespace.
     pub fn cache_stats(&self) -> CacheStats {
-        self.verify_cache.stats()
+        match self.shared_cache.as_ref() {
+            Some(shared) => shared.borrow().pid_stats(self.pid),
+            None => self.verify_cache.stats(),
+        }
+    }
+
+    /// Assigns this kernel's process id (1-based; the default is 1, which
+    /// preserves the historical single-process alert rendering and span
+    /// ids). A scheduler calls this once per spawned process, before the
+    /// process runs.
+    pub fn set_pid(&mut self, pid: u32) {
+        debug_assert!(pid >= 1, "pids are 1-based");
+        self.pid = pid;
+    }
+
+    /// This kernel's process id.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Attaches a scheduler-owned pid-keyed cache family. The trap handler
+    /// then uses this kernel's pid namespace inside it instead of the
+    /// private per-kernel cache (still gated on
+    /// [`KernelOptions::verify_cache`]). Call after [`Kernel::set_pid`].
+    pub fn share_cache(&mut self, shared: Rc<RefCell<SharedVerifyCache>>) {
+        self.shared_cache = Some(shared);
+    }
+
+    /// The in-kernel anti-replay counter (the per-process nonce the
+    /// policy-state MAC is keyed by). Isolation tests compare counters
+    /// across processes; nothing outside the kernel may change it.
+    pub fn policy_counter(&self) -> u64 {
+        self.checker.counter()
+    }
+
+    /// The policy-state cell address of the most recent successful
+    /// control-flow verification, if any (see the field docs).
+    pub fn last_policy_cell(&self) -> Option<u32> {
+        self.last_policy_cell
     }
 
     /// Arms one kernel-side fault for the fault-injection campaign; it
@@ -553,7 +614,10 @@ impl Kernel {
             // events; otherwise no span is allocated, no meter records,
             // and no event is ever built (the no-perturbation rule).
             let tracing = self.trace_sink.as_ref().is_some_and(|s| s.enabled());
-            let span = SpanId(self.next_span);
+            // The span carries the pid dimension in its high bits; for the
+            // default pid 1 this is the identity encoding, so
+            // single-process trace output is byte-identical.
+            let span = SpanId::for_pid(self.pid, self.next_span);
             if tracing {
                 self.next_span += 1;
                 if let Some(sink) = self.trace_sink.as_mut() {
@@ -609,11 +673,29 @@ impl Kernel {
                         self.checker.skew_counter_for_fault(delta);
                     }
                     FaultAction::CorruptCache { selector, mask } => {
-                        self.verify_cache.corrupt_entry_for_fault(selector, mask);
+                        match self.shared_cache.as_ref() {
+                            Some(shared) => {
+                                shared
+                                    .borrow_mut()
+                                    .pid_cache(self.pid)
+                                    .corrupt_entry_for_fault(selector, mask);
+                            }
+                            None => {
+                                self.verify_cache.corrupt_entry_for_fault(selector, mask);
+                            }
+                        }
                     }
-                    FaultAction::SkewCacheEpoch { delta } => {
-                        self.verify_cache.skew_state_epoch_for_fault(delta);
-                    }
+                    FaultAction::SkewCacheEpoch { delta } => match self.shared_cache.as_ref() {
+                        Some(shared) => {
+                            shared
+                                .borrow_mut()
+                                .pid_cache(self.pid)
+                                .skew_state_epoch_for_fault(delta);
+                        }
+                        None => {
+                            self.verify_cache.skew_state_epoch_for_fault(delta);
+                        }
+                    },
                 }
             }
             let mut mem = VmUserMemory(ctx.mem);
@@ -623,8 +705,25 @@ impl Kernel {
             let hooks = VerifyHooks {
                 accept_any_string: self.opts.weaken_string_check,
             };
-            let cache_before = self.verify_cache.stats();
-            let cache = self.opts.verify_cache.then_some(&mut self.verify_cache);
+            // Pick the cache the verifier consults: this pid's namespace
+            // inside the scheduler-shared family when one is attached,
+            // otherwise the private per-kernel cache. Either way the
+            // before/after stats must come from the *same* cache so the
+            // fallback/scrub deltas attribute correctly.
+            let mut shared_guard = match (self.opts.verify_cache, self.shared_cache.as_ref()) {
+                (true, Some(shared)) => Some(shared.borrow_mut()),
+                _ => None,
+            };
+            let cache = match shared_guard.as_mut() {
+                Some(guard) => Some(guard.pid_cache(self.pid)),
+                None => self.opts.verify_cache.then_some(&mut self.verify_cache),
+            };
+            // With no cache in play the stats are identically zero, so the
+            // deltas below are zero too.
+            let cache_before = match cache.as_ref() {
+                Some(c) => c.stats(),
+                None => CacheStats::default(),
+            };
             // The metrics registry needs the per-check partition too, so
             // the meter records whenever either consumer is attached.
             let metering = self.metrics.is_some();
@@ -643,7 +742,11 @@ impl Kernel {
                 hooks,
                 &mut meter,
             );
-            let cache_after = self.verify_cache.stats();
+            let cache_after = match shared_guard.as_ref() {
+                Some(guard) => guard.pid_stats(self.pid),
+                None => self.verify_cache.stats(),
+            };
+            drop(shared_guard);
             let fallback_delta = cache_after.stale_misses - cache_before.stale_misses;
             let scrub_delta = cache_after.scrubs - cache_before.scrubs;
             self.stats.cache_fallbacks += fallback_delta;
@@ -651,6 +754,9 @@ impl Kernel {
             match result {
                 Ok(outcome) => {
                     self.stats.verified += 1;
+                    if regs.lb_ptr != 0 {
+                        self.last_policy_cell = Some(regs.lb_ptr);
+                    }
                     self.stats.verify_aes_blocks += outcome.aes_blocks;
                     if outcome.cache_hit {
                         self.stats.cache_hits += 1;
@@ -858,11 +964,18 @@ impl Kernel {
         let site = ctx.pc;
         let nr = ctx.reg(Reg::R0) as u16;
         let alert = Alert {
+            pid: self.pid,
             site,
             nr,
             name: self.opts.personality.name_of(nr).to_string(),
             violation: violation.clone(),
         };
+        // Fail-stop: this process is dead, so its namespace in a shared
+        // cache family is dropped — and *only* its namespace; every other
+        // pid's entries survive untouched.
+        if let Some(shared) = self.shared_cache.as_ref() {
+            shared.borrow_mut().drop_pid(self.pid);
+        }
         let msg = alert.to_string();
         if let Some(m) = self.metrics.as_mut() {
             let id = m.kills;

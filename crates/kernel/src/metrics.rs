@@ -78,35 +78,81 @@ impl Default for KernelMetrics {
 impl KernelMetrics {
     /// A fresh registry with every trap-handler metric registered.
     pub fn new() -> KernelMetrics {
+        KernelMetrics::with_extra_labels(&[])
+    }
+
+    /// A registry whose every metric additionally carries a
+    /// `pid="<pid>"` label. Multi-process harnesses attach one per
+    /// process ([`crate::Kernel::set_metrics`]) and merge the snapshots:
+    /// because the label sets are disjoint per pid, the merged snapshot
+    /// keeps per-pid distributions addressable while `new()`-built
+    /// registries (no `pid` label) stay byte-identical to their historical
+    /// output.
+    pub fn for_pid(pid: u32) -> KernelMetrics {
+        let pid = pid.to_string();
+        KernelMetrics::with_extra_labels(&[("pid", &pid)])
+    }
+
+    /// Registers every trap-handler metric with `extra` prepended to each
+    /// metric's own labels. The registry copies label strings, so `extra`
+    /// may borrow temporaries.
+    fn with_extra_labels(extra: &[(&str, &str)]) -> KernelMetrics {
+        fn join<'a>(
+            extra: &[(&'a str, &'a str)],
+            base: &[(&'a str, &'a str)],
+        ) -> Vec<(&'a str, &'a str)> {
+            extra.iter().chain(base.iter()).copied().collect()
+        }
         let mut registry = Registry::new();
-        let syscalls = registry.counter("asc_syscalls_total", &[]);
-        let kills = registry.counter("asc_kills_total", &[]);
+        let syscalls = registry.counter("asc_syscalls_total", &join(extra, &[]));
+        let kills = registry.counter("asc_kills_total", &join(extra, &[]));
         let cache_outcome = std::array::from_fn(|i| {
-            registry.counter("asc_cache_outcome_total", &[("outcome", VERIFY_PATHS[i])])
+            registry.counter(
+                "asc_cache_outcome_total",
+                &join(extra, &[("outcome", VERIFY_PATHS[i])]),
+            )
         });
         let verify_cycles = std::array::from_fn(|i| {
-            registry.histogram("asc_verify_cycles", &[("path", VERIFY_PATHS[i])])
+            registry.histogram(
+                "asc_verify_cycles",
+                &join(extra, &[("path", VERIFY_PATHS[i])]),
+            )
         });
         let fixed_cycles = std::array::from_fn(|i| {
-            registry.histogram("asc_verify_fixed_cycles", &[("path", VERIFY_PATHS[i])])
+            registry.histogram(
+                "asc_verify_fixed_cycles",
+                &join(extra, &[("path", VERIFY_PATHS[i])]),
+            )
         });
         let aes_blocks = std::array::from_fn(|i| {
-            registry.histogram("asc_verify_aes_blocks", &[("path", VERIFY_PATHS[i])])
+            registry.histogram(
+                "asc_verify_aes_blocks",
+                &join(extra, &[("path", VERIFY_PATHS[i])]),
+            )
         });
         let bytes = std::array::from_fn(|i| {
-            registry.histogram("asc_verify_bytes", &[("path", VERIFY_PATHS[i])])
+            registry.histogram(
+                "asc_verify_bytes",
+                &join(extra, &[("path", VERIFY_PATHS[i])]),
+            )
         });
         let check_cycles = std::array::from_fn(|i| {
-            registry.histogram("asc_check_cycles", &[("family", CheckKind::family_name(i))])
+            registry.histogram(
+                "asc_check_cycles",
+                &join(extra, &[("family", CheckKind::family_name(i))]),
+            )
         });
         let check_aes = std::array::from_fn(|i| {
             registry.histogram(
                 "asc_check_aes_blocks",
-                &[("family", CheckKind::family_name(i))],
+                &join(extra, &[("family", CheckKind::family_name(i))]),
             )
         });
         let check_bytes = std::array::from_fn(|i| {
-            registry.histogram("asc_check_bytes", &[("family", CheckKind::family_name(i))])
+            registry.histogram(
+                "asc_check_bytes",
+                &join(extra, &[("family", CheckKind::family_name(i))]),
+            )
         });
         KernelMetrics {
             registry,

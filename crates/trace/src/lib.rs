@@ -192,8 +192,42 @@ pub enum Severity {
 
 /// Identifies the span an event belongs to. The kernel allocates one span
 /// per enforced trap; the installer one per pass.
+///
+/// Multi-process runs give spans a pid dimension without widening the id:
+/// [`SpanId::for_pid`] packs `pid - 1` into the high bits above a 40-bit
+/// per-process span counter, so pid 1 (every single-process harness)
+/// produces exactly the ids it always did and existing goldens are
+/// unchanged, while a scheduler's interleaved traps remain attributable
+/// via [`SpanId::pid`] / [`SpanId::local`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
+
+/// Bits of a [`SpanId`] reserved for the per-process span counter; the pid
+/// (minus one) lives above them.
+pub const SPAN_LOCAL_BITS: u32 = 40;
+
+impl SpanId {
+    /// A span id carrying a pid dimension: `pid - 1` in the high bits,
+    /// `local` (the per-process span counter) in the low 40. For pid 1
+    /// this is the identity encoding — `SpanId::for_pid(1, n) == SpanId(n)`
+    /// — so single-process trace output stays byte-identical.
+    pub fn for_pid(pid: u32, local: u64) -> SpanId {
+        debug_assert!(pid >= 1, "pids are 1-based");
+        debug_assert!(local < 1 << SPAN_LOCAL_BITS, "span counter overflow");
+        SpanId((u64::from(pid - 1) << SPAN_LOCAL_BITS) | local)
+    }
+
+    /// The process this span belongs to (1 for ids allocated without a
+    /// scheduler).
+    pub fn pid(self) -> u32 {
+        (self.0 >> SPAN_LOCAL_BITS) as u32 + 1
+    }
+
+    /// The per-process span counter.
+    pub fn local(self) -> u64 {
+        self.0 & ((1 << SPAN_LOCAL_BITS) - 1)
+    }
+}
 
 /// One structured telemetry event.
 #[derive(Clone, Debug, PartialEq)]

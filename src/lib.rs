@@ -22,6 +22,8 @@
 //! * [`vm`] — the SVM32 interpreter with cycle accounting.
 //! * [`monitors`] — baseline monitors (Systrace-like trained user-space
 //!   monitor; in-kernel table monitor).
+//! * [`sched`] — the deterministic multi-process scheduler (time-slicing
+//!   N machines on the shared virtual cycle clock).
 //! * [`attacks`] — the attack harness (shellcode, mimicry, non-control-data,
 //!   Frankenstein).
 //! * [`workloads`] — guest programs and benchmark suites.
@@ -62,5 +64,6 @@ pub use asc_kernel as kernel;
 pub use asc_lang as lang;
 pub use asc_monitors as monitors;
 pub use asc_object as object;
+pub use asc_sched as sched;
 pub use asc_vm as vm;
 pub use asc_workloads as workloads;

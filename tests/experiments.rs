@@ -210,6 +210,15 @@ fn attack_alerts_name_the_violated_check() {
     assert!(rendered.starts_with("ALERT: pid 1 killed:"), "{rendered:?}");
     assert!(rendered.contains("call MAC mismatch"), "{rendered:?}");
     assert!(rendered.contains("`execve`"), "{rendered:?}");
+    // Single-process kernels attribute kills to pid 1; under a scheduler
+    // the pid flows into the alert instead of being a fixed placeholder.
+    assert_eq!(alert.pid, 1);
+    let mut scheduled = alert.clone();
+    scheduled.pid = 7;
+    assert!(
+        scheduled.to_string().starts_with("ALERT: pid 7 killed:"),
+        "{scheduled}"
+    );
 }
 
 #[test]

@@ -1,0 +1,374 @@
+//! Cross-process isolation properties of the multi-process kernel.
+//!
+//! The scheduler time-slices N machines on the shared virtual cycle
+//! clock; each process owns its kernel (policy key, anti-replay counter,
+//! alert log, stats) and a pid namespace in the shared verify cache.
+//! These tests pin the isolation contract:
+//!
+//! * **(a) interleaving-independence** — under any seeded interleaving,
+//!   every process's stdout, stderr, stats, filesystem digest, and
+//!   counter are bit-identical to its solo run;
+//! * **(b) kill isolation** — killing pid A mid-schedule leaves pid B's
+//!   counter, cache epoch, and policy state untouched;
+//! * **(c) replay rejection** — a policy-state cell captured from pid A
+//!   is rejected when presented by pid B, even for the same binary;
+//! * **determinism** — the same seed reproduces the interleaving, the
+//!   aggregate stats, and the rendered server table bit-for-bit, and
+//!   different seeds still agree on every per-pid result.
+
+use std::sync::OnceLock;
+
+use asc::crypto::MacKey;
+use asc::installer::{Installer, InstallerOptions};
+use asc::kernel::{FileSystem, Kernel, KernelOptions, KernelStats, Personality, ReasonCode};
+use asc::object::Binary;
+use asc::sched::{ProcState, Process, SchedConfig, SchedPolicy, Scheduler};
+use asc::vm::Machine;
+use asc::workloads::{build, program, ProgramSpec, RUN_BUDGET};
+
+const PERSONALITY: Personality = Personality::Linux;
+const WORKLOADS: [&str; 3] = ["bison", "calc", "tar"];
+
+fn key() -> MacKey {
+    MacKey::from_seed(0x3117_0AC5)
+}
+
+/// Observables of a process's solo (unscheduled) run.
+struct Solo {
+    exit: u32,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    stats: KernelStats,
+    fs_digest: u64,
+    counter: u64,
+}
+
+struct Built {
+    spec: &'static ProgramSpec,
+    auth: Binary,
+    solo: Solo,
+}
+
+static FLEET: OnceLock<Vec<Built>> = OnceLock::new();
+
+fn fleet() -> &'static [Built] {
+    FLEET.get_or_init(|| {
+        WORKLOADS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let spec = program(name).expect("workload is registered");
+                let plain = build(spec, PERSONALITY).expect("workload builds");
+                let installer = Installer::new(
+                    key(),
+                    InstallerOptions::new(PERSONALITY).with_program_id(0x0AB0 + i as u16),
+                );
+                let (auth, _) = installer.install(&plain, spec.name).expect("installs");
+                let solo = solo_run(spec, &auth);
+                Built { spec, auth, solo }
+            })
+            .collect()
+    })
+}
+
+fn machine_for(spec: &ProgramSpec, auth: &Binary) -> Machine<Kernel> {
+    let mut fs = FileSystem::new();
+    (spec.setup_fs)(&mut fs);
+    let opts = KernelOptions::enforcing(PERSONALITY).with_verify_cache();
+    let mut kernel = Kernel::with_fs(opts, fs);
+    kernel.set_key(key());
+    kernel.set_stdin(spec.stdin.to_vec());
+    kernel.set_brk(auth.highest_addr());
+    Machine::load(auth, kernel).expect("workload fits in guest memory")
+}
+
+fn solo_run(spec: &ProgramSpec, auth: &Binary) -> Solo {
+    let mut machine = machine_for(spec, auth);
+    let outcome = machine.run(RUN_BUDGET);
+    let exit = match outcome {
+        asc::vm::RunOutcome::Exited(code) => code,
+        other => panic!("{}: solo run did not exit: {other:?}", spec.name),
+    };
+    let kernel = machine.into_handler();
+    Solo {
+        exit,
+        stdout: kernel.stdout().to_vec(),
+        stderr: kernel.stderr().to_vec(),
+        stats: *kernel.stats(),
+        fs_digest: kernel.fs().digest(),
+        counter: kernel.policy_counter(),
+    }
+}
+
+/// Spawns `n` processes cycling over the fleet's workloads under a
+/// shared-cache scheduler with the given policy and slice.
+fn spawn_n(n: usize, policy: SchedPolicy, slice_instrs: u64) -> Scheduler {
+    let fleet = fleet();
+    let mut sched = Scheduler::with_shared_cache(SchedConfig {
+        policy,
+        slice_instrs,
+        budget_cycles: RUN_BUDGET,
+    });
+    for m in 0..n {
+        let built = &fleet[m % fleet.len()];
+        sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
+    }
+    sched
+}
+
+fn assert_matches_solo(proc: &Process, solo: &Solo, context: &str) {
+    assert_eq!(
+        proc.state(),
+        &ProcState::Exited(solo.exit),
+        "{context}: pid {} ({}) diverged from its solo outcome (alerts: {:?})",
+        proc.pid(),
+        proc.name(),
+        proc.kernel().alerts(),
+    );
+    let kernel = proc.kernel();
+    assert_eq!(kernel.stdout(), &solo.stdout[..], "{context}: stdout");
+    assert_eq!(kernel.stderr(), &solo.stderr[..], "{context}: stderr");
+    assert_eq!(proc.stats(), solo.stats, "{context}: kernel stats");
+    assert_eq!(kernel.fs().digest(), solo.fs_digest, "{context}: fs digest");
+    assert_eq!(kernel.policy_counter(), solo.counter, "{context}: counter");
+    assert!(kernel.alerts().is_empty(), "{context}: spurious alerts");
+}
+
+/// (a) Any interleaving of N processes reproduces each process's solo
+/// run byte-for-byte: 24 seeded interleavings per N ∈ {2, 4, 8} (72
+/// total), mixing round-robin and seeded-random policies and three
+/// preemption granularities.
+#[test]
+fn any_interleaving_matches_solo_runs() {
+    let fleet = fleet();
+    for &n in &[2usize, 4, 8] {
+        for round in 0..24u64 {
+            let slice = [500, 2_000, 10_000][(round % 3) as usize];
+            let policy = if round % 6 == 5 {
+                SchedPolicy::RoundRobin
+            } else {
+                SchedPolicy::SeededRandom(0x1507_A7E0 ^ (n as u64) << 32 ^ round)
+            };
+            let mut sched = spawn_n(n, policy, slice);
+            sched.run();
+            let context = format!("n={n} round={round} slice={slice} policy={policy:?}");
+            for proc in sched.processes() {
+                let solo = &fleet[(proc.pid() as usize - 1) % fleet.len()].solo;
+                assert_matches_solo(proc, solo, &context);
+            }
+            // The schedule actually interleaved: every pid got slices.
+            for pid in 1..=n as u32 {
+                assert!(
+                    sched.process(pid).slices() > 1,
+                    "{context}: pid {pid} never preempted"
+                );
+            }
+        }
+    }
+}
+
+/// (b) Killing pid A mid-schedule drops only A's cache namespace and
+/// leaves every peer's counter, cache epoch, and policy state exactly
+/// where they were; the peers then finish bit-identical to solo.
+#[test]
+fn external_kill_leaves_peers_untouched() {
+    let fleet = fleet();
+    for seed in 0..4u64 {
+        let mut sched = spawn_n(3, SchedPolicy::SeededRandom(0x0C11_5EED ^ seed), 2_000);
+        // Run partway so every process has live verifier state.
+        for _ in 0..60 {
+            if sched.step().is_none() {
+                break;
+            }
+        }
+        let shared = sched
+            .shared_cache()
+            .expect("shared-cache scheduler")
+            .clone();
+        let peers: Vec<u32> = [2u32, 3].to_vec();
+        let before: Vec<(u64, Option<u64>, KernelStats)> = peers
+            .iter()
+            .map(|&pid| {
+                (
+                    sched.process(pid).kernel().policy_counter(),
+                    shared.borrow().get(pid).and_then(|c| c.state_epoch()),
+                    sched.process(pid).stats(),
+                )
+            })
+            .collect();
+
+        sched.kill(1, "operator kill (seed test)");
+        assert!(
+            matches!(sched.process(1).state(), ProcState::Killed(_)),
+            "pid 1 records the kill"
+        );
+        assert!(
+            shared.borrow().get(1).is_none(),
+            "pid 1's cache namespace is dropped on kill"
+        );
+        for (i, &pid) in peers.iter().enumerate() {
+            let (counter, epoch, stats) = &before[i];
+            assert_eq!(
+                sched.process(pid).kernel().policy_counter(),
+                *counter,
+                "seed {seed}: pid {pid}'s counter moved on pid 1's kill"
+            );
+            assert_eq!(
+                shared.borrow().get(pid).and_then(|c| c.state_epoch()),
+                *epoch,
+                "seed {seed}: pid {pid}'s cache epoch moved on pid 1's kill"
+            );
+            assert_eq!(
+                &sched.process(pid).stats(),
+                stats,
+                "seed {seed}: pid {pid}'s stats moved on pid 1's kill"
+            );
+        }
+
+        sched.run();
+        for &pid in &peers {
+            let solo = &fleet[(pid as usize - 1) % fleet.len()].solo;
+            assert_matches_solo(
+                sched.process(pid),
+                solo,
+                &format!("seed {seed} after killing pid 1"),
+            );
+        }
+    }
+}
+
+/// (c) A policy-state cell captured from pid A is rejected when
+/// presented by pid B — same binary, same cell address, but B's
+/// in-kernel counter MACs the cell differently, so the replay is a
+/// fail-stop `bad-policy-state` kill attributed to B.
+#[test]
+fn policy_state_replayed_across_pids_is_rejected() {
+    let fleet = fleet();
+    // Pick a workload whose runs actually carry policy state.
+    let built = fleet
+        .iter()
+        .find(|b| {
+            let mut machine = machine_for(b.spec, &b.auth);
+            machine.run(RUN_BUDGET);
+            machine.into_handler().last_policy_cell().is_some()
+        })
+        .expect("some workload exercises policy state");
+
+    let mut sched = Scheduler::with_shared_cache(SchedConfig {
+        policy: SchedPolicy::RoundRobin,
+        slice_instrs: 2_000,
+        budget_cycles: RUN_BUDGET,
+    });
+    let a = sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
+    let b = sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
+
+    // Run A alone until it has verified a policy-state call and its
+    // counter has pulled ahead of B's (B has not run at all).
+    let mut cell = None;
+    for _ in 0..2_000 {
+        if !sched.process(a).state().is_runnable() {
+            break;
+        }
+        sched.run_slice(a);
+        cell = sched.process(a).kernel().last_policy_cell();
+        if cell.is_some() && sched.process(a).kernel().policy_counter() > 0 {
+            break;
+        }
+    }
+    let cell = cell.expect("pid A verified a policy-state call");
+    let c_a = sched.process(a).kernel().policy_counter();
+    let c_b = sched.process(b).kernel().policy_counter();
+    assert_ne!(
+        c_a, c_b,
+        "counters must have diverged for the replay to matter"
+    );
+
+    // Replay: copy A's live cell bytes over B's cell (same address —
+    // identical binaries) through the kernel-level physical path.
+    let len = asc::crypto::POLICY_STATE_LEN as u32;
+    let bytes = sched
+        .process(a)
+        .machine()
+        .mem()
+        .kread(cell, len)
+        .expect("A's policy cell is mapped")
+        .to_vec();
+    sched
+        .process_mut(b)
+        .machine_mut()
+        .mem_mut()
+        .kwrite(cell, &bytes)
+        .expect("B's policy cell is mapped");
+
+    // B must fail-stop on its next policy-state verification.
+    while sched.process(b).state().is_runnable() {
+        sched.run_slice(b);
+    }
+    assert!(
+        matches!(sched.process(b).state(), ProcState::Killed(_)),
+        "pid B accepted pid A's policy state: {:?}",
+        sched.process(b).state()
+    );
+    let alert = sched
+        .process(b)
+        .kernel()
+        .alerts()
+        .last()
+        .expect("fail-stop kill carries an alert")
+        .clone();
+    assert_eq!(alert.reason(), ReasonCode::BadPolicyState, "{alert}");
+    assert_eq!(alert.pid, b, "the kill is attributed to the replaying pid");
+}
+
+/// Same seed ⇒ bit-identical interleaving, aggregate stats, and rendered
+/// server table; different seeds ⇒ different interleavings but identical
+/// per-pid results.
+#[test]
+fn scheduler_is_deterministic_and_order_independent() {
+    use asc_bench::server::{render_server, run_server, ServerConfig, ServerMode};
+    let config = ServerConfig {
+        procs: 4,
+        seed: 0x0D15_EA5E,
+        slice_instrs: 2_000,
+        round_robin: false,
+    };
+    let first = run_server(&config, ServerMode::Warm);
+    let second = run_server(&config, ServerMode::Warm);
+    assert_eq!(
+        first.interleaving_fnv, second.interleaving_fnv,
+        "same seed must reproduce the interleaving"
+    );
+    assert_eq!(first.aggregate, second.aggregate);
+    assert_eq!(render_server(&first), render_server(&second));
+
+    let other = run_server(
+        &ServerConfig {
+            seed: config.seed + 1,
+            ..config
+        },
+        ServerMode::Warm,
+    );
+    assert_ne!(
+        first.interleaving_fnv, other.interleaving_fnv,
+        "a different seed should pick a different interleaving"
+    );
+    assert_eq!(
+        first.aggregate, other.aggregate,
+        "aggregate stats are order-independent"
+    );
+    assert_eq!(first.rows.len(), other.rows.len());
+    for (x, y) in first.rows.iter().zip(&other.rows) {
+        assert_eq!(x.pid, y.pid);
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.cycles, y.cycles, "pid {}: cycles", x.pid);
+        assert_eq!(x.syscalls, y.syscalls, "pid {}: syscalls", x.pid);
+        assert_eq!(x.verified, y.verified, "pid {}: verified", x.pid);
+        assert_eq!(x.cache_hits, y.cache_hits, "pid {}: cache hits", x.pid);
+        assert_eq!(
+            (x.p50, x.p90, x.p99),
+            (y.p50, y.p90, y.p99),
+            "pid {}: quantiles",
+            x.pid
+        );
+    }
+}
