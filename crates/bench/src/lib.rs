@@ -1,5 +1,6 @@
 //! Shared harness code for the table-regeneration binaries.
 
+pub mod fleet;
 pub mod perf;
 pub mod server;
 

@@ -416,8 +416,112 @@ pub fn measure_server() -> WorkloadPerf {
     }
 }
 
+/// Measures the fleet-scale scenario (`--bin server --fleet`): base/cold/
+/// warm at the default N=64 churn configuration, plus the scaling check —
+/// aggregate verified calls per fleet-second at N=1024 must stay within
+/// 0.8× of linear extrapolation from the per-pid rate at N=8. The floor is
+/// a hard assertion here (the gate's `regressed` only fires on increases,
+/// and a *better* ratio must never fail); what the trajectory gates is the
+/// inverse `fleet_slowdown_vs_linear_millis`, where an increase is a real
+/// scaling regression.
+pub fn measure_fleet() -> WorkloadPerf {
+    use crate::fleet::{run_fleet, FleetConfig};
+    use crate::server::ServerMode;
+    let config = FleetConfig::default();
+    let base = run_fleet(&config, ServerMode::Base);
+    let cold = run_fleet(&config, ServerMode::Cold);
+    let warm = run_fleet(&config, ServerMode::Warm);
+
+    let mut metrics = Vec::new();
+    // Cross-shard aggregate distributions (the per-shard breakdown stays
+    // in the fleet report itself; the trajectory tracks the fleet-wide
+    // shape so the baseline file stays reviewable).
+    for (mode, run) in [("cold", &cold), ("warm", &warm)] {
+        for name in ["asc_verify_cycles", "asc_verify_aes_blocks"] {
+            let h = run.merged_metrics.histogram_across_labels(name);
+            if h.count() > 0 {
+                metrics.push(MetricSummary {
+                    metric: format!("{mode}:{name}{{fleet=\"all-shards\"}}"),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
+                    max: h.max(),
+                });
+            }
+        }
+    }
+    // Measured amortisation: shared-cache probes per verified call, in
+    // thousandths. Unbatched this is 1000; the batch path must keep it
+    // well under — a rise past tolerance fails the gate.
+    let probes_milli = (warm.probes_per_verified() * 1000.0).round() as u64;
+    metrics.push(MetricSummary {
+        metric: "warm:fleet_shared_probes_per_verified_millis".into(),
+        count: warm.aggregate.verified,
+        sum: warm.shared_probes,
+        p50: probes_milli,
+        p90: probes_milli,
+        p99: probes_milli,
+        max: probes_milli,
+    });
+
+    // Scaling: near-linear aggregate throughput in fleet size.
+    let scale_small = run_fleet(
+        &FleetConfig {
+            procs: 8,
+            churn_spawns: 0,
+            ..config
+        },
+        ServerMode::Warm,
+    );
+    let scale_large = run_fleet(
+        &FleetConfig {
+            procs: 1024,
+            churn_spawns: 0,
+            ..config
+        },
+        ServerMode::Warm,
+    );
+    let per_pid_small = scale_small.verified_per_fleet_second() / scale_small.spawned as f64;
+    let linear = per_pid_small * scale_large.spawned as f64;
+    let ratio = scale_large.verified_per_fleet_second() / linear;
+    assert!(
+        ratio >= 0.8,
+        "fleet throughput fell below near-linear scaling: N={} achieves {:.1} verified \
+         calls/fleet-sec, {:.2}x of the {:.1} linear extrapolation from N={} (floor 0.8x)",
+        scale_large.spawned,
+        scale_large.verified_per_fleet_second(),
+        ratio,
+        linear,
+        scale_small.spawned,
+    );
+    let slowdown_milli = (1000.0 / ratio).round() as u64;
+    metrics.push(MetricSummary {
+        metric: "warm:fleet_slowdown_vs_linear_millis".into(),
+        count: scale_large.spawned,
+        sum: slowdown_milli,
+        p50: slowdown_milli,
+        p90: slowdown_milli,
+        p99: slowdown_milli,
+        max: slowdown_milli,
+    });
+
+    WorkloadPerf {
+        name: "fleet".to_string(),
+        base_cycles: base.clock,
+        cold_cycles: cold.clock,
+        warm_cycles: warm.clock,
+        cold_overhead_pct: overhead_pct(base.clock, cold.clock),
+        warm_overhead_pct: overhead_pct(base.clock, warm.clock),
+        syscalls: base.aggregate.syscalls,
+        metrics,
+    }
+}
+
 /// The names the sweep covers: every registered `perf_experiment` workload
-/// plus `andrew` and the multi-process `server` scenario.
+/// plus `andrew`, the multi-process `server` scenario, and the
+/// fleet-scale `fleet` scenario.
 pub fn sweep_names() -> Vec<String> {
     let mut names: Vec<String> = asc_workloads::programs()
         .iter()
@@ -426,6 +530,7 @@ pub fn sweep_names() -> Vec<String> {
         .collect();
     names.push("andrew".to_string());
     names.push("server".to_string());
+    names.push("fleet".to_string());
     names
 }
 
@@ -445,6 +550,8 @@ pub fn sweep(mut progress: impl FnMut(&str)) -> PerfReport {
     workloads.push(measure_andrew());
     progress("server");
     workloads.push(measure_server());
+    progress("fleet");
+    workloads.push(measure_fleet());
     let (git_commit, git_dirty) = git_metadata();
     PerfReport {
         git_commit,

@@ -139,7 +139,7 @@ impl ServerRun {
     }
 }
 
-fn fnv64(pids: &[Pid]) -> u64 {
+pub(crate) fn fnv64(pids: &[Pid]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for pid in pids {
         for byte in pid.to_le_bytes() {
@@ -150,14 +150,14 @@ fn fnv64(pids: &[Pid]) -> u64 {
     hash
 }
 
-fn server_specs() -> Vec<&'static ProgramSpec> {
+pub(crate) fn server_specs() -> Vec<&'static ProgramSpec> {
     SERVER_WORKLOADS
         .iter()
         .map(|name| program(name).expect("server workload appears in the program registry"))
         .collect()
 }
 
-fn server_binaries(specs: &[&ProgramSpec], mode: ServerMode) -> Vec<Binary> {
+pub(crate) fn server_binaries(specs: &[&ProgramSpec], mode: ServerMode) -> Vec<Binary> {
     specs
         .iter()
         .enumerate()
@@ -189,6 +189,7 @@ pub fn run_server(config: &ServerConfig, mode: ServerMode) -> ServerRun {
         policy,
         slice_instrs: config.slice_instrs,
         budget_cycles: asc_workloads::RUN_BUDGET,
+        batch_depth: None,
     };
     let mut sched = if mode == ServerMode::Warm {
         Scheduler::with_shared_cache(sched_config)
@@ -352,9 +353,13 @@ pub fn server_to_value(run: &ServerRun) -> Value {
         ("round_robin".into(), Value::Bool(run.config.round_robin)),
         ("clock_cycles".into(), Value::Num(run.clock as f64)),
         ("slices".into(), Value::Num(run.slices as f64)),
+        // The determinism witness must survive JSON round-trips exactly;
+        // Value::Num would squeeze the u64 through an f64 and silently
+        // collide digests above 2^53. Emit the same zero-padded hex string
+        // the human table prints.
         (
             "interleaving_fnv".into(),
-            Value::Num(run.interleaving_fnv as f64),
+            Value::Str(format!("{:#018x}", run.interleaving_fnv)),
         ),
         (
             "verified_total".into(),

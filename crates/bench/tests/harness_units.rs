@@ -41,3 +41,40 @@ fn unknown_program_has_no_paper_overhead() {
     assert_eq!(paper_overhead("andrew"), None);
     assert_eq!(paper_overhead("victim"), None);
 }
+
+#[test]
+fn server_json_fnv_digest_round_trips_all_64_bits() {
+    // The interleaving digest is the determinism witness; squeezing it
+    // through an f64 (the old encoding) silently merges digests above
+    // 2^53. The JSON must carry the same zero-padded hex string the
+    // human table prints, and it must survive a parse round-trip with
+    // every bit set.
+    use asc_bench::server::{server_to_value, ServerConfig, ServerMode, ServerRun};
+    use asc_core::json::Value;
+
+    let run = ServerRun {
+        mode: ServerMode::Warm,
+        config: ServerConfig::default(),
+        rows: Vec::new(),
+        aggregate: Default::default(),
+        clock: 0,
+        slices: 0,
+        interleaving_fnv: u64::MAX,
+        merged_metrics: asc_metrics::Snapshot::default(),
+    };
+    let text = server_to_value(&run).to_pretty();
+    let parsed = Value::parse(&text).expect("server JSON parses");
+    let Value::Object(fields) = parsed else {
+        panic!("server JSON is an object");
+    };
+    let digest = fields
+        .iter()
+        .find(|(k, _)| k == "interleaving_fnv")
+        .map(|(_, v)| v)
+        .expect("digest field present");
+    assert_eq!(
+        digest,
+        &Value::Str("0xffffffffffffffff".into()),
+        "all 64 bits survive the JSON round-trip"
+    );
+}

@@ -41,7 +41,7 @@ pub mod pattern;
 pub mod policy;
 pub mod verify;
 
-pub use cache::{CacheStats, SharedVerifyCache, VerifyCache};
+pub use cache::{pid_shard, CacheStats, SharedVerifyCache, VerifyCache};
 pub use descriptor::PolicyDescriptor;
 pub use encoding::{encode_call, EncodedArg, EncodedCall};
 pub use pattern::{match_pattern, produce_hint, Pattern, PatternError};

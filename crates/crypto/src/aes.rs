@@ -49,10 +49,22 @@ fn xtime(b: u8) -> u8 {
 /// [`Aes128::block_ops`]): the simulated kernel charges verification cycles
 /// from *measured* block operations rather than from per-call-site estimates,
 /// which keeps the cycle model honest when a cached fast path skips work.
-#[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
-    blocks: std::cell::Cell<u64>,
+    blocks: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl Clone for Aes128 {
+    fn clone(&self) -> Self {
+        // A clone copies the expanded schedule and *meters independently*:
+        // the count carries over but lives in a fresh counter cell. Use
+        // [`Aes128::shared_schedule`] to keep metering through the original
+        // counter instead.
+        Aes128 {
+            round_keys: self.round_keys,
+            blocks: std::rc::Rc::new(std::cell::Cell::new(self.blocks.get())),
+        }
+    }
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -92,7 +104,24 @@ impl Aes128 {
         }
         Aes128 {
             round_keys,
-            blocks: std::cell::Cell::new(0),
+            blocks: std::rc::Rc::new(std::cell::Cell::new(0)),
+        }
+    }
+
+    /// A second handle to the *same* expanded key: the round keys are
+    /// copied (they are immutable after expansion) and block operations
+    /// keep metering into the shared counter.
+    ///
+    /// This is the measured form of key-schedule reuse: constructing a
+    /// handle performs zero AES block operations and zero key expansions,
+    /// whereas a fresh [`Aes128::new`] re-runs the schedule (and a fresh
+    /// CMAC instance additionally burns one block operation deriving
+    /// subkeys). A fleet of kernels sharing one installer key holds one
+    /// schedule and one fleet-wide `block_ops` meter.
+    pub fn shared_schedule(&self) -> Aes128 {
+        Aes128 {
+            round_keys: self.round_keys,
+            blocks: std::rc::Rc::clone(&self.blocks),
         }
     }
 
@@ -245,5 +274,20 @@ mod tests {
         copy.encrypt(&[0u8; 16]);
         assert_eq!(copy.block_ops(), 2);
         assert_eq!(aes.block_ops(), 1, "clones meter independently");
+    }
+
+    #[test]
+    fn shared_schedule_shares_key_and_meter() {
+        let aes = Aes128::new(&[5u8; 16]);
+        aes.encrypt(&[0u8; 16]);
+        let handle = aes.shared_schedule();
+        assert_eq!(
+            aes.block_ops(),
+            1,
+            "constructing a handle performs no block operations"
+        );
+        assert_eq!(handle.encrypt(&[1u8; 16]), aes.encrypt(&[1u8; 16]));
+        assert_eq!(aes.block_ops(), 3, "handles meter into one counter");
+        assert_eq!(handle.block_ops(), 3);
     }
 }

@@ -106,6 +106,18 @@ impl Cmac {
     pub fn block_ops(&self) -> u64 {
         self.aes.block_ops()
     }
+
+    /// A second handle to the same key material: the expanded AES schedule
+    /// and the K1/K2 subkeys are reused (no key expansion, no derivation
+    /// block operation) and all handles meter into one shared `block_ops`
+    /// counter. See [`Aes128::shared_schedule`].
+    pub fn shared_schedule(&self) -> Cmac {
+        Cmac {
+            aes: self.aes.shared_schedule(),
+            k1: self.k1,
+            k2: self.k2,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,22 @@ impl MacKey {
     pub fn block_ops(&self) -> u64 {
         self.cmac.block_ops()
     }
+
+    /// A second handle to the same installation key, reusing the expanded
+    /// AES schedule and CMAC subkeys and metering into the shared
+    /// `block_ops` counter.
+    ///
+    /// A fleet installs one key into every kernel; handing each kernel a
+    /// shared-schedule handle instead of re-deriving from seed saves one
+    /// subkey-derivation block operation (plus a key expansion) per spawn
+    /// — measurable by comparing [`MacKey::block_ops`] of a fresh key
+    /// (1 at rest) against a handle (0 new operations) — and gives the
+    /// harness one fleet-wide AES meter.
+    pub fn shared_schedule(&self) -> MacKey {
+        MacKey {
+            cmac: self.cmac.shared_schedule(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +86,29 @@ mod tests {
     #[test]
     fn debug_redacts() {
         assert_eq!(format!("{:?}", MacKey::from_seed(1)), "MacKey(<redacted>)");
+    }
+
+    #[test]
+    fn shared_schedule_skips_derivation_and_shares_meter() {
+        let master = MacKey::from_seed(42);
+        assert_eq!(master.block_ops(), 1, "fresh key burns one derivation op");
+        let handle = master.shared_schedule();
+        assert_eq!(
+            master.block_ops(),
+            1,
+            "handle construction performs no AES work"
+        );
+        let tag = handle.mac(b"fleet");
+        assert_eq!(
+            tag,
+            MacKey::from_seed(42).mac(b"fleet"),
+            "same key material"
+        );
+        assert_eq!(
+            master.block_ops(),
+            handle.block_ops(),
+            "handles meter into one fleet-wide counter"
+        );
+        assert!(master.block_ops() > 1);
     }
 }

@@ -309,6 +309,7 @@ fn spawn_fleet(cfg: &CrossConfig, fleet: &Fleet, interleave_seed: u64) -> Schedu
         policy: SchedPolicy::SeededRandom(interleave_seed),
         slice_instrs: 10_000,
         budget_cycles: RUN_BUDGET,
+        batch_depth: None,
     });
     for m in 0..cfg.procs {
         let i = m % fleet.specs.len();

@@ -1,0 +1,94 @@
+//! The submission-ring batch path: amortizing shared-verifier setup across
+//! a window of authenticated calls.
+//!
+//! A fleet-scale scheduler drives thousands of kernels against one
+//! pid-sharded [`asc_core::SharedVerifyCache`]. Unbatched, every enforced
+//! trap probes the shared family once to resolve the calling pid's cache
+//! namespace. The batch path instead opens a **batch window** around a
+//! scheduler slice ([`crate::Kernel::open_batch_window`] /
+//! [`crate::Kernel::close_batch_window`]): at the first enforced call of
+//! the window the pid's namespace is *detached* from the family (one
+//! probe), up to `K` calls drain against the local namespace with zero
+//! shared-structure traffic, and the namespace is *reattached* on window
+//! close (one probe). Setup cost per call falls from `O(1 probe/call)` to
+//! `O(2 probes/K calls)` — measured by the family's shard probe counters,
+//! not modeled. The fixed AES state is amortized the same way one level
+//! down: the kernel's installed [`asc_crypto::MacKey`] holds the expanded
+//! key schedule for the life of the process, and a fleet shares one
+//! schedule across every kernel via [`asc_crypto::MacKey::shared_schedule`]
+//! (measured via `block_ops`).
+//!
+//! # Soundness: batching cannot reorder or skip checks
+//!
+//! Each enforced trap pushes its authenticated-call registers onto the
+//! window's FIFO ring and the ring is drained *within the same trap*, in
+//! submission order, through the unchanged
+//! [`asc_core::verify_call_traced`] — the guest is synchronous, so the
+//! ring's occupancy never exceeds one and no call can observe another
+//! call's result early. Every drained call runs the complete per-call
+//! check suite (call MAC, blobs, policy state, capability check) against
+//! the *same* [`asc_core::VerifyCache`] state machine it would hit
+//! unbatched: detach/attach moves the namespace, never its contents, so
+//! hits, epochs, scrubs, per-pid statistics, and the accept set are
+//! bit-identical to the unbatched path by construction. The window close
+//! asserts the ring is empty — a queued-but-unverified call cannot
+//! survive a window.
+
+use std::collections::VecDeque;
+
+use asc_core::{AuthCallRegs, VerifyCache};
+
+/// Counters for the batched verification path. Kernel-level observability
+/// only: these never feed `KernelStats`, charged cycles, or metrics, so
+/// per-pid outputs stay bit-identical with batching on or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch windows that detached a cache namespace (a window with no
+    /// enforced cached call opens nothing and costs nothing).
+    pub windows: u64,
+    /// Calls submitted to the ring.
+    pub submitted: u64,
+    /// Calls drained from the ring through the verifier.
+    pub drained: u64,
+    /// High-water ring occupancy (1 while guests are synchronous).
+    pub max_depth: u64,
+}
+
+impl BatchStats {
+    /// Folds another kernel's counters into this one (fleet aggregation).
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.windows += other.windows;
+        self.submitted += other.submitted;
+        self.drained += other.drained;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+/// One open batch window: the bounded submission ring plus the pid's
+/// detached cache namespace (taken lazily at the first enforced call).
+#[derive(Debug)]
+pub(crate) struct BatchSession {
+    /// Ring capacity `K`: after `K` drained calls the window rolls
+    /// (namespace reattached, next call opens a fresh window).
+    pub(crate) capacity: usize,
+    /// The pid's cache namespace, detached from the shared family for the
+    /// life of the window. `None` until the first enforced cached call,
+    /// and again after a kill discards it.
+    pub(crate) namespace: Option<VerifyCache>,
+    /// FIFO of submitted, not-yet-verified calls.
+    pub(crate) ring: VecDeque<AuthCallRegs>,
+    /// Calls drained in the current window (rolls the window at
+    /// `capacity`).
+    pub(crate) drained_in_window: usize,
+}
+
+impl BatchSession {
+    pub(crate) fn new(capacity: usize) -> BatchSession {
+        BatchSession {
+            capacity: capacity.max(1),
+            namespace: None,
+            ring: VecDeque::new(),
+            drained_in_window: 0,
+        }
+    }
+}

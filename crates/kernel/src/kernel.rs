@@ -21,6 +21,7 @@ use asc_vm::{MemFault, Memory, SyscallHandler, TrapContext, TrapOutcome};
 
 use crate::abi::{spec, Personality, SyscallId};
 use crate::alert::Alert;
+use crate::batch::{BatchSession, BatchStats};
 use crate::cost::CostModel;
 use crate::fs::FileSystem;
 use crate::metrics::{KernelMetrics, PATH_COLD, PATH_FALLBACK, PATH_SCRUB, PATH_WARM};
@@ -312,6 +313,12 @@ pub struct Kernel {
     metrics: Option<Box<KernelMetrics>>,
     /// Next span id to allocate (one span per enforced trap).
     next_span: u64,
+    /// Open batch window (submission ring + detached cache namespace),
+    /// `None` outside a window. See [`crate::batch`].
+    batch: Option<BatchSession>,
+    /// Lifetime counters for the batched path (never part of
+    /// [`KernelStats`]).
+    batch_stats: BatchStats,
     /// Bytes moved by the last I/O-style call (input to the cost model).
     pub(crate) last_io_bytes: u64,
 }
@@ -385,6 +392,8 @@ impl Kernel {
             trace_sink: None,
             metrics: None,
             next_span: 0,
+            batch: None,
+            batch_stats: BatchStats::default(),
             last_io_bytes: 0,
         }
     }
@@ -396,18 +405,66 @@ impl Kernel {
     pub fn set_key(&mut self, key: MacKey) {
         self.key = Some(key);
         self.verify_cache.clear();
-        if let Some(shared) = self.shared_cache.as_ref() {
+        // During a batch window this pid's shared namespace may be
+        // detached into the session; clear it wherever it lives.
+        if let Some(ns) = self.batch.as_mut().and_then(|b| b.namespace.as_mut()) {
+            ns.clear();
+        } else if let Some(shared) = self.shared_cache.as_ref() {
             shared.borrow_mut().pid_cache(self.pid).clear();
         }
     }
 
     /// Behaviour counters of the verified-call cache (all zero when the
     /// cache is disabled). With a shared cache attached, these are the
-    /// counters of this pid's namespace.
+    /// counters of this pid's namespace — wherever it currently lives
+    /// (detached into an open batch window or resident in the family).
     pub fn cache_stats(&self) -> CacheStats {
+        if let Some(ns) = self.batch.as_ref().and_then(|b| b.namespace.as_ref()) {
+            return ns.stats();
+        }
         match self.shared_cache.as_ref() {
             Some(shared) => shared.borrow().pid_stats(self.pid),
             None => self.verify_cache.stats(),
+        }
+    }
+
+    /// Opens a batch window of capacity `k`: until
+    /// [`Kernel::close_batch_window`], enforced calls submit to the
+    /// window's FIFO ring and drain against a cache namespace detached
+    /// from the shared family once per window instead of probed per call.
+    /// A scheduler brackets each slice with open/close; re-opening an
+    /// already-open window first flushes it. Per-pid outputs are
+    /// bit-identical with or without a window (see [`crate::batch`]).
+    pub fn open_batch_window(&mut self, k: usize) {
+        self.flush_batch_namespace();
+        self.batch = Some(BatchSession::new(k));
+    }
+
+    /// Closes the batch window, reattaching the detached namespace (if
+    /// any) to the shared family. Idempotent; a no-op when no window is
+    /// open.
+    pub fn close_batch_window(&mut self) {
+        self.flush_batch_namespace();
+        self.batch = None;
+    }
+
+    /// Lifetime counters of the batched verification path.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch_stats
+    }
+
+    /// Reattaches the window's detached namespace (if any) and resets the
+    /// window's drain count. The ring must already be drained — every
+    /// submission drains within its own trap.
+    fn flush_batch_namespace(&mut self) {
+        if let Some(session) = self.batch.as_mut() {
+            debug_assert!(session.ring.is_empty(), "ring drained at window close");
+            session.drained_in_window = 0;
+            if let Some(ns) = session.namespace.take() {
+                if let Some(shared) = self.shared_cache.as_ref() {
+                    shared.borrow_mut().attach_pid(self.pid, ns);
+                }
+            }
         }
     }
 
@@ -603,10 +660,27 @@ impl Kernel {
 
         // --- The paper's kernel modification: verify before dispatch. ---
         if self.opts.enforce {
+            // Batched path: at the first enforced cached call of an open
+            // batch window, detach this pid's namespace from the shared
+            // family (one probe). Every call in the window then drains
+            // against the local namespace — the shared structure is not
+            // touched again until the window closes and reattaches it.
+            if self.opts.verify_cache {
+                if let (Some(session), Some(shared)) =
+                    (self.batch.as_mut(), self.shared_cache.as_ref())
+                {
+                    if session.namespace.is_none() {
+                        session.namespace = Some(shared.borrow_mut().detach_pid(self.pid));
+                        self.batch_stats.windows += 1;
+                    }
+                }
+            }
             // Borrow the long-lived key: its AES round keys and CMAC
             // subkeys were expanded once at `set_key` time and are reused
             // for every trap (re-deriving the schedule per call would
-            // dwarf the short-message MAC itself).
+            // dwarf the short-message MAC itself). A fleet goes one step
+            // further and shares one expanded schedule across every
+            // kernel (`MacKey::shared_schedule`).
             let Some(key) = self.key.as_ref() else {
                 return TrapOutcome::Kill("kernel misconfigured: enforcing without a key".into());
             };
@@ -672,32 +746,65 @@ impl Kernel {
                     FaultAction::SkewCounter { delta } => {
                         self.checker.skew_counter_for_fault(delta);
                     }
+                    // Cache faults target this pid's namespace wherever it
+                    // currently lives: detached into an open batch window,
+                    // resident in the shared family, or private.
                     FaultAction::CorruptCache { selector, mask } => {
-                        match self.shared_cache.as_ref() {
-                            Some(shared) => {
-                                shared
-                                    .borrow_mut()
-                                    .pid_cache(self.pid)
-                                    .corrupt_entry_for_fault(selector, mask);
-                            }
-                            None => {
-                                self.verify_cache.corrupt_entry_for_fault(selector, mask);
+                        if let Some(ns) = self.batch.as_mut().and_then(|b| b.namespace.as_mut()) {
+                            ns.corrupt_entry_for_fault(selector, mask);
+                        } else {
+                            match self.shared_cache.as_ref() {
+                                Some(shared) => {
+                                    shared
+                                        .borrow_mut()
+                                        .pid_cache(self.pid)
+                                        .corrupt_entry_for_fault(selector, mask);
+                                }
+                                None => {
+                                    self.verify_cache.corrupt_entry_for_fault(selector, mask);
+                                }
                             }
                         }
                     }
-                    FaultAction::SkewCacheEpoch { delta } => match self.shared_cache.as_ref() {
-                        Some(shared) => {
-                            shared
-                                .borrow_mut()
-                                .pid_cache(self.pid)
-                                .skew_state_epoch_for_fault(delta);
+                    FaultAction::SkewCacheEpoch { delta } => {
+                        if let Some(ns) = self.batch.as_mut().and_then(|b| b.namespace.as_mut()) {
+                            ns.skew_state_epoch_for_fault(delta);
+                        } else {
+                            match self.shared_cache.as_ref() {
+                                Some(shared) => {
+                                    shared
+                                        .borrow_mut()
+                                        .pid_cache(self.pid)
+                                        .skew_state_epoch_for_fault(delta);
+                                }
+                                None => {
+                                    self.verify_cache.skew_state_epoch_for_fault(delta);
+                                }
+                            }
                         }
-                        None => {
-                            self.verify_cache.skew_state_epoch_for_fault(delta);
-                        }
-                    },
+                    }
                 }
             }
+            // Submission ring: inside a batch window the authenticated
+            // call is queued and the ring drained FIFO within the same
+            // trap — submission order is program order, so batching can
+            // never reorder calls, and the drain below runs the complete
+            // check suite, so it can never skip one. Occupancy is 1 while
+            // guests are synchronous; the ring carries the ordering
+            // contract (and the counters) an asynchronous front end would
+            // rely on.
+            let regs = match self.batch.as_mut() {
+                Some(session) => {
+                    session.ring.push_back(regs);
+                    self.batch_stats.submitted += 1;
+                    self.batch_stats.max_depth =
+                        self.batch_stats.max_depth.max(session.ring.len() as u64);
+                    let next = session.ring.pop_front().expect("just submitted");
+                    self.batch_stats.drained += 1;
+                    next
+                }
+                None => regs,
+            };
             let mut mem = VmUserMemory(ctx.mem);
             let caps = &self.caps;
             let tracking = self.opts.capability_tracking;
@@ -705,18 +812,31 @@ impl Kernel {
             let hooks = VerifyHooks {
                 accept_any_string: self.opts.weaken_string_check,
             };
-            // Pick the cache the verifier consults: this pid's namespace
-            // inside the scheduler-shared family when one is attached,
-            // otherwise the private per-kernel cache. Either way the
-            // before/after stats must come from the *same* cache so the
-            // fallback/scrub deltas attribute correctly.
-            let mut shared_guard = match (self.opts.verify_cache, self.shared_cache.as_ref()) {
+            // Pick the cache the verifier consults: the namespace detached
+            // into the open batch window, this pid's namespace inside the
+            // scheduler-shared family, or the private per-kernel cache.
+            // Either way the before/after stats must come from the *same*
+            // cache so the fallback/scrub deltas attribute correctly.
+            let batching = self
+                .batch
+                .as_ref()
+                .is_some_and(|session| session.namespace.is_some());
+            let mut shared_guard = match (
+                self.opts.verify_cache && !batching,
+                self.shared_cache.as_ref(),
+            ) {
                 (true, Some(shared)) => Some(shared.borrow_mut()),
                 _ => None,
             };
-            let cache = match shared_guard.as_mut() {
-                Some(guard) => Some(guard.pid_cache(self.pid)),
-                None => self.opts.verify_cache.then_some(&mut self.verify_cache),
+            let cache = if !self.opts.verify_cache {
+                None
+            } else if batching {
+                self.batch.as_mut().and_then(|b| b.namespace.as_mut())
+            } else {
+                match shared_guard.as_mut() {
+                    Some(guard) => Some(guard.pid_cache(self.pid)),
+                    None => Some(&mut self.verify_cache),
+                }
             };
             // With no cache in play the stats are identically zero, so the
             // deltas below are zero too.
@@ -742,15 +862,38 @@ impl Kernel {
                 hooks,
                 &mut meter,
             );
-            let cache_after = match shared_guard.as_ref() {
-                Some(guard) => guard.pid_stats(self.pid),
-                None => self.verify_cache.stats(),
+            let cache_after = if batching {
+                self.batch
+                    .as_ref()
+                    .and_then(|b| b.namespace.as_ref())
+                    .map(|ns| ns.stats())
+                    .unwrap_or_default()
+            } else {
+                match shared_guard.as_ref() {
+                    Some(guard) => guard.pid_stats(self.pid),
+                    None => self.verify_cache.stats(),
+                }
             };
             drop(shared_guard);
             let fallback_delta = cache_after.stale_misses - cache_before.stale_misses;
             let scrub_delta = cache_after.scrubs - cache_before.scrubs;
             self.stats.cache_fallbacks += fallback_delta;
             self.stats.cache_scrubs += scrub_delta;
+            // Roll the batch window once its ring capacity worth of calls
+            // has drained: the namespace reattaches and the next call
+            // opens a fresh window. Pure bookkeeping — no per-pid output
+            // depends on where the window boundaries fall.
+            if let Some(session) = self.batch.as_mut() {
+                session.drained_in_window += 1;
+                if session.drained_in_window >= session.capacity {
+                    session.drained_in_window = 0;
+                    if let Some(ns) = session.namespace.take() {
+                        if let Some(shared) = self.shared_cache.as_ref() {
+                            shared.borrow_mut().attach_pid(self.pid, ns);
+                        }
+                    }
+                }
+            }
             match result {
                 Ok(outcome) => {
                     self.stats.verified += 1;
@@ -972,7 +1115,12 @@ impl Kernel {
         };
         // Fail-stop: this process is dead, so its namespace in a shared
         // cache family is dropped — and *only* its namespace; every other
-        // pid's entries survive untouched.
+        // pid's entries survive untouched. If the namespace is currently
+        // detached into a batch window, it dies there instead of being
+        // reattached at window close.
+        if let Some(session) = self.batch.as_mut() {
+            session.namespace = None;
+        }
         if let Some(shared) = self.shared_cache.as_ref() {
             shared.borrow_mut().drop_pid(self.pid);
         }

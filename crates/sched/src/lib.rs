@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use asc_core::SharedVerifyCache;
-use asc_kernel::{Kernel, KernelStats};
+use asc_kernel::{BatchStats, Kernel, KernelStats};
 use asc_testkit::Rng;
 use asc_vm::{Machine, RunOutcome, StepOutcome};
 
@@ -56,6 +56,13 @@ pub struct SchedConfig {
     /// Per-process cycle budget; a process exceeding it is marked
     /// [`ProcState::Faulted`] rather than looping forever.
     pub budget_cycles: u64,
+    /// When `Some(k)`, every slice runs inside a kernel batch window of
+    /// depth `k`: enforced calls drain through the submission ring and the
+    /// pid's cache namespace is detached from the shared family for up to
+    /// `k` calls at a time (see `asc_kernel`'s batch module). Per-pid
+    /// outputs are bit-identical with batching on or off; only shared
+    /// probe traffic changes.
+    pub batch_depth: Option<usize>,
 }
 
 impl Default for SchedConfig {
@@ -64,6 +71,7 @@ impl Default for SchedConfig {
             policy: SchedPolicy::RoundRobin,
             slice_instrs: 10_000,
             budget_cycles: 3_000_000_000,
+            batch_depth: None,
         }
     }
 }
@@ -240,7 +248,15 @@ impl Scheduler {
         let before = proc.machine.cycles();
         let target = proc.machine.instret() + self.config.slice_instrs;
         let remaining = self.config.budget_cycles.saturating_sub(before).max(1);
+        if let Some(depth) = self.config.batch_depth {
+            proc.machine.handler_mut().open_batch_window(depth);
+        }
         let outcome = proc.machine.run_until_instret(target, remaining);
+        if self.config.batch_depth.is_some() {
+            // Close regardless of outcome: a killed/faulted process must
+            // not leave its namespace detached from the shared family.
+            proc.machine.handler_mut().close_batch_window();
+        }
         self.clock += proc.machine.cycles() - before;
         match outcome {
             StepOutcome::Running => {}
@@ -339,6 +355,16 @@ impl Scheduler {
     /// `(pid, stats)` for every process, in pid order.
     pub fn per_pid_stats(&self) -> Vec<(Pid, KernelStats)> {
         self.procs.iter().map(|p| (p.pid, p.stats())).collect()
+    }
+
+    /// Batch-path counters summed over every kernel (all zero unless
+    /// [`SchedConfig::batch_depth`] is set).
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for proc in &self.procs {
+            total.absorb(&proc.kernel().batch_stats());
+        }
+        total
     }
 }
 

@@ -206,15 +206,37 @@ pub struct SpanId(pub u64);
 /// (minus one) lives above them.
 pub const SPAN_LOCAL_BITS: u32 = 40;
 
+/// Bits of a [`SpanId`] available for `pid - 1`: everything above the
+/// per-process counter.
+pub const SPAN_PID_BITS: u32 = u64::BITS - SPAN_LOCAL_BITS;
+
 impl SpanId {
+    /// Largest pid that receives a distinct span namespace (`2^24`).
+    pub const MAX_DISTINCT_PID: u32 = 1 << SPAN_PID_BITS;
+
     /// A span id carrying a pid dimension: `pid - 1` in the high bits,
     /// `local` (the per-process span counter) in the low 40. For pid 1
     /// this is the identity encoding — `SpanId::for_pid(1, n) == SpanId(n)`
     /// — so single-process trace output stays byte-identical.
+    ///
+    /// # Range contract
+    ///
+    /// Ids are distinct for pids `1..=`[`SpanId::MAX_DISTINCT_PID`] (2^24,
+    /// comfortably above any fleet the scheduler can host). Beyond that
+    /// the pid field *saturates*: debug builds assert, release builds pin
+    /// the field to its maximum. Saturation collides only among pids that
+    /// are themselves beyond the range — it never wraps into a low pid's
+    /// namespace the way the old unchecked shift did, and the `local`
+    /// counter is never corrupted.
     pub fn for_pid(pid: u32, local: u64) -> SpanId {
         debug_assert!(pid >= 1, "pids are 1-based");
+        debug_assert!(
+            u64::from(pid - 1) < 1 << SPAN_PID_BITS,
+            "pid {pid} exceeds the {SPAN_PID_BITS}-bit span pid field"
+        );
         debug_assert!(local < 1 << SPAN_LOCAL_BITS, "span counter overflow");
-        SpanId((u64::from(pid - 1) << SPAN_LOCAL_BITS) | local)
+        let pid_field = u64::from(pid - 1).min((1 << SPAN_PID_BITS) - 1);
+        SpanId((pid_field << SPAN_LOCAL_BITS) | (local & ((1 << SPAN_LOCAL_BITS) - 1)))
     }
 
     /// The process this span belongs to (1 for ids allocated without a
@@ -727,6 +749,36 @@ mod tests {
     fn null_sink_reports_disabled() {
         assert!(!NullSink.enabled());
         assert!(RingSink::new(1).enabled());
+    }
+
+    #[test]
+    fn span_ids_distinct_across_fleet_pid_range() {
+        // Fleet mode spawns thousands of pids with churn; every (pid,
+        // local) pair in that regime must map to a unique id, and pid 1
+        // must keep the identity encoding the single-process goldens pin.
+        assert_eq!(SpanId::for_pid(1, 7), SpanId(7));
+        let mut seen = std::collections::HashSet::new();
+        for pid in (1..=4096u32).chain([1 << 20, SpanId::MAX_DISTINCT_PID]) {
+            for local in [0u64, 1, (1 << SPAN_LOCAL_BITS) - 1] {
+                let id = SpanId::for_pid(pid, local);
+                assert!(seen.insert(id), "collision at pid {pid} local {local}");
+                assert_eq!(id.pid(), pid);
+                assert_eq!(id.local(), local);
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn span_id_saturates_beyond_pid_field_in_release() {
+        // Out-of-range pids collide only with each other, never with a
+        // real pid's namespace, and the local counter survives.
+        let over = SpanId::for_pid(SpanId::MAX_DISTINCT_PID + 1, 9);
+        let way_over = SpanId::for_pid(u32::MAX, 9);
+        assert_eq!(over, way_over);
+        assert_eq!(over.pid(), SpanId::MAX_DISTINCT_PID);
+        assert_eq!(over.local(), 9);
+        assert_ne!(over, SpanId::for_pid(1, 9));
     }
 
     #[test]

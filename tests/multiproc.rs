@@ -103,11 +103,22 @@ fn solo_run(spec: &ProgramSpec, auth: &Binary) -> Solo {
 /// Spawns `n` processes cycling over the fleet's workloads under a
 /// shared-cache scheduler with the given policy and slice.
 fn spawn_n(n: usize, policy: SchedPolicy, slice_instrs: u64) -> Scheduler {
+    spawn_n_batched(n, policy, slice_instrs, None)
+}
+
+/// [`spawn_n`] with an explicit kernel batch-window depth.
+fn spawn_n_batched(
+    n: usize,
+    policy: SchedPolicy,
+    slice_instrs: u64,
+    batch_depth: Option<usize>,
+) -> Scheduler {
     let fleet = fleet();
     let mut sched = Scheduler::with_shared_cache(SchedConfig {
         policy,
         slice_instrs,
         budget_cycles: RUN_BUDGET,
+        batch_depth,
     });
     for m in 0..n {
         let built = &fleet[m % fleet.len()];
@@ -258,6 +269,7 @@ fn policy_state_replayed_across_pids_is_rejected() {
         policy: SchedPolicy::RoundRobin,
         slice_instrs: 2_000,
         budget_cycles: RUN_BUDGET,
+        batch_depth: None,
     });
     let a = sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
     let b = sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
@@ -318,6 +330,247 @@ fn policy_state_replayed_across_pids_is_rejected() {
         .clone();
     assert_eq!(alert.reason(), ReasonCode::BadPolicyState, "{alert}");
     assert_eq!(alert.pid, b, "the kill is attributed to the replaying pid");
+}
+
+/// Everything the batch path could perturb, captured per pid plus the
+/// schedule itself.
+#[derive(PartialEq, Debug)]
+struct PidWitness {
+    state: ProcState,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    stats: KernelStats,
+    fs_digest: u64,
+    counter: u64,
+}
+
+struct RunWitness {
+    interleaving: Vec<u32>,
+    per_pid: Vec<PidWitness>,
+}
+
+fn witness(sched: &Scheduler) -> RunWitness {
+    RunWitness {
+        interleaving: sched.interleaving().to_vec(),
+        per_pid: sched
+            .processes()
+            .iter()
+            .map(|p| PidWitness {
+                state: p.state().clone(),
+                stdout: p.kernel().stdout().to_vec(),
+                stderr: p.kernel().stderr().to_vec(),
+                stats: p.stats(),
+                fs_digest: p.kernel().fs().digest(),
+                counter: p.kernel().policy_counter(),
+            })
+            .collect(),
+    }
+}
+
+/// The batched trap path is bit-reproducible: for N ∈ {2, 8, 64, 1024},
+/// running the same seeded schedule with and without a kernel batch
+/// window yields the identical interleaving (hence identical FNV digest),
+/// per-pid kernel stats (including `verify_cycles` / `verify_aes_blocks`),
+/// stdout/stderr, filesystem digests, and anti-replay counters — only
+/// shared-cache probe traffic may differ, and it must shrink.
+#[test]
+fn batched_verification_is_bit_identical_at_fleet_sizes() {
+    for &n in &[2usize, 8, 64, 1024] {
+        let policy = SchedPolicy::SeededRandom(0xF1EE_7000 ^ n as u64);
+        let mut unbatched_sched = spawn_n_batched(n, policy, 2_000, None);
+        unbatched_sched.run();
+        let unbatched_probes = unbatched_sched
+            .shared_cache()
+            .expect("shared-cache scheduler")
+            .borrow()
+            .probes();
+        let unbatched = witness(&unbatched_sched);
+        drop(unbatched_sched);
+
+        let mut batched_sched = spawn_n_batched(n, policy, 2_000, Some(16));
+        batched_sched.run();
+        let batch = batched_sched.batch_stats();
+        let batched_probes = batched_sched
+            .shared_cache()
+            .expect("shared-cache scheduler")
+            .borrow()
+            .probes();
+        let batched = witness(&batched_sched);
+
+        assert_eq!(
+            unbatched.interleaving, batched.interleaving,
+            "n={n}: batching changed the schedule"
+        );
+        assert_eq!(
+            unbatched.per_pid.len(),
+            batched.per_pid.len(),
+            "n={n}: process count"
+        );
+        for (pid0, (a, b)) in unbatched.per_pid.iter().zip(&batched.per_pid).enumerate() {
+            let pid = pid0 + 1;
+            assert_eq!(a.state, b.state, "n={n} pid {pid}: state");
+            assert_eq!(a.stdout, b.stdout, "n={n} pid {pid}: stdout");
+            assert_eq!(a.stderr, b.stderr, "n={n} pid {pid}: stderr");
+            assert_eq!(a.stats, b.stats, "n={n} pid {pid}: kernel stats");
+            assert_eq!(a.fs_digest, b.fs_digest, "n={n} pid {pid}: fs digest");
+            assert_eq!(a.counter, b.counter, "n={n} pid {pid}: counter");
+        }
+        assert_eq!(
+            batch.submitted, batch.drained,
+            "n={n}: every submitted call drained"
+        );
+        assert!(batch.windows > 0, "n={n}: batch windows actually opened");
+        assert_eq!(batch.max_depth, 1, "n={n}: synchronous guests");
+        assert!(
+            batched_probes < unbatched_probes,
+            "n={n}: batching must reduce shared-cache probes \
+             ({batched_probes} vs {unbatched_probes})"
+        );
+    }
+}
+
+/// Shard-boundary isolation at the scheduler level: killing a pid drops
+/// only its namespace, leaving both a *same-shard* neighbour and a
+/// *cross-shard* peer bit-untouched — under batched slices, so the
+/// surviving pids also witness batch/unbatched equivalence (their solo
+/// baselines ran unbatched).
+#[test]
+fn same_shard_and_cross_shard_pids_survive_a_kill() {
+    use asc::core::pid_shard;
+    let fleet = fleet();
+    // Find the first pid pair that collides in the default 64-shard
+    // family, plus a pid in some other shard.
+    let shards = asc::core::SharedVerifyCache::new().shard_count();
+    let (a, b) = (1u32..)
+        .flat_map(|hi| (1..hi).map(move |lo| (lo, hi)))
+        .find(|&(lo, hi)| pid_shard(lo, shards) == pid_shard(hi, shards))
+        .expect("some pid pair collides");
+    let n = b as usize;
+    let c = (1..=n as u32)
+        .find(|&pid| pid_shard(pid, shards) != pid_shard(a, shards))
+        .expect("some pid lands in another shard");
+
+    let mut sched = spawn_n_batched(n, SchedPolicy::SeededRandom(0x5AAD_B0DD), 2_000, Some(8));
+    for _ in 0..20 * n {
+        if sched.step().is_none() {
+            break;
+        }
+    }
+    let shared = sched
+        .shared_cache()
+        .expect("shared-cache scheduler")
+        .clone();
+    let before: Vec<(u64, Option<u64>, KernelStats)> = [b, c]
+        .iter()
+        .map(|&pid| {
+            (
+                sched.process(pid).kernel().policy_counter(),
+                shared
+                    .borrow()
+                    .get(pid)
+                    .and_then(|cache| cache.state_epoch()),
+                sched.process(pid).stats(),
+            )
+        })
+        .collect();
+
+    if sched.process(a).state().is_runnable() {
+        sched.kill(a, "operator kill (shard-boundary test)");
+    } else {
+        // Already exited: still exercise the namespace drop.
+        shared.borrow_mut().drop_pid(a);
+    }
+    assert!(
+        shared.borrow().get(a).is_none(),
+        "pid {a}'s namespace is gone"
+    );
+    for (i, &pid) in [b, c].iter().enumerate() {
+        let kind = if i == 0 { "same-shard" } else { "cross-shard" };
+        let (counter, epoch, stats) = &before[i];
+        assert_eq!(
+            sched.process(pid).kernel().policy_counter(),
+            *counter,
+            "{kind} pid {pid}: counter moved on pid {a}'s kill"
+        );
+        assert_eq!(
+            shared
+                .borrow()
+                .get(pid)
+                .and_then(|cache| cache.state_epoch()),
+            *epoch,
+            "{kind} pid {pid}: cache epoch moved on pid {a}'s kill"
+        );
+        assert_eq!(
+            &sched.process(pid).stats(),
+            stats,
+            "{kind} pid {pid}: stats moved on pid {a}'s kill"
+        );
+    }
+
+    sched.run();
+    for &pid in &[b, c] {
+        if pid == a {
+            continue;
+        }
+        let solo = &fleet[(pid as usize - 1) % fleet.len()].solo;
+        assert_matches_solo(
+            sched.process(pid),
+            solo,
+            &format!("after killing same-shard neighbour {a}"),
+        );
+    }
+}
+
+/// The fleet harness (churn + hot/cold mix + per-shard report) is
+/// deterministic, and batching leaves every result except probe traffic
+/// untouched there too.
+#[test]
+fn fleet_churn_is_deterministic_and_batch_invariant() {
+    use asc_bench::fleet::{render_fleet, run_fleet, FleetConfig};
+    use asc_bench::server::ServerMode;
+    let config = FleetConfig {
+        procs: 8,
+        seed: 0xF1EE_75ED,
+        slice_instrs: 2_000,
+        batch_depth: Some(8),
+        churn_spawns: 4,
+    };
+    let first = run_fleet(&config, ServerMode::Warm);
+    let second = run_fleet(&config, ServerMode::Warm);
+    assert_eq!(
+        render_fleet(&first),
+        render_fleet(&second),
+        "same seed must reproduce the whole fleet report"
+    );
+    assert_eq!(first.spawned, 12, "churn spawned every replacement");
+
+    let unbatched = run_fleet(
+        &FleetConfig {
+            batch_depth: None,
+            ..config
+        },
+        ServerMode::Warm,
+    );
+    assert_eq!(first.interleaving_fnv, unbatched.interleaving_fnv);
+    assert_eq!(first.aggregate, unbatched.aggregate);
+    assert_eq!(first.rows.len(), unbatched.rows.len());
+    for (x, y) in first.rows.iter().zip(&unbatched.rows) {
+        assert_eq!(x.shard, y.shard);
+        assert_eq!(x.verified, y.verified, "shard {}: verified", x.shard);
+        assert_eq!(x.cache_hits, y.cache_hits, "shard {}: warm hits", x.shard);
+        assert_eq!(
+            (x.p50, x.p90, x.p99),
+            (y.p50, y.p90, y.p99),
+            "shard {}: quantiles",
+            x.shard
+        );
+    }
+    assert!(
+        first.shared_probes < unbatched.shared_probes,
+        "batching must reduce probes ({} vs {})",
+        first.shared_probes,
+        unbatched.shared_probes
+    );
 }
 
 /// Same seed ⇒ bit-identical interleaving, aggregate stats, and rendered
