@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use asc_core::{FlowGraph, FLOW_START};
 use asc_isa::Opcode;
 
 use crate::cfg::{BlockId, Cfg};
@@ -60,6 +61,38 @@ pub fn predecessor_sets(unit: &Unit, cfg: &Cfg) -> BTreeMap<BlockId, BTreeSet<Bl
         .filter(|&b| ends_in_syscall(b))
         .map(|b| (b, inn[b as usize].clone()))
         .collect()
+}
+
+/// Projects per-site predecessor sets down to the global syscall-transition
+/// digraph (the SFIP tier's policy). Each element of `sites` is one call
+/// site: `(syscall number, its block, its predecessor blocks)`.
+///
+/// For every site `s`, every predecessor block `p` of `s` contributes the
+/// edge `(nr of p's site, nr of s)`; block 0 contributes
+/// `(FLOW_START, nr of s)`. Because this is exactly the block-level
+/// predecessor relation with block ids replaced by (coarser) syscall
+/// numbers, any transition the policy-state check accepts maps to an edge
+/// of the digraph: the flow tier is sound relative to the MAC tier, and
+/// strictly coarser — distinct sites trapping the same number merge into
+/// one node, which is the tier's deliberate precision loss.
+pub fn flow_digraph(sites: &[(u16, BlockId, BTreeSet<BlockId>)]) -> FlowGraph {
+    let mut nrs_of_block: BTreeMap<BlockId, BTreeSet<u16>> = BTreeMap::new();
+    for (nr, block, _) in sites {
+        nrs_of_block.entry(*block).or_default().insert(*nr);
+    }
+    let mut graph = FlowGraph::new();
+    for (nr, _, preds) in sites {
+        for p in preds {
+            if *p == 0 {
+                graph.insert(FLOW_START, *nr);
+            } else if let Some(from_nrs) = nrs_of_block.get(p) {
+                for from in from_nrs {
+                    graph.insert(*from, *nr);
+                }
+            }
+        }
+    }
+    graph
 }
 
 #[cfg(test)]
@@ -208,6 +241,44 @@ mod tests {
         assert!(preds[&write_block].contains(&stub_block));
         assert!(preds[&stub_block].contains(&0));
         assert!(preds[&stub_block].contains(&write_block));
+    }
+
+    #[test]
+    fn flow_digraph_projects_chains_and_loops() {
+        // Chain: start -> 5 -> 3 -> 1.
+        let g = flow_digraph(&[(5, 1, set(&[0])), (3, 2, set(&[1])), (1, 3, set(&[2]))]);
+        assert!(g.contains(asc_core::FLOW_START, 5));
+        assert!(g.contains(5, 3));
+        assert!(g.contains(3, 1));
+        assert!(!g.contains(5, 1), "skipping a call is not an edge");
+        assert_eq!(g.len(), 3);
+
+        // Loop: a read that may follow itself, then exit.
+        let g = flow_digraph(&[(3, 1, set(&[0, 1])), (1, 2, set(&[1]))]);
+        assert!(g.contains(3, 3), "loop produces a self-edge");
+        assert!(g.contains(asc_core::FLOW_START, 3));
+        assert!(g.contains(3, 1));
+
+        // Branch merge: either branch's call may precede exit.
+        let g = flow_digraph(&[(5, 2, set(&[0])), (6, 4, set(&[0])), (1, 5, set(&[2, 4]))]);
+        assert!(g.contains(5, 1) && g.contains(6, 1));
+        assert!(!g.contains(5, 6), "branches do not chain into each other");
+    }
+
+    #[test]
+    fn flow_digraph_is_coarser_than_pred_sets() {
+        // Two sites trap the same number 4 from different blocks; the
+        // digraph merges them, so a transition only one block allows is an
+        // edge for both — the documented precision loss of the flow tier.
+        let g = flow_digraph(&[(4, 1, set(&[0])), (4, 3, set(&[1])), (9, 4, set(&[3]))]);
+        assert!(g.contains(4, 4), "site-to-site chain becomes a self-edge");
+        assert!(
+            g.contains(4, 9),
+            "edge granted to every site sharing nr 4, not just block 3"
+        );
+        // A predecessor block with no site contributes nothing.
+        let g = flow_digraph(&[(7, 2, set(&[9]))]);
+        assert!(g.is_empty());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod frankenstein;
 use asc_crypto::{MacKey, POLICY_STATE_LEN};
 use asc_installer::{Installer, InstallerOptions};
 use asc_isa::{Instruction, Opcode, Reg, INSTR_LEN};
-use asc_kernel::{Alert, Kernel, KernelOptions, Personality};
+use asc_kernel::{Alert, Kernel, KernelOptions, Personality, VerifyTier};
 use asc_object::Binary;
 use asc_vm::{Machine, PageFlags, RunOutcome, StepOutcome};
 
@@ -93,6 +93,48 @@ fn main() {
         access("/etc/motd", 0);
         i = i + 1;
     }
+    return 0;
+}
+"#;
+
+/// Victim for the syscall-reorder attack: the same overflowable
+/// `read_name` as the classic victim, but the `execve` lives in its own
+/// function behind a mandatory audit `write` — the only legal syscall
+/// order is read, write, execve. An attacker who overwrites `read_name`'s
+/// return address with `launch`'s entry executes a *perfectly legitimate*
+/// call site (its own MAC, its own authenticated string) while skipping
+/// the audit gate, creating the transition read -> execve that never
+/// appears in the program's flow digraph.
+const REORDER_SOURCE: &str = r#"
+global scratch[512];
+
+str LS = "/bin/ls";
+
+fn read_name(dst) {
+    var tmp[64];                 // adjacent to saved fp / return address
+    var n = read(0, tmp, 256);   // BUG: no bounds check (reads up to 256)
+    if (n == 0) { return 0; }
+    if (tmp[n - 1] == 10) { tmp[n - 1] = 0; } else { tmp[n - 1] = 0; }
+    bcopy(tmp, dst, 64);
+    return n;                    // smashed return address triggers here
+}
+
+fn launch(name) {
+    var argv[16];
+    poke(argv, LS);
+    poke(argv + 4, name);
+    poke(argv + 8, 0);
+    return execve(LS, argv, 0);
+}
+
+fn main() {
+    var name[64];
+    if (read_name(name) == 0) {
+        write(2, "usage: launcher <file>\n", 23);
+        return 1;
+    }
+    write(1, "audit: launch\n", 14);
+    launch(name);
     return 0;
 }
 "#;
@@ -420,6 +462,83 @@ impl AttackLab {
             other => Self::classify(other, &kernel),
         }
     }
+
+    /// Builds and installs the staged launcher used by the reorder attack.
+    /// Installed *without* control-flow policies (the paper's Table 4
+    /// cheap variant): per-call MACs then authenticate each site in
+    /// isolation and are order-blind, so only the flow tiers see the
+    /// transition. The `.ascflow` digraph is emitted regardless.
+    pub fn reorder_victim(&self) -> Binary {
+        let plain =
+            asc_workloads::build_source(REORDER_SOURCE, PERSONALITY).expect("launcher builds");
+        let installer = Installer::new(
+            self.key.clone(),
+            InstallerOptions::new(PERSONALITY)
+                .with_program_id(13)
+                .without_control_flow(),
+        );
+        installer
+            .install(&plain, "launcher")
+            .expect("launcher installs")
+            .0
+    }
+
+    /// Builds a tier-selected enforcing machine; the flow tiers load the
+    /// binary's `.ascflow` digraph into the kernel first.
+    fn tier_machine(&self, binary: &Binary, stdin: &[u8], tier: VerifyTier) -> Machine<Kernel> {
+        let opts = KernelOptions::enforcing(PERSONALITY).with_tier(tier);
+        let opts = if self.use_cache {
+            opts.with_verify_cache()
+        } else {
+            opts
+        };
+        let mut kernel = Kernel::new(opts);
+        kernel.set_key(self.key.clone());
+        if tier.checks_flow() {
+            kernel.set_flow_graph(asc_workloads::flow_graph_of(binary, &self.key));
+        }
+        kernel.set_stdin(stdin.to_vec());
+        kernel.set_brk(binary.highest_addr());
+        Machine::load(binary, kernel).expect("victim fits")
+    }
+
+    /// Attack 6: syscall reordering. Overwrite `read_name`'s return
+    /// address with the entry of `launch` — a legitimate function whose
+    /// `execve` call site carries a valid MAC and authenticated string —
+    /// skipping the audit `write` that the program's control flow puts in
+    /// between. Every per-call check passes (the site authenticates
+    /// itself), but the read -> execve *transition* is absent from the
+    /// flow digraph. Returns the outcome plus the kernel so callers can
+    /// check for side effects.
+    pub fn reorder_attack_traced(&self, tier: VerifyTier) -> (AttackOutcome, Kernel) {
+        let binary = self.reorder_victim();
+        let launch = binary
+            .symbol("launch")
+            .expect("launch symbol survives installation")
+            .addr;
+        let buf = self.buffer_address(&binary);
+        let scratch = buf - 0x800;
+        let mut payload = vec![0x90u8; 64];
+        payload.extend_from_slice(&scratch.to_le_bytes()); // dst
+        payload.extend_from_slice(&(scratch + 64).to_le_bytes()); // saved fp
+        payload.extend_from_slice(&launch.to_le_bytes()); // return address
+        payload.push(b'\n'); // consumed by the NUL-termination
+        let mut m = self.tier_machine(&binary, &payload, tier);
+        let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
+        let audited = kernel.stdout().starts_with(b"audit:");
+        if kernel.exec_requests().iter().any(|p| p == "/bin/ls") && !audited {
+            let result = AttackOutcome::Succeeded("execve reached without the audit write".into());
+            return (result, kernel);
+        }
+        let result = Self::classify(outcome, &kernel);
+        (result, kernel)
+    }
+
+    /// [`AttackLab::reorder_attack_traced`] without the kernel.
+    pub fn reorder_attack(&self, tier: VerifyTier) -> AttackOutcome {
+        self.reorder_attack_traced(tier).0
+    }
 }
 
 /// Placeholder immediate patched to the address of `/bin/sh` once the
@@ -590,6 +709,75 @@ mod tests {
             "warm path must run fewer blocks: {:?}",
             kernel.stats()
         );
+    }
+
+    #[test]
+    fn reorder_victim_digraph_lacks_the_attack_edge() {
+        // The legal order is read -> write -> execve; the digraph must
+        // carry those edges and *not* read -> execve, or the attack below
+        // would be testing nothing.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let binary = lab.reorder_victim();
+        let flow = asc_workloads::flow_graph_of(&binary, &MacKey::from_seed(AT_TACK));
+        let read = PERSONALITY.nr(asc_kernel::SyscallId::Read).unwrap();
+        let write = PERSONALITY.nr(asc_kernel::SyscallId::Write).unwrap();
+        let execve = PERSONALITY.nr(asc_kernel::SyscallId::Execve).unwrap();
+        assert!(flow.contains(read, write), "legal edge missing");
+        assert!(flow.contains(write, execve), "legal edge missing");
+        assert!(!flow.contains(read, execve), "digraph too coarse");
+    }
+
+    #[test]
+    fn reorder_victim_benign_under_every_tier() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let binary = lab.reorder_victim();
+        for tier in VerifyTier::ALL {
+            let mut m = lab.tier_machine(&binary, b"/etc/motd\n", tier);
+            let outcome = m.run(100_000_000);
+            let kernel = m.into_handler();
+            assert_eq!(
+                outcome,
+                RunOutcome::Exited(0),
+                "{tier:?} alerts: {:?}",
+                kernel.alerts()
+            );
+            assert!(kernel.stdout().starts_with(b"audit:"), "{tier:?}");
+            assert_eq!(kernel.exec_requests(), &["/bin/ls".to_string()], "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn reorder_attack_succeeds_under_plain_mac() {
+        // Without control-flow policies every per-call check still passes
+        // — the jump lands on a legitimate, self-authenticating call site
+        // — so the MAC-only tier dispatches the out-of-order execve.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let (outcome, kernel) = lab.reorder_attack_traced(VerifyTier::Mac);
+        assert!(outcome.is_success(), "{outcome:?}");
+        assert_eq!(kernel.exec_requests(), &["/bin/ls".to_string()]);
+        assert!(
+            !kernel.stdout().starts_with(b"audit:"),
+            "gate must be skipped"
+        );
+    }
+
+    #[test]
+    fn reorder_attack_blocked_by_flow_tiers_before_side_effects() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        for tier in [VerifyTier::FlowOnly, VerifyTier::MacPlusFlow] {
+            let (outcome, kernel) = lab.reorder_attack_traced(tier);
+            assert!(outcome.is_blocked(), "{tier:?}: {outcome:?}");
+            let AttackOutcome::Blocked(alert) = outcome else {
+                unreachable!()
+            };
+            assert_eq!(
+                alert.reason(),
+                asc_kernel::ReasonCode::BadFlowEdge,
+                "{alert}"
+            );
+            // Kill fires before dispatch: the forged execve left no trace.
+            assert!(kernel.exec_requests().is_empty(), "{tier:?}");
+        }
     }
 
     #[test]

@@ -519,9 +519,131 @@ pub fn measure_fleet() -> WorkloadPerf {
     }
 }
 
+/// Measures the verification-tier ablation: the paper's policy workloads
+/// (bison, calc, tar) in aggregate under every [`asc_kernel::VerifyTier`].
+/// The report slots map tiers, not cache temperature: `base` is the
+/// unauthenticated run, `cold` the full MAC tier, `warm` the SFIP
+/// flow-only tier; `mac+flow` and the per-tier verification costs land in
+/// the metrics list so the trajectory gates all three tiers.
+///
+/// Hard floor, asserted here rather than gated (the gate only fires on
+/// increases, and a *cheaper* flow check must never fail): flow-only
+/// verification must cost under 25% of the MAC tier per call — the
+/// whole point of the cheap tier — and must run zero AES blocks.
+pub fn measure_tiers() -> WorkloadPerf {
+    use asc_kernel::VerifyTier;
+    const WORKLOADS: [&str; 3] = ["bison", "calc", "tar"];
+    let mut base_cycles = 0u64;
+    let mut syscalls = 0u64;
+    // Indexed by position in `VerifyTier::ALL` (flow-only, mac, mac+flow).
+    let mut cycles = [0u64; 3];
+    let mut verify_cycles = [0u64; 3];
+    let mut verified = [0u64; 3];
+    let mut aes_blocks = [0u64; 3];
+    for (i, name) in WORKLOADS.iter().enumerate() {
+        let spec = asc_workloads::program(name).expect("tier workload registered");
+        let plain =
+            asc_workloads::build(spec, PERSONALITY).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let installer = Installer::new(
+            bench_key(),
+            InstallerOptions::new(PERSONALITY).with_program_id(0x0F50 + i as u16),
+        );
+        let (auth, _) = installer
+            .install(&plain, spec.name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let base = asc_workloads::measure(spec, &plain, PERSONALITY, None);
+        assert!(
+            base.outcome.is_success(),
+            "{name} base run failed: {:?}",
+            base.outcome
+        );
+        base_cycles += base.cycles;
+        syscalls += base.kernel.stats().syscalls;
+        for (ti, &tier) in VerifyTier::ALL.iter().enumerate() {
+            let run = asc_workloads::measure_tier(spec, &auth, PERSONALITY, bench_key(), tier);
+            assert!(
+                run.outcome.is_success(),
+                "{name} {} run failed: {:?} (alerts: {:?})",
+                tier.name(),
+                run.outcome,
+                run.kernel.alerts()
+            );
+            let stats = run.kernel.stats();
+            cycles[ti] += run.cycles;
+            verify_cycles[ti] += stats.verify_cycles;
+            verified[ti] += stats.verified;
+            aes_blocks[ti] += stats.verify_aes_blocks;
+        }
+    }
+
+    let slot = |tier: VerifyTier| {
+        VerifyTier::ALL
+            .iter()
+            .position(|&t| t == tier)
+            .expect("tier listed in ALL")
+    };
+    let (flow, mac, both) = (
+        slot(VerifyTier::FlowOnly),
+        slot(VerifyTier::Mac),
+        slot(VerifyTier::MacPlusFlow),
+    );
+    let per_call = |ti: usize| verify_cycles[ti] as f64 / verified[ti].max(1) as f64;
+    assert!(
+        per_call(flow) < 0.25 * per_call(mac),
+        "flow-only verification is not cheap enough: {:.0} cycles/call vs {:.0} \
+         under mac (floor: <25%)",
+        per_call(flow),
+        per_call(mac),
+    );
+    assert_eq!(
+        aes_blocks[flow], 0,
+        "the flow-only tier must never touch AES"
+    );
+    assert!(
+        verify_cycles[both] > verify_cycles[mac],
+        "mac+flow must charge for the extra edge check"
+    );
+
+    let mut metrics = Vec::new();
+    for (ti, &tier) in VerifyTier::ALL.iter().enumerate() {
+        let millis = (per_call(ti) * 1000.0).round() as u64;
+        metrics.push(MetricSummary {
+            metric: format!(
+                "tiers:verify_cycles_per_call_millis{{tier=\"{}\"}}",
+                tier.name()
+            ),
+            count: verified[ti],
+            sum: verify_cycles[ti],
+            p50: millis,
+            p90: millis,
+            p99: millis,
+            max: millis,
+        });
+        metrics.push(MetricSummary {
+            metric: format!("tiers:total_cycles{{tier=\"{}\"}}", tier.name()),
+            count: 1,
+            sum: cycles[ti],
+            p50: cycles[ti],
+            p90: cycles[ti],
+            p99: cycles[ti],
+            max: cycles[ti],
+        });
+    }
+    WorkloadPerf {
+        name: "tiers".to_string(),
+        base_cycles,
+        cold_cycles: cycles[mac],
+        warm_cycles: cycles[flow],
+        cold_overhead_pct: overhead_pct(base_cycles, cycles[mac]),
+        warm_overhead_pct: overhead_pct(base_cycles, cycles[flow]),
+        syscalls,
+        metrics,
+    }
+}
+
 /// The names the sweep covers: every registered `perf_experiment` workload
-/// plus `andrew`, the multi-process `server` scenario, and the
-/// fleet-scale `fleet` scenario.
+/// plus `andrew`, the multi-process `server` scenario, the fleet-scale
+/// `fleet` scenario, and the verification-tier ablation `tiers`.
 pub fn sweep_names() -> Vec<String> {
     let mut names: Vec<String> = asc_workloads::programs()
         .iter()
@@ -531,6 +653,7 @@ pub fn sweep_names() -> Vec<String> {
     names.push("andrew".to_string());
     names.push("server".to_string());
     names.push("fleet".to_string());
+    names.push("tiers".to_string());
     names
 }
 
@@ -552,6 +675,8 @@ pub fn sweep(mut progress: impl FnMut(&str)) -> PerfReport {
     workloads.push(measure_server());
     progress("fleet");
     workloads.push(measure_fleet());
+    progress("tiers");
+    workloads.push(measure_tiers());
     let (git_commit, git_dirty) = git_metadata();
     PerfReport {
         git_commit,

@@ -5,7 +5,7 @@
 //! Regenerate after an intentional change with:
 //!
 //! ```sh
-//! for t in table1 table2 table3 table4 table6 ablation andrew server; do
+//! for t in table1 table2 table3 table4 table6 ablation andrew server tiers; do
 //!     cargo run --release -p asc-bench --bin $t > crates/bench/golden/$t.txt
 //! done
 //! ```
@@ -69,4 +69,9 @@ fn andrew_is_byte_identical() {
 #[test]
 fn server_is_byte_identical() {
     check(env!("CARGO_BIN_EXE_server"), "server.txt");
+}
+
+#[test]
+fn tiers_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_tiers"), "tiers.txt");
 }

@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod descriptor;
 pub mod encoding;
+pub mod flow;
 pub mod json;
 pub mod pattern;
 pub mod policy;
@@ -44,6 +45,7 @@ pub mod verify;
 pub use cache::{pid_shard, CacheStats, SharedVerifyCache, VerifyCache};
 pub use descriptor::PolicyDescriptor;
 pub use encoding::{encode_call, EncodedArg, EncodedCall};
+pub use flow::{FlowGraph, FlowParseError, FLOW_START};
 pub use pattern::{match_pattern, produce_hint, Pattern, PatternError};
 pub use policy::{ArgPolicy, ProgramPolicy, SyscallPolicy, MAX_ARGS};
 pub use verify::{

@@ -159,6 +159,16 @@ pub enum Violation {
         /// The faulting address.
         addr: u32,
     },
+    /// The `(last syscall, this syscall)` transition is not an edge of the
+    /// installed syscall-flow digraph (the SFIP tier's check): system
+    /// calls executed in an order the program's call graph never produces.
+    BadFlowEdge {
+        /// Syscall number of the previously verified call
+        /// ([`crate::flow::FLOW_START`] at program start).
+        from: u16,
+        /// Raw trapped syscall number of this call.
+        to: u16,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -185,6 +195,12 @@ impl std::fmt::Display for Violation {
                 write!(f, "capability violation: argument {arg} fd {fd} not active")
             }
             Violation::MemoryFault { addr } => write!(f, "memory fault at {addr:#x}"),
+            Violation::BadFlowEdge { from, to } => {
+                write!(
+                    f,
+                    "flow violation: syscall transition {from} -> {to} not in digraph"
+                )
+            }
         }
     }
 }
@@ -211,6 +227,7 @@ impl Violation {
             Violation::NotInPredecessorSet { .. } => ReasonCode::NotInPredecessorSet,
             Violation::CapabilityViolation { .. } => ReasonCode::CapabilityViolation,
             Violation::MemoryFault { .. } => ReasonCode::MemoryFault,
+            Violation::BadFlowEdge { .. } => ReasonCode::BadFlowEdge,
         }
     }
 }

@@ -11,8 +11,8 @@
 
 use asc_installer::{Installer, InstallerOptions};
 use asc_kernel::{
-    Alert, FaultAction, FileSystem, Kernel, KernelOptions, Personality, ReasonCode, TraceEntry,
-    TrapFault,
+    Alert, FaultAction, FileSystem, FlowGraph, Kernel, KernelOptions, Personality, ReasonCode,
+    TraceEntry, TrapFault, VerifyTier,
 };
 use asc_object::Binary;
 use asc_testkit::Rng;
@@ -155,13 +155,44 @@ fn run_instrumented(
     mem_fault: Option<(u64, u32, u8)>,
     trap_fault: Option<TrapFault>,
 ) -> RunRecord {
+    run_instrumented_tier(
+        spec,
+        auth,
+        personality,
+        weakened,
+        VerifyTier::Mac,
+        None,
+        mem_fault,
+        trap_fault,
+    )
+}
+
+/// [`run_instrumented`] under an explicit verification tier; the flow
+/// tiers require the binary's `.ascflow` digraph.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_instrumented_tier(
+    spec: &ProgramSpec,
+    auth: &Binary,
+    personality: Personality,
+    weakened: bool,
+    tier: VerifyTier,
+    flow: Option<&FlowGraph>,
+    mem_fault: Option<(u64, u32, u8)>,
+    trap_fault: Option<TrapFault>,
+) -> RunRecord {
     let mut fs = FileSystem::new();
     (spec.setup_fs)(&mut fs);
-    let mut opts = KernelOptions::enforcing(personality).with_verify_cache();
+    let mut opts = KernelOptions::enforcing(personality)
+        .with_verify_cache()
+        .with_tier(tier);
     if weakened {
         opts = opts.with_weakened_string_check();
     }
     let mut kernel = Kernel::with_fs(opts, fs);
+    if tier.checks_flow() {
+        let flow = flow.expect("flow tiers need the binary's digraph");
+        kernel.set_flow_graph(flow.clone());
+    }
     kernel.set_stdin(spec.stdin.to_vec());
     kernel.set_key(campaign_key());
     kernel.set_brk(auth.highest_addr());
@@ -280,7 +311,8 @@ pub fn classify(clean: &RunRecord, run: &RunRecord) -> (Outcome, String) {
 }
 
 /// One planned perturbation.
-enum PlannedFault {
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PlannedFault {
     /// XOR `mask` into the byte at `addr` after `at_instret` retires.
     Mem {
         at_instret: u64,
@@ -306,7 +338,7 @@ fn nonzero_u32(rng: &mut Rng) -> u32 {
 
 /// Draws one fault of `class` from the inventory; `None` when the
 /// binary has no artifact of that kind.
-fn plan_fault(
+pub(crate) fn plan_fault(
     class: FaultClass,
     inv: &Inventory,
     clean: &RunRecord,

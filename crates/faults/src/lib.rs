@@ -20,6 +20,12 @@
 //!   fleet: perturb exactly one pid (shared-cache poisoning, counter
 //!   skew) and demand that no effect crosses a pid boundary.
 //!
+//! * [`tiers`] replays the campaign under every [`asc_kernel::VerifyTier`]
+//!   (plus the `asc-attacks` syscall-reorder attack) into a tier ×
+//!   fault-class coverage matrix: the cheap flow tier catches
+//!   transition-order attacks but misses in-edge forgeries, and the
+//!   combined tier dominates both.
+//!
 //! The same machinery, pointed at a deliberately weakened verifier
 //! ([`campaign::run_weakened_demo`]), demonstrates that the oracle
 //! actually detects bypasses: with string verification disabled, a
@@ -29,6 +35,7 @@
 pub mod campaign;
 pub mod crosspid;
 pub mod inventory;
+pub mod tiers;
 
 pub use campaign::{
     classify, run_campaign, run_weakened_demo, CampaignConfig, DemoResult, FaultClass, Outcome,
@@ -36,6 +43,7 @@ pub use campaign::{
 };
 pub use crosspid::{run_cross_campaign, CrossConfig, CrossFaultClass, CrossReport, CrossRow};
 pub use inventory::{scan, Blob, Inventory};
+pub use tiers::{run_tier_matrix, TierMatrixConfig, TierReport, TierRow, FLOW_REORDER};
 
 use asc_crypto::MacKey;
 

@@ -655,11 +655,39 @@ pub(crate) fn install(
             ("warnings".to_string(), warnings.len() as u64),
         ],
     );
+    let asc_len = asc_bytes.len() as u32;
     out.push_section(Section::new(
         sections::ASC,
         asc_base,
         asc_bytes,
         SectionFlags::RW,
+    ));
+
+    // The SFIP flow policy: project every site's predecessor set down to
+    // syscall-number edges and append the MAC-authenticated digraph after
+    // `.asc`. Site predecessors are computed unconditionally (only the
+    // per-call pred-set *check* is gated on `control_flow`), so the flow
+    // tier is available even for binaries installed without it.
+    let flow_sites: Vec<(u16, u32, BTreeSet<u32>)> = sites
+        .iter()
+        .map(|s| (s.nr, s.block, s.preds.clone()))
+        .collect();
+    let flow = asc_analysis::syscall_graph::flow_digraph(&flow_sites);
+    let flow_bytes = flow.to_bytes(key);
+    emit_pass(
+        sink,
+        SPAN_REWRITE,
+        "flow-digraph",
+        vec![
+            ("flow_edges".to_string(), flow.len() as u64),
+            ("flow_bytes".to_string(), flow_bytes.len() as u64),
+        ],
+    );
+    out.push_section(Section::new(
+        sections::ASCFLOW,
+        align_up(asc_base + asc_len),
+        flow_bytes,
+        SectionFlags::RO,
     ));
 
     // --- 7. Symbols, flags. ---

@@ -8,6 +8,7 @@
 //! Table 4's authenticated-minus-original gap).
 
 use asc_core::VerifyOutcome;
+use asc_trace::{CheckKind, CheckRecord};
 
 use crate::abi::SyscallId;
 
@@ -32,6 +33,11 @@ pub struct CostModel {
     pub context_switch: u64,
     /// In-kernel table-monitor lookup cost per call (ablation baseline).
     pub table_lookup: u64,
+    /// Cost of one syscall-flow-digraph membership test (the SFIP tier's
+    /// check): a hash-set probe on `(last nr, this nr)` — no AES, no user
+    /// memory. Calibrated to SFIP's ~2% overhead claim: two orders of
+    /// magnitude below a cold MAC verification.
+    pub flow_check: u64,
 }
 
 impl Default for CostModel {
@@ -44,6 +50,7 @@ impl Default for CostModel {
             verify_per_byte_num: 1,
             context_switch: 11_000,
             table_lookup: 1_900,
+            flow_check: 75,
         }
     }
 }
@@ -121,6 +128,19 @@ impl CostModel {
     pub fn check_cost(&self, aes_blocks: u64, bytes: u64) -> u64 {
         aes_blocks * self.cycles_per_aes_block + bytes * self.verify_per_byte_num
     }
+
+    /// Kind-aware cost of one metered check record. A flow-edge check has
+    /// zero AES blocks and zero bytes but a fixed [`CostModel::flow_check`]
+    /// cost; every other kind is priced by its metered blocks and bytes.
+    /// Summing `check_cost_of` over a call's records plus the call's fixed
+    /// term still reconstructs its charged verify cycles exactly.
+    pub fn check_cost_of(&self, record: &CheckRecord) -> u64 {
+        if record.kind == CheckKind::FlowEdge {
+            self.flow_check
+        } else {
+            self.check_cost(record.aes_blocks, record.bytes)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +193,31 @@ mod tests {
             m.verify_cost_for(&warm),
             m.verify_cost_for(&cold)
         );
+    }
+
+    #[test]
+    fn flow_check_is_a_small_fraction_of_mac_verification() {
+        // The SFIP tier's selling point: a digraph probe costs well under
+        // a quarter of even a *warm* MAC verification, let alone cold.
+        let m = CostModel::default();
+        assert!(m.flow_check * 4 < m.verify_cached_fixed + m.check_cost(1, 50));
+        assert!(m.flow_check * 4 < m.verify_cost(8, 50) / 4);
+        let flow_record = CheckRecord {
+            kind: CheckKind::FlowEdge,
+            passed: true,
+            aes_blocks: 0,
+            bytes: 0,
+            cache: asc_trace::CacheDecision::Disabled,
+        };
+        assert_eq!(m.check_cost_of(&flow_record), m.flow_check);
+        let mac_record = CheckRecord {
+            kind: CheckKind::CallMac,
+            passed: true,
+            aes_blocks: 3,
+            bytes: 0,
+            cache: asc_trace::CacheDecision::Disabled,
+        };
+        assert_eq!(m.check_cost_of(&mac_record), m.check_cost(3, 0));
     }
 
     #[test]

@@ -11,12 +11,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use asc_core::{
-    verify_call_traced, AuthCallRegs, CacheStats, SharedVerifyCache, UserMemory, VerifyCache,
-    VerifyHooks, Violation,
+    verify_call_traced, AuthCallRegs, CacheStats, FlowGraph, SharedVerifyCache, UserMemory,
+    VerifyCache, VerifyHooks, VerifyOutcome, Violation, FLOW_START,
 };
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
-use asc_trace::{CallMeter, Event, EventKind, Severity, SpanId, TraceSink};
+use asc_trace::{
+    CacheDecision, CallMeter, CheckKind, CheckRecord, Event, EventKind, Severity, SpanId, TraceSink,
+};
 use asc_vm::{MemFault, Memory, SyscallHandler, TrapContext, TrapOutcome};
 
 use crate::abi::{spec, Personality, SyscallId};
@@ -140,6 +142,55 @@ impl KernelStats {
     }
 }
 
+/// Which verification tier an enforcing kernel runs (see DESIGN.md §15).
+///
+/// The tiers trade coverage for per-call cost. [`VerifyTier::Mac`] is the
+/// paper's scheme: per-call AES-CMAC verification of the encoded call.
+/// [`VerifyTier::FlowOnly`] is the SFIP-style cheap tier: only the
+/// syscall-transition digraph membership test (`(last nr, this nr)` must be
+/// an edge of the installed [`FlowGraph`]), two orders of magnitude cheaper
+/// but blind to in-edge forgeries. [`VerifyTier::MacPlusFlow`] runs the
+/// flow test as a pre-filter and then the full MAC suite, accepting exactly
+/// the intersection of the other two tiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VerifyTier {
+    /// Only the syscall-transition digraph membership test.
+    FlowOnly,
+    /// Per-call MAC verification (the paper's scheme; the default).
+    #[default]
+    Mac,
+    /// Flow test first, then the full MAC suite.
+    MacPlusFlow,
+}
+
+impl VerifyTier {
+    /// All tiers, in ascending-coverage order (benchmarks iterate this).
+    pub const ALL: [VerifyTier; 3] = [
+        VerifyTier::FlowOnly,
+        VerifyTier::Mac,
+        VerifyTier::MacPlusFlow,
+    ];
+
+    /// Short stable name (table rows, CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            VerifyTier::FlowOnly => "flow-only",
+            VerifyTier::Mac => "mac",
+            VerifyTier::MacPlusFlow => "mac+flow",
+        }
+    }
+
+    /// Whether this tier runs the flow-digraph membership test.
+    pub fn checks_flow(&self) -> bool {
+        !matches!(self, VerifyTier::Mac)
+    }
+
+    /// Whether this tier runs the per-call MAC verification suite.
+    pub fn checks_mac(&self) -> bool {
+        !matches!(self, VerifyTier::FlowOnly)
+    }
+}
+
 /// Kernel construction options.
 #[derive(Clone, Debug)]
 pub struct KernelOptions {
@@ -170,6 +221,11 @@ pub struct KernelOptions {
     /// so the fault-injection campaign can prove its oracle detects a
     /// verifier that fails open; never enable outside that experiment.
     pub weaken_string_check: bool,
+    /// Which verification tier enforced calls run (see [`VerifyTier`]).
+    /// [`VerifyTier::Mac`] — the default — is byte-identical to the
+    /// historical behaviour; the flow tiers additionally require a
+    /// [`FlowGraph`] installed via [`Kernel::set_flow_graph`].
+    pub verify_tier: VerifyTier,
 }
 
 impl KernelOptions {
@@ -183,6 +239,7 @@ impl KernelOptions {
             charge_costs: true,
             verify_cache: false,
             weaken_string_check: false,
+            verify_tier: VerifyTier::Mac,
         }
     }
 
@@ -208,6 +265,14 @@ impl KernelOptions {
     pub fn with_weakened_string_check(self) -> KernelOptions {
         KernelOptions {
             weaken_string_check: true,
+            ..self
+        }
+    }
+
+    /// Selects the verification tier (see [`KernelOptions::verify_tier`]).
+    pub fn with_tier(self, tier: VerifyTier) -> KernelOptions {
+        KernelOptions {
+            verify_tier: tier,
             ..self
         }
     }
@@ -289,6 +354,16 @@ pub struct Kernel {
     /// *successful* control-flow verification; isolation tests use it to
     /// replay one process's cell against another.
     last_policy_cell: Option<u32>,
+    /// The installed syscall-transition digraph (required by the flow
+    /// tiers; parsed and MAC-verified from `.ascflow` at load time, so the
+    /// per-trap check is a pure set probe).
+    flow: Option<FlowGraph>,
+    /// The raw number of this process's most recent *dispatched* syscall —
+    /// the flow check's `from` node. `None` (= [`FLOW_START`]) until the
+    /// first call dispatches. Lives on the kernel, and there is one kernel
+    /// per process, so flow state is per-pid by construction: one
+    /// process's transitions can never satisfy (or poison) another's.
+    last_syscall: Option<u16>,
     caps: CapabilitySet,
     pub(crate) stdin: Vec<u8>,
     pub(crate) stdin_pos: usize,
@@ -373,6 +448,8 @@ impl Kernel {
             shared_cache: None,
             pid: 1,
             last_policy_cell: None,
+            flow: None,
+            last_syscall: None,
             caps: [0u32, 1, 2].into_iter().collect(),
             stdin: Vec::new(),
             stdin_pos: 0,
@@ -501,6 +578,22 @@ impl Kernel {
     /// control-flow verification, if any (see the field docs).
     pub fn last_policy_cell(&self) -> Option<u32> {
         self.last_policy_cell
+    }
+
+    /// Installs the syscall-transition digraph the flow tiers check
+    /// against (parse it from the binary's `.ascflow` section with
+    /// [`FlowGraph::parse`], which verifies its MAC). Required when
+    /// [`KernelOptions::verify_tier`] checks flow; ignored under
+    /// [`VerifyTier::Mac`].
+    pub fn set_flow_graph(&mut self, flow: FlowGraph) {
+        self.flow = Some(flow);
+    }
+
+    /// The raw number of this process's most recent dispatched syscall
+    /// (`None` until the first call dispatches) — the flow check's `from`
+    /// node. Isolation tests assert this never leaks across pids.
+    pub fn last_syscall(&self) -> Option<u16> {
+        self.last_syscall
     }
 
     /// Arms one kernel-side fault for the fault-injection campaign; it
@@ -665,7 +758,7 @@ impl Kernel {
             // family (one probe). Every call in the window then drains
             // against the local namespace — the shared structure is not
             // touched again until the window closes and reattaches it.
-            if self.opts.verify_cache {
+            if self.opts.verify_cache && self.opts.verify_tier.checks_mac() {
                 if let (Some(session), Some(shared)) =
                     (self.batch.as_mut(), self.shared_cache.as_ref())
                 {
@@ -805,6 +898,59 @@ impl Kernel {
                 }
                 None => regs,
             };
+            // The metrics registry needs the per-check partition too, so
+            // the meter records whenever either consumer is attached.
+            let metering = self.metrics.is_some();
+            let mut meter = if tracing || metering {
+                CallMeter::recording()
+            } else {
+                CallMeter::disabled()
+            };
+            // --- The SFIP flow tier: digraph membership pre-filter. ---
+            // Checked on the verifier's copy of the registers (so armed
+            // faults hit it like every other check) and *before* the MAC
+            // suite and dispatch: a bad edge fail-stops with zero side
+            // effects and zero AES work.
+            let tier = self.opts.verify_tier;
+            if tier.checks_flow() {
+                let Some(flow) = self.flow.as_ref() else {
+                    return TrapOutcome::Kill(
+                        "kernel misconfigured: flow tier without a digraph".into(),
+                    );
+                };
+                let from = self.last_syscall.unwrap_or(FLOW_START);
+                let to = regs.nr as u16;
+                let passed = flow.contains(from, to);
+                meter.record(CheckRecord {
+                    kind: CheckKind::FlowEdge,
+                    passed,
+                    aes_blocks: 0,
+                    bytes: 0,
+                    cache: CacheDecision::Disabled,
+                });
+                if !passed {
+                    if tracing {
+                        let at = ctx.cycles();
+                        if let Some(sink) = self.trace_sink.as_mut() {
+                            // Killed calls are charged no verification
+                            // cycles (same convention as a MAC failure).
+                            for record in &meter.checks {
+                                sink.record(Event {
+                                    span,
+                                    at_cycles: at,
+                                    severity: Severity::Warn,
+                                    kind: EventKind::Check {
+                                        record: *record,
+                                        cycles: 0,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    let violation = Violation::BadFlowEdge { from, to };
+                    return self.kill(ctx, charged, span, tracing, &violation);
+                }
+            }
             let mut mem = VmUserMemory(ctx.mem);
             let caps = &self.caps;
             let tracking = self.opts.capability_tracking;
@@ -822,13 +968,13 @@ impl Kernel {
                 .as_ref()
                 .is_some_and(|session| session.namespace.is_some());
             let mut shared_guard = match (
-                self.opts.verify_cache && !batching,
+                self.opts.verify_cache && tier.checks_mac() && !batching,
                 self.shared_cache.as_ref(),
             ) {
                 (true, Some(shared)) => Some(shared.borrow_mut()),
                 _ => None,
             };
-            let cache = if !self.opts.verify_cache {
+            let cache = if !self.opts.verify_cache || !tier.checks_mac() {
                 None
             } else if batching {
                 self.batch.as_mut().and_then(|b| b.namespace.as_mut())
@@ -844,24 +990,23 @@ impl Kernel {
                 Some(c) => c.stats(),
                 None => CacheStats::default(),
             };
-            // The metrics registry needs the per-check partition too, so
-            // the meter records whenever either consumer is attached.
-            let metering = self.metrics.is_some();
-            let mut meter = if tracing || metering {
-                CallMeter::recording()
+            // Flow-only skips the MAC suite entirely: the digraph probe
+            // above *is* the verification, and the outcome carries zero
+            // AES blocks, zero bytes, and no cache participation.
+            let result = if tier.checks_mac() {
+                verify_call_traced(
+                    key,
+                    &mut self.checker,
+                    cache,
+                    &mut mem,
+                    &regs,
+                    tracking.then_some(&mut cap_check as &mut dyn FnMut(u32) -> bool),
+                    hooks,
+                    &mut meter,
+                )
             } else {
-                CallMeter::disabled()
+                Ok(VerifyOutcome::default())
             };
-            let result = verify_call_traced(
-                key,
-                &mut self.checker,
-                cache,
-                &mut mem,
-                &regs,
-                tracking.then_some(&mut cap_check as &mut dyn FnMut(u32) -> bool),
-                hooks,
-                &mut meter,
-            );
             let cache_after = if batching {
                 self.batch
                     .as_ref()
@@ -897,7 +1042,11 @@ impl Kernel {
             match result {
                 Ok(outcome) => {
                     self.stats.verified += 1;
-                    if regs.lb_ptr != 0 {
+                    // Advance the flow state: this (verified) call is the
+                    // next call's predecessor. Tracked under every tier so
+                    // switching tiers never changes what the state means.
+                    self.last_syscall = Some(regs.nr as u16);
+                    if tier.checks_mac() && regs.lb_ptr != 0 {
                         self.last_policy_cell = Some(regs.lb_ptr);
                     }
                     self.stats.verify_aes_blocks += outcome.aes_blocks;
@@ -905,8 +1054,22 @@ impl Kernel {
                         self.stats.cache_hits += 1;
                         self.stats.warm_aes_blocks += outcome.aes_blocks;
                     }
+                    // Charged verification cycles: the fixed flow-probe
+                    // term under the flow tiers, plus the metered MAC cost
+                    // under the MAC tiers — so mac+flow is priced as
+                    // exactly mac plus the probe.
                     let vc = if self.opts.charge_costs {
-                        self.cost.verify_cost_for(&outcome)
+                        let flow_term = if tier.checks_flow() {
+                            self.cost.flow_check
+                        } else {
+                            0
+                        };
+                        let mac_term = if tier.checks_mac() {
+                            self.cost.verify_cost_for(&outcome)
+                        } else {
+                            0
+                        };
+                        flow_term + mac_term
                     } else {
                         0
                     };
@@ -942,7 +1105,11 @@ impl Kernel {
                             PATH_COLD
                         };
                         let charge_costs = self.opts.charge_costs;
-                        let fixed = if charge_costs {
+                        // The per-call fixed term is a MAC-suite cost; the
+                        // flow probe's whole cost lives in its check
+                        // record, so flow-only's fixed term is zero and
+                        // the check/fixed partition still reconstructs vc.
+                        let fixed = if charge_costs && tier.checks_mac() {
                             self.cost.verify_fixed_for(outcome.cache_hit)
                         } else {
                             0
@@ -960,7 +1127,7 @@ impl Kernel {
                     }
                     if tracing {
                         let at = ctx.cycles();
-                        let fixed = if self.opts.charge_costs {
+                        let fixed = if self.opts.charge_costs && tier.checks_mac() {
                             self.cost.verify_fixed_for(outcome.cache_hit)
                         } else {
                             0
@@ -970,7 +1137,7 @@ impl Kernel {
                         if let Some(sink) = self.trace_sink.as_mut() {
                             for record in &meter.checks {
                                 let cycles = if charge_costs {
-                                    cost.check_cost(record.aes_blocks, record.bytes)
+                                    cost.check_cost_of(record)
                                 } else {
                                     0
                                 };

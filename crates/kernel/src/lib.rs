@@ -41,8 +41,9 @@ pub use cost::CostModel;
 pub use fs::{FileSystem, FsError, Inode, InodeId, InodeKind};
 pub use kernel::{
     FaultAction, FdKind, Kernel, KernelOptions, KernelStats, OpenFile, TraceEntry, TrapFault,
+    VerifyTier,
 };
 pub use metrics::{KernelMetrics, VERIFY_PATHS};
 
-pub use asc_core::CacheStats;
+pub use asc_core::{CacheStats, FlowGraph, FlowParseError, FLOW_START};
 pub use asc_trace::ReasonCode;

@@ -22,9 +22,11 @@
 //! * `asc_check_cycles{family}` / `asc_check_aes_blocks{family}` /
 //!   `asc_check_bytes{family}` — one observation per verification check,
 //!   labeled by check family (`CallMeter`'s partition: call-mac,
-//!   auth-string, pattern, capability, pred-set, policy-state). Because the
-//!   per-check records partition a call's AES blocks and bytes exactly, and
-//!   the cost model is linear, `Σ_family check_cycles.sum +
+//!   auth-string, pattern, capability, pred-set, policy-state, flow-edge).
+//!   Because the per-check records partition a call's AES blocks and bytes
+//!   exactly, and the per-record cost (`CostModel::check_cost_of` — linear
+//!   in blocks/bytes, plus the fixed flow-check term per flow-edge record)
+//!   partitions the variable verify cost, `Σ_family check_cycles.sum +
 //!   Σ_path fixed_cycles.sum == KernelStats::verify_cycles` and
 //!   `Σ_family check_aes_blocks.sum == KernelStats::verify_aes_blocks`.
 //! * `asc_syscalls_total`, `asc_kills_total`,
@@ -222,7 +224,7 @@ impl KernelMetrics {
         for record in checks {
             let family = record.kind.family();
             let cycles = if charge_costs {
-                cost.check_cost(record.aes_blocks, record.bytes)
+                cost.check_cost_of(record)
             } else {
                 0
             };

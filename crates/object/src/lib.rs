@@ -47,4 +47,7 @@ pub mod sections {
     /// Authenticated-call data added by the installer: call MACs,
     /// authenticated strings, predecessor sets, the policy-state cell.
     pub const ASC: &str = ".asc";
+    /// The MAC-authenticated syscall-transition digraph added by the
+    /// installer (the SFIP tier's policy), appended after `.asc`.
+    pub const ASCFLOW: &str = ".ascflow";
 }

@@ -29,7 +29,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Number of verification-check families ([`CheckKind::family`]).
-pub const CHECK_FAMILIES: usize = 6;
+pub const CHECK_FAMILIES: usize = 7;
 
 /// Which verification check a [`CheckRecord`] describes (§3.4's three
 /// steps plus the §5 extensions).
@@ -56,6 +56,10 @@ pub enum CheckKind {
     PredecessorSet,
     /// Policy-state verification, membership test, and update.
     PolicyState,
+    /// Syscall-transition digraph membership test (the SFIP tier): the
+    /// `(last syscall, this syscall)` edge against the installed flow
+    /// graph. Costs no AES blocks and reads no user memory.
+    FlowEdge,
 }
 
 impl CheckKind {
@@ -69,6 +73,7 @@ impl CheckKind {
             CheckKind::Capability { .. } => 3,
             CheckKind::PredecessorSet => 4,
             CheckKind::PolicyState => 5,
+            CheckKind::FlowEdge => 6,
         }
     }
 
@@ -81,6 +86,7 @@ impl CheckKind {
             "capability",
             "pred-set",
             "policy-state",
+            "flow-edge",
         ][family]
     }
 
@@ -344,6 +350,8 @@ pub enum ReasonCode {
     CapabilityViolation,
     /// User memory unreadable/unwritable where the call pointed.
     MemoryFault,
+    /// Syscall transition not an edge of the installed flow digraph.
+    BadFlowEdge,
 }
 
 impl ReasonCode {
@@ -362,6 +370,7 @@ impl ReasonCode {
             ReasonCode::NotInPredecessorSet => "not-in-pred-set",
             ReasonCode::CapabilityViolation => "capability-violation",
             ReasonCode::MemoryFault => "memory-fault",
+            ReasonCode::BadFlowEdge => "bad-flow-edge",
         }
     }
 }

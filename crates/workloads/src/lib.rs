@@ -27,8 +27,8 @@ pub mod tools;
 
 pub use programs::{program, programs, ProgramKind, ProgramSpec};
 
-use asc_kernel::{FileSystem, Kernel, KernelOptions, Personality};
-use asc_object::Binary;
+use asc_kernel::{FileSystem, FlowGraph, Kernel, KernelOptions, Personality, VerifyTier};
+use asc_object::{sections, Binary};
 use asc_vm::{Machine, RunOutcome};
 
 /// Errors building a workload.
@@ -155,11 +155,72 @@ pub fn measure_cached(
     personality: Personality,
     key: asc_crypto::MacKey,
 ) -> RunReport {
+    measure_tier_cached(spec, binary, personality, key, VerifyTier::Mac)
+}
+
+/// Parses the MAC-authenticated syscall-transition digraph out of an
+/// installed binary's `.ascflow` section (the flow tiers' policy).
+///
+/// # Panics
+///
+/// If the section is missing or its MAC does not verify under `key` —
+/// both mean the binary was not produced by this installer/key pair, so
+/// there is no sound digraph to enforce.
+pub fn flow_graph_of(binary: &Binary, key: &asc_crypto::MacKey) -> FlowGraph {
+    let section = binary
+        .section_by_name(sections::ASCFLOW)
+        .expect("authenticated binary carries an .ascflow section");
+    FlowGraph::parse(&section.data, key).expect(".ascflow digraph MAC verifies")
+}
+
+/// Like [`measure`] in enforcing mode, but running the given verification
+/// tier; the flow tiers additionally load the binary's `.ascflow` digraph
+/// into the kernel. `VerifyTier::Mac` is identical to
+/// `measure(spec, binary, personality, Some(key))`.
+pub fn measure_tier(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: asc_crypto::MacKey,
+    tier: VerifyTier,
+) -> RunReport {
+    let opts = KernelOptions::enforcing(personality).with_tier(tier);
+    measure_with_opts(spec, binary, key, opts)
+}
+
+/// [`measure_tier`] with the verified-call cache enabled — the warm
+/// fast path, per tier. Under `VerifyTier::FlowOnly` the cache is
+/// inert (it only short-circuits MAC work), so warm equals cold.
+pub fn measure_tier_cached(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: asc_crypto::MacKey,
+    tier: VerifyTier,
+) -> RunReport {
+    let opts = KernelOptions::enforcing(personality)
+        .with_verify_cache()
+        .with_tier(tier);
+    measure_with_opts(spec, binary, key, opts)
+}
+
+/// Shared body of the enforcing measurement entry points: the kernel is
+/// configured from `opts`, and the flow digraph is loaded whenever the
+/// selected tier checks transitions.
+fn measure_with_opts(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    key: asc_crypto::MacKey,
+    opts: KernelOptions,
+) -> RunReport {
     let mut fs = FileSystem::new();
     (spec.setup_fs)(&mut fs);
-    let opts = KernelOptions::enforcing(personality).with_verify_cache();
+    let tier = opts.verify_tier;
     let mut kernel = Kernel::with_fs(opts, fs);
     kernel.set_stdin(spec.stdin.to_vec());
+    if tier.checks_flow() {
+        kernel.set_flow_graph(flow_graph_of(binary, &key));
+    }
     kernel.set_key(key);
     kernel.set_brk(binary.highest_addr());
     let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
@@ -172,6 +233,19 @@ pub fn measure_cached(
         cycles,
         instret,
     }
+}
+
+/// Runs a built (authenticated) workload under the given verification
+/// tier (see [`measure_tier`]).
+pub fn run_tier(
+    spec: &ProgramSpec,
+    binary: &Binary,
+    personality: Personality,
+    key: asc_crypto::MacKey,
+    tier: VerifyTier,
+) -> (RunOutcome, Kernel) {
+    let report = measure_tier(spec, binary, personality, key, tier);
+    (report.outcome, report.kernel)
 }
 
 /// Runs a built (authenticated) workload on an enforcing kernel with the

@@ -2,19 +2,20 @@
 //!
 //! Every registered workload runs under three regimes — the plain
 //! binary on a plain kernel, the installed binary on an enforcing
-//! kernel, and the installed binary on an enforcing kernel with the
-//! verified-call cache enabled — and all observable behaviour must be
-//! identical: exit status, stdout, stderr, the dispatched-syscall
-//! sequence, and the final filesystem tree. (Call-site addresses move
-//! when the installer rewrites the text, so the trace comparison is on
-//! the `(raw_nr, effective id)` sequence, which is what a monitor
-//! observes.)
+//! kernel (cold), and the installed binary on an enforcing kernel with
+//! the verified-call cache enabled (warm) — and the two enforcing
+//! regimes are swept across every [`VerifyTier`]. All observable
+//! behaviour must be identical: exit status, stdout, stderr, the
+//! dispatched-syscall sequence, and the final filesystem tree.
+//! (Call-site addresses move when the installer rewrites the text, so
+//! the trace comparison is on the `(raw_nr, effective id)` sequence,
+//! which is what a monitor observes.)
 
 use asc::crypto::MacKey;
 use asc::installer::{Installer, InstallerOptions};
-use asc::kernel::{Kernel, Personality, SyscallId};
+use asc::kernel::{Kernel, Personality, SyscallId, VerifyTier};
 use asc::vm::RunOutcome;
-use asc::workloads::{build, measure, measure_cached, programs, run_plain};
+use asc::workloads::{build, measure_tier, measure_tier_cached, programs, run_plain};
 
 fn key() -> MacKey {
     MacKey::from_seed(0x0DD5_EED5)
@@ -45,7 +46,7 @@ fn observe(outcome: RunOutcome, kernel: &Kernel) -> Observed {
 }
 
 #[test]
-fn every_workload_is_behaviour_identical_across_all_three_regimes() {
+fn every_workload_is_behaviour_identical_across_all_regimes_and_tiers() {
     let personality = Personality::Linux;
     let mut total_cache_hits = 0;
     for (index, spec) in programs().iter().enumerate() {
@@ -67,26 +68,47 @@ fn every_workload_is_behaviour_identical_across_all_three_regimes() {
             base.outcome
         );
 
-        let enforcing = measure(spec, &auth, personality, Some(key()));
-        let observed = observe(enforcing.outcome.clone(), &enforcing.kernel);
-        assert_eq!(
-            base,
-            observed,
-            "{}: enforcing run diverged from plain (alerts: {:?})",
-            spec.name,
-            enforcing.kernel.alerts()
-        );
-
-        let cached = measure_cached(spec, &auth, personality, key());
-        let observed = observe(cached.outcome.clone(), &cached.kernel);
-        assert_eq!(
-            base,
-            observed,
-            "{}: cached enforcing run diverged from plain (alerts: {:?})",
-            spec.name,
-            cached.kernel.alerts()
-        );
-        total_cache_hits += cached.kernel.stats().cache_hits;
+        // One sweep body for every (tier, cold/warm) enforcing regime:
+        // the regime is data, not copy-pasted code.
+        for &tier in &VerifyTier::ALL {
+            for (regime, report) in [
+                ("cold", measure_tier(spec, &auth, personality, key(), tier)),
+                (
+                    "warm",
+                    measure_tier_cached(spec, &auth, personality, key(), tier),
+                ),
+            ] {
+                let observed = observe(report.outcome.clone(), &report.kernel);
+                assert_eq!(
+                    base,
+                    observed,
+                    "{}: {} {regime} run diverged from plain (alerts: {:?})",
+                    spec.name,
+                    tier.name(),
+                    report.kernel.alerts()
+                );
+                let stats = report.kernel.stats();
+                if tier.checks_mac() {
+                    assert!(
+                        stats.verify_aes_blocks > 0,
+                        "{}: {} {regime}: no MAC work on an enforcing run",
+                        spec.name,
+                        tier.name()
+                    );
+                } else {
+                    // The flow tier must stay off the AES path entirely
+                    // (that is the whole point of its price tag).
+                    assert_eq!(
+                        stats.verify_aes_blocks, 0,
+                        "{}: flow-only {regime} touched AES",
+                        spec.name
+                    );
+                }
+                if regime == "warm" {
+                    total_cache_hits += stats.cache_hits;
+                }
+            }
+        }
     }
     // Programs that never re-execute a call site legitimately stay cold,
     // but across the suite the warm path must have been exercised.

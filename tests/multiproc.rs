@@ -20,11 +20,13 @@ use std::sync::OnceLock;
 
 use asc::crypto::MacKey;
 use asc::installer::{Installer, InstallerOptions};
-use asc::kernel::{FileSystem, Kernel, KernelOptions, KernelStats, Personality, ReasonCode};
+use asc::kernel::{
+    FileSystem, Kernel, KernelOptions, KernelStats, Personality, ReasonCode, VerifyTier,
+};
 use asc::object::Binary;
 use asc::sched::{ProcState, Process, SchedConfig, SchedPolicy, Scheduler};
 use asc::vm::Machine;
-use asc::workloads::{build, program, ProgramSpec, RUN_BUDGET};
+use asc::workloads::{build, flow_graph_of, program, ProgramSpec, RUN_BUDGET};
 
 const PERSONALITY: Personality = Personality::Linux;
 const WORKLOADS: [&str; 3] = ["bison", "calc", "tar"];
@@ -72,14 +74,49 @@ fn fleet() -> &'static [Built] {
 }
 
 fn machine_for(spec: &ProgramSpec, auth: &Binary) -> Machine<Kernel> {
+    machine_for_tier(spec, auth, VerifyTier::Mac)
+}
+
+/// [`machine_for`] under an explicit verification tier; the flow tiers
+/// get the binary's installed digraph.
+fn machine_for_tier(spec: &ProgramSpec, auth: &Binary, tier: VerifyTier) -> Machine<Kernel> {
     let mut fs = FileSystem::new();
     (spec.setup_fs)(&mut fs);
-    let opts = KernelOptions::enforcing(PERSONALITY).with_verify_cache();
+    let opts = KernelOptions::enforcing(PERSONALITY)
+        .with_verify_cache()
+        .with_tier(tier);
     let mut kernel = Kernel::with_fs(opts, fs);
     kernel.set_key(key());
+    if tier.checks_flow() {
+        kernel.set_flow_graph(flow_graph_of(auth, &key()));
+    }
     kernel.set_stdin(spec.stdin.to_vec());
     kernel.set_brk(auth.highest_addr());
     Machine::load(auth, kernel).expect("workload fits in guest memory")
+}
+
+/// Solo observables under an explicit tier (per-tier `stats` differ:
+/// the flow tiers charge different verification cycles).
+fn solo_tier(spec: &ProgramSpec, auth: &Binary, tier: VerifyTier) -> Solo {
+    let mut machine = machine_for_tier(spec, auth, tier);
+    let outcome = machine.run(RUN_BUDGET);
+    let exit = match outcome {
+        asc::vm::RunOutcome::Exited(code) => code,
+        other => panic!(
+            "{}: solo {} run did not exit: {other:?}",
+            spec.name,
+            tier.name()
+        ),
+    };
+    let kernel = machine.into_handler();
+    Solo {
+        exit,
+        stdout: kernel.stdout().to_vec(),
+        stderr: kernel.stderr().to_vec(),
+        stats: *kernel.stats(),
+        fs_digest: kernel.fs().digest(),
+        counter: kernel.policy_counter(),
+    }
 }
 
 fn solo_run(spec: &ProgramSpec, auth: &Binary) -> Solo {
@@ -113,6 +150,17 @@ fn spawn_n_batched(
     slice_instrs: u64,
     batch_depth: Option<usize>,
 ) -> Scheduler {
+    spawn_n_tier(n, policy, slice_instrs, batch_depth, VerifyTier::Mac)
+}
+
+/// [`spawn_n_batched`] with an explicit verification tier.
+fn spawn_n_tier(
+    n: usize,
+    policy: SchedPolicy,
+    slice_instrs: u64,
+    batch_depth: Option<usize>,
+    tier: VerifyTier,
+) -> Scheduler {
     let fleet = fleet();
     let mut sched = Scheduler::with_shared_cache(SchedConfig {
         policy,
@@ -122,7 +170,10 @@ fn spawn_n_batched(
     });
     for m in 0..n {
         let built = &fleet[m % fleet.len()];
-        sched.spawn(built.spec.name, machine_for(built.spec, &built.auth));
+        sched.spawn(
+            built.spec.name,
+            machine_for_tier(built.spec, &built.auth, tier),
+        );
     }
     sched
 }
@@ -623,5 +674,144 @@ fn scheduler_is_deterministic_and_order_independent() {
             "pid {}: quantiles",
             x.pid
         );
+    }
+}
+
+/// Flow-tier state (`last_syscall`) is per-pid: each process's kernel
+/// tracks its own transition chain, so three interleaved workloads show
+/// *different* last-syscall values mid-schedule (a shared chain would
+/// force them equal — and would kill on every context switch, since one
+/// pid's `execve` followed by a peer's `read` is rarely a digraph edge).
+/// Killing a pid leaves every peer's flow state exactly where it was,
+/// and the survivors still finish bit-identical to their solo runs.
+#[test]
+fn flow_state_is_per_pid_and_kills_do_not_leak() {
+    let fleet = fleet();
+    for (ti, &tier) in VerifyTier::ALL
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.checks_flow())
+    {
+        let solos: Vec<Solo> = fleet
+            .iter()
+            .map(|b| solo_tier(b.spec, &b.auth, tier))
+            .collect();
+        let mut sched = spawn_n_tier(
+            3,
+            SchedPolicy::SeededRandom(0xF10A_57A7 ^ ti as u64),
+            2_000,
+            None,
+            tier,
+        );
+        // Run partway, sampling every pid's flow state after each slice.
+        let mut saw_divergence = false;
+        let mut saw_state = false;
+        for _ in 0..60 {
+            if sched.step().is_none() {
+                break;
+            }
+            let last: Vec<Option<u16>> = (1..=3u32)
+                .map(|pid| sched.process(pid).kernel().last_syscall())
+                .collect();
+            saw_state |= last.iter().any(Option::is_some);
+            saw_divergence |= last
+                .iter()
+                .any(|l| l.is_some() && last.iter().any(|m| m.is_some() && m != l));
+        }
+        assert!(saw_state, "{}: no pid ever dispatched a call", tier.name());
+        assert!(
+            saw_divergence,
+            "{}: three different workloads never disagreed on last_syscall — \
+             the flow chain looks shared, not per-pid",
+            tier.name()
+        );
+
+        // Killing pid 1 must not move any peer's flow state.
+        let before: Vec<Option<u16>> = [2u32, 3]
+            .iter()
+            .map(|&pid| sched.process(pid).kernel().last_syscall())
+            .collect();
+        sched.kill(1, "operator kill (flow-state test)");
+        for (i, &pid) in [2u32, 3].iter().enumerate() {
+            assert_eq!(
+                sched.process(pid).kernel().last_syscall(),
+                before[i],
+                "{}: pid {pid}'s flow state moved on pid 1's kill",
+                tier.name()
+            );
+        }
+
+        sched.run();
+        for &pid in &[2u32, 3] {
+            let solo = &solos[(pid as usize - 1) % fleet.len()];
+            assert_matches_solo(
+                sched.process(pid),
+                solo,
+                &format!("{} after killing pid 1", tier.name()),
+            );
+        }
+    }
+}
+
+/// Batch windows are tier-transparent: under *every* tier, running the
+/// same seeded schedule with and without a batch window yields the
+/// identical interleaving, per-pid states, stdout/stderr, kernel stats
+/// (including flow-check and MAC cycles), filesystem digests, and
+/// counters. The MAC tiers must actually open windows and shrink
+/// shared-cache probe traffic; `flow-only` runs no MAC work, so it
+/// opens none and probes nothing either way.
+#[test]
+fn batched_windows_are_bit_identical_under_every_tier() {
+    for (ti, &tier) in VerifyTier::ALL.iter().enumerate() {
+        let n = 8;
+        let policy = SchedPolicy::SeededRandom(0xBA7C_47E0 ^ ti as u64);
+        let mut unbatched_sched = spawn_n_tier(n, policy, 2_000, None, tier);
+        unbatched_sched.run();
+        let unbatched_probes = unbatched_sched
+            .shared_cache()
+            .expect("shared-cache scheduler")
+            .borrow()
+            .probes();
+        let unbatched = witness(&unbatched_sched);
+        drop(unbatched_sched);
+
+        let mut batched_sched = spawn_n_tier(n, policy, 2_000, Some(16), tier);
+        batched_sched.run();
+        let batch = batched_sched.batch_stats();
+        let batched_probes = batched_sched
+            .shared_cache()
+            .expect("shared-cache scheduler")
+            .borrow()
+            .probes();
+        let batched = witness(&batched_sched);
+
+        let name = tier.name();
+        assert_eq!(
+            unbatched.interleaving, batched.interleaving,
+            "{name}: batching changed the schedule"
+        );
+        for (pid0, (a, b)) in unbatched.per_pid.iter().zip(&batched.per_pid).enumerate() {
+            let pid = pid0 + 1;
+            assert_eq!(a, b, "{name} pid {pid}: batched run diverged");
+        }
+        assert_eq!(
+            batch.submitted, batch.drained,
+            "{name}: every submitted call drained"
+        );
+        if tier.checks_mac() {
+            assert!(batch.windows > 0, "{name}: batch windows actually opened");
+            assert!(
+                batched_probes < unbatched_probes,
+                "{name}: batching must reduce shared-cache probes \
+                 ({batched_probes} vs {unbatched_probes})"
+            );
+        } else {
+            assert_eq!(batch.windows, 0, "{name}: no MAC work, no windows");
+            assert_eq!(
+                (batched_probes, unbatched_probes),
+                (0, 0),
+                "{name}: the flow tier never probes the shared cache"
+            );
+        }
     }
 }
