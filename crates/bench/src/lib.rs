@@ -1,5 +1,6 @@
 //! Shared harness code for the table-regeneration binaries.
 
+pub mod audit;
 pub mod fleet;
 pub mod perf;
 pub mod server;
@@ -146,6 +147,11 @@ pub struct ProfiledRun {
     pub profile: Profile,
     /// The kernel's aggregate counters for the same run(s).
     pub stats: KernelStats,
+    /// Events the sink discarded under memory pressure
+    /// ([`asc_trace::TraceSink::dropped`]). The unbounded [`Profile`]
+    /// sink never drops, so this is 0 here and nonzero only for bounded
+    /// ring sinks — surfaced so every report states its own completeness.
+    pub ring_dropped: u64,
 }
 
 /// Runs one registered workload under an enforcing, cache-enabled kernel
@@ -187,9 +193,11 @@ pub fn profile_workload(name: &str) -> ProfiledRun {
         String::from_utf8_lossy(kernel.stderr()),
     );
     let stats = *kernel.stats();
-    let profile = kernel
+    let sink = kernel
         .take_trace_sink()
-        .expect("the trace sink attached before the run is still present")
+        .expect("the trace sink attached before the run is still present");
+    let ring_dropped = sink.dropped();
+    let profile = sink
         .into_any()
         .downcast::<Profile>()
         .expect("the attached sink was the Profile installed above");
@@ -197,6 +205,7 @@ pub fn profile_workload(name: &str) -> ProfiledRun {
         workload: name.to_string(),
         profile: *profile,
         stats,
+        ring_dropped,
     }
 }
 
@@ -229,6 +238,7 @@ pub fn profile_andrew() -> ProfiledRun {
     setup_corpus(&mut fs);
     let mut profile = Box::new(Profile::new());
     let mut stats = KernelStats::default();
+    let mut ring_dropped = 0u64;
     for step in iteration_plan() {
         let binary = &tools[step.tool];
         let mut kernel = Kernel::with_fs(
@@ -251,9 +261,11 @@ pub fn profile_andrew() -> ProfiledRun {
             String::from_utf8_lossy(kernel.stderr()),
         );
         stats.absorb(kernel.stats());
-        profile = kernel
+        let sink = kernel
             .take_trace_sink()
-            .expect("the trace sink attached before the run is still present")
+            .expect("the trace sink attached before the run is still present");
+        ring_dropped += sink.dropped();
+        profile = sink
             .into_any()
             .downcast::<Profile>()
             .expect("the attached sink was the Profile installed above");
@@ -263,6 +275,7 @@ pub fn profile_andrew() -> ProfiledRun {
         workload: "andrew".to_string(),
         profile: *profile,
         stats,
+        ring_dropped,
     }
 }
 
@@ -340,6 +353,11 @@ pub fn render_profile(run: &ProfiledRun) -> String {
         out,
         "kernel:  {} verified ({} cache hits, {} fallbacks, {} scrubs), {} verify cycles, {} aes blocks",
         s.verified, s.cache_hits, s.cache_fallbacks, s.cache_scrubs, s.verify_cycles, s.verify_aes_blocks,
+    );
+    let _ = writeln!(
+        out,
+        "ring:    {} events dropped by the trace sink",
+        run.ring_dropped,
     );
     if !run.profile.passes().is_empty() {
         let _ = writeln!(out, "installer passes:");
@@ -454,6 +472,7 @@ pub fn profile_to_value(run: &ProfiledRun) -> Value {
                 ),
             ]),
         ),
+        ("ring_dropped".into(), Value::Num(run.ring_dropped as f64)),
         ("sites".into(), Value::Array(sites)),
         ("passes".into(), Value::Array(passes)),
     ])

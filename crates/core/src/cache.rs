@@ -41,7 +41,7 @@ use asc_crypto::{Mac, POLICY_STATE_LEN};
 /// modulo would concentrate structured inputs on the low indices; mixing
 /// first makes every output bit depend on every input bit.
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub fn mix64(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 27;

@@ -42,7 +42,7 @@ pub mod pattern;
 pub mod policy;
 pub mod verify;
 
-pub use cache::{pid_shard, CacheStats, SharedVerifyCache, VerifyCache};
+pub use cache::{mix64, pid_shard, CacheStats, SharedVerifyCache, VerifyCache};
 pub use descriptor::PolicyDescriptor;
 pub use encoding::{encode_call, EncodedArg, EncodedCall};
 pub use flow::{FlowGraph, FlowParseError, FLOW_START};

@@ -9,18 +9,22 @@
 //! observable behaviour). Anything else is **silent corruption**, the
 //! failure the paper's design promises cannot happen.
 
+use asc_audit::{replay_solo_in, run_solo, AuditFault, Bundle, SoloParams, SoloRun, SoloScenario};
 use asc_installer::{Installer, InstallerOptions};
 use asc_kernel::{
-    Alert, FaultAction, FileSystem, FlowGraph, Kernel, KernelOptions, Personality, ReasonCode,
-    TraceEntry, TrapFault, VerifyTier,
+    Alert, FaultAction, FlowGraph, Personality, ReasonCode, TraceEntry, TrapFault, VerifyTier,
 };
 use asc_object::Binary;
 use asc_testkit::Rng;
-use asc_vm::{Machine, RunOutcome, StepOutcome};
-use asc_workloads::{build, program, ProgramSpec, RUN_BUDGET};
+use asc_vm::RunOutcome;
+use asc_workloads::{build, program, ProgramSpec};
 
 use crate::campaign_key;
 use crate::inventory::{scan, Inventory};
+
+/// Seed of [`campaign_key`], recorded in forensic bundles so replay can
+/// rebuild the identical installation.
+pub(crate) const CAMPAIGN_KEY_SEED: u64 = 0xFA17_1A7E;
 
 /// A verifier-trusted artifact class the campaign corrupts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -169,6 +173,10 @@ fn run_instrumented(
 
 /// [`run_instrumented`] under an explicit verification tier; the flow
 /// tiers require the binary's `.ascflow` digraph.
+///
+/// Delegates to the forensic runner [`asc_audit::run_solo`] — the same
+/// code path bundle replay re-executes — so the campaign's observables
+/// and a replayed bundle's observables cannot drift apart.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_instrumented_tier(
     spec: &ProgramSpec,
@@ -180,52 +188,41 @@ pub(crate) fn run_instrumented_tier(
     mem_fault: Option<(u64, u32, u8)>,
     trap_fault: Option<TrapFault>,
 ) -> RunRecord {
-    let mut fs = FileSystem::new();
-    (spec.setup_fs)(&mut fs);
-    let mut opts = KernelOptions::enforcing(personality)
-        .with_verify_cache()
-        .with_tier(tier);
-    if weakened {
-        opts = opts.with_weakened_string_check();
-    }
-    let mut kernel = Kernel::with_fs(opts, fs);
-    if tier.checks_flow() {
-        let flow = flow.expect("flow tiers need the binary's digraph");
-        kernel.set_flow_graph(flow.clone());
-    }
-    kernel.set_stdin(spec.stdin.to_vec());
-    kernel.set_key(campaign_key());
-    kernel.set_brk(auth.highest_addr());
-    let mut machine = Machine::load(auth, kernel).expect("workload fits in memory");
-    if let Some(fault) = trap_fault {
-        machine.handler_mut().arm_fault(fault);
-    }
-    let outcome = match mem_fault {
-        Some((at_instret, addr, mask)) => match machine.run_until_instret(at_instret, RUN_BUDGET) {
-            StepOutcome::Done(outcome) => outcome, // finished before the flip
-            StepOutcome::Running => {
-                if let Ok(byte) = machine.mem().kread(addr, 1).map(|b| b[0]) {
-                    let _ = machine.mem_mut().kwrite(addr, &[byte ^ mask]);
-                }
-                machine.run(RUN_BUDGET)
-            }
-        },
-        None => machine.run(RUN_BUDGET),
+    let key = campaign_key();
+    let params = SoloParams {
+        spec,
+        auth,
+        personality,
+        tier,
+        weakened,
+        key: &key,
+        flow,
     };
-    let instret = machine.instret();
-    let kernel = machine.into_handler();
-    let stats = *kernel.stats();
+    let fault = match (mem_fault, trap_fault) {
+        (Some((at_instret, addr, mask)), _) => Some(AuditFault::Mem {
+            at_instret,
+            addr,
+            mask,
+        }),
+        (None, Some(tf)) => Some(AuditFault::Trap(tf)),
+        (None, None) => None,
+    };
+    record_of(&run_solo(&params, fault.as_ref()))
+}
+
+/// Projects a forensic [`SoloRun`] onto the oracle's observables.
+pub(crate) fn record_of(run: &SoloRun) -> RunRecord {
     RunRecord {
-        outcome,
-        stdout: kernel.stdout().to_vec(),
-        stderr: kernel.stderr().to_vec(),
-        trace: kernel.trace().to_vec(),
-        alerts: kernel.alerts().to_vec(),
-        fs_digest: kernel.fs().digest(),
-        syscalls: stats.syscalls,
-        instret,
-        cache_fallbacks: stats.cache_fallbacks,
-        cache_scrubs: stats.cache_scrubs,
+        outcome: run.outcome.clone(),
+        stdout: run.stdout.clone(),
+        stderr: run.stderr.clone(),
+        trace: run.trace.clone(),
+        alerts: run.alerts.clone(),
+        fs_digest: run.fs_digest,
+        syscalls: run.stats.syscalls,
+        instret: run.instret,
+        cache_fallbacks: run.stats.cache_fallbacks,
+        cache_scrubs: run.stats.cache_scrubs,
     }
 }
 
@@ -321,6 +318,24 @@ pub(crate) enum PlannedFault {
     },
     /// Kernel-side fault armed for a specific trap.
     Trap(TrapFault),
+}
+
+impl PlannedFault {
+    /// The forensic-runner form of this fault (same seeds, same effect).
+    pub(crate) fn audit(self) -> AuditFault {
+        match self {
+            PlannedFault::Mem {
+                at_instret,
+                addr,
+                mask,
+            } => AuditFault::Mem {
+                at_instret,
+                addr,
+                mask,
+            },
+            PlannedFault::Trap(tf) => AuditFault::Trap(tf),
+        }
+    }
 }
 
 fn nonzero_byte(rng: &mut Rng) -> u8 {
@@ -477,6 +492,11 @@ pub struct Row {
     pub crashed: u32,
     /// Trials classified silent corruption (asserted zero).
     pub silent: u32,
+    /// Killed trials whose forensic bundle failed deterministic replay
+    /// (same pid, violation, and kill cycle) — asserted zero: a kill the
+    /// bundle cannot reproduce is a forensics failure even though the
+    /// fail-stop contract held.
+    pub irreproducible: u32,
     /// One representative alert from a killed trial.
     pub sample_alert: Option<Alert>,
     /// Kill counts by structured reason code, in first-seen order.
@@ -500,6 +520,7 @@ impl Row {
             benign: 0,
             crashed: 0,
             silent: 0,
+            irreproducible: 0,
             sample_alert: None,
             kill_reasons: Vec::new(),
             anomalies: Vec::new(),
@@ -541,11 +562,17 @@ impl Report {
         self.rows.iter().map(|r| r.crashed).sum()
     }
 
+    /// Total replay-divergent kill bundles across all rows.
+    pub fn total_irreproducible(&self) -> u32 {
+        self.rows.iter().map(|r| r.irreproducible).sum()
+    }
+
     /// Everything wrong with the campaign outcome; empty means the
     /// fail-stop contract held everywhere. Checks: zero silent
-    /// corruption, zero VM crashes, no false-positive kills on
-    /// cache-degradation classes, and at least one kill overall (the
-    /// oracle was actually exercised).
+    /// corruption, zero VM crashes, zero replay-divergent kill bundles
+    /// (`IRREPRODUCIBLE`), no false-positive kills on cache-degradation
+    /// classes, and at least one kill overall (the oracle was actually
+    /// exercised).
     pub fn problems(&self) -> Vec<String> {
         let mut problems = Vec::new();
         for row in &self.rows {
@@ -574,18 +601,19 @@ impl Report {
             self.seed, self.trials
         );
         out.push_str(&format!(
-            "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>9}\n",
-            "workload", "class", "killed", "benign", "crashed", "SILENT", "degraded"
+            "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9}\n",
+            "workload", "class", "killed", "benign", "crashed", "SILENT", "IRREPRO", "degraded"
         ));
         for row in &self.rows {
             out.push_str(&format!(
-                "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>9}\n",
+                "{:<10} {:<17} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9}\n",
                 row.workload,
                 row.class.name(),
                 row.killed,
                 row.benign,
                 row.crashed,
                 row.silent,
+                row.irreproducible,
                 row.cache_fallbacks + row.cache_scrubs,
             ));
             if !row.kill_reasons.is_empty() {
@@ -619,6 +647,10 @@ impl Report {
                     ("crashed".into(), Value::Num(f64::from(row.crashed))),
                     ("silent".into(), Value::Num(f64::from(row.silent))),
                     (
+                        "irreproducible".into(),
+                        Value::Num(f64::from(row.irreproducible)),
+                    ),
+                    (
                         "degraded".into(),
                         Value::Num((row.cache_fallbacks + row.cache_scrubs) as f64),
                     ),
@@ -641,6 +673,10 @@ impl Report {
             (
                 "total_silent".into(),
                 Value::Num(f64::from(self.total_silent())),
+            ),
+            (
+                "total_irreproducible".into(),
+                Value::Num(f64::from(self.total_irreproducible())),
             ),
         ])
     }
@@ -668,7 +704,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Report {
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let inv = scan(&auth);
         assert!(inv.sites > 0, "{name}: no authenticated sites found");
-        let clean = run_instrumented(spec, &auth, cfg.personality, false, None, None);
+        let params = SoloParams {
+            spec,
+            auth: &auth,
+            personality: cfg.personality,
+            tier: VerifyTier::Mac,
+            weakened: false,
+            key: &key,
+            flow: None,
+        };
+        let clean = record_of(&run_solo(&params, None));
         assert!(
             clean.outcome.is_success(),
             "{name}: clean enforcing run failed: {:?} (alerts: {:?})",
@@ -688,23 +733,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Report {
                     row.note = Some("no artifacts of this class in the binary".into());
                     break;
                 };
-                let run = match fault {
-                    PlannedFault::Mem {
-                        at_instret,
-                        addr,
-                        mask,
-                    } => run_instrumented(
-                        spec,
-                        &auth,
-                        cfg.personality,
-                        false,
-                        Some((at_instret, addr, mask)),
-                        None,
-                    ),
-                    PlannedFault::Trap(tf) => {
-                        run_instrumented(spec, &auth, cfg.personality, false, None, Some(tf))
-                    }
-                };
+                let audit_fault = fault.audit();
+                let solo = run_solo(&params, Some(&audit_fault));
+                let run = record_of(&solo);
                 row.cache_fallbacks += run.cache_fallbacks;
                 row.cache_scrubs += run.cache_scrubs;
                 let (outcome, detail) = classify(&clean, &run);
@@ -719,6 +750,37 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Report {
                             }
                             if row.sample_alert.is_none() {
                                 row.sample_alert = Some(alert.clone());
+                            }
+                        }
+                        // Every kill must yield a forensic bundle whose
+                        // in-process replay reproduces the identical
+                        // kill. A divergence is a determinism bug, not a
+                        // verifier bug — reported as its own row class.
+                        let scenario = SoloScenario {
+                            workload: name.clone(),
+                            personality: cfg.personality,
+                            tier: VerifyTier::Mac,
+                            weakened: false,
+                            program_id: 0x0FA0 + wi as u16,
+                            key_seed: CAMPAIGN_KEY_SEED,
+                            fault: Some(audit_fault),
+                        };
+                        match Bundle::from_solo(scenario, &solo) {
+                            Some(bundle) => {
+                                let verdict = replay_solo_in(&bundle, &params);
+                                if !verdict.matched {
+                                    row.irreproducible += 1;
+                                    row.anomalies.push(format!(
+                                        "trial {trial}: IRREPRODUCIBLE: {}",
+                                        verdict.detail
+                                    ));
+                                }
+                            }
+                            None => {
+                                row.irreproducible += 1;
+                                row.anomalies.push(format!(
+                                    "trial {trial}: IRREPRODUCIBLE: kill produced no bundle"
+                                ));
                             }
                         }
                     }

@@ -51,5 +51,5 @@ use asc_crypto::MacKey;
 /// secret; independent of the benchmark key so campaigns cannot be
 /// confused with table regeneration).
 pub fn campaign_key() -> MacKey {
-    MacKey::from_seed(0xFA17_1A7E)
+    MacKey::from_seed(campaign::CAMPAIGN_KEY_SEED)
 }

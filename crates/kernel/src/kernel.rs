@@ -1260,7 +1260,18 @@ impl Kernel {
                 self.caps.remove(args[0]);
             }
         }
+        self.sync_ring_gauge();
         outcome
+    }
+
+    /// Mirrors the trace ring's drop counter into the metrics gauge when
+    /// both a sink and a registry are attached. Read-only on the sink and
+    /// off the charged path, so attaching metrics never perturbs traced
+    /// cycle streams.
+    fn sync_ring_gauge(&mut self) {
+        if let (Some(sink), Some(m)) = (self.trace_sink.as_ref(), self.metrics.as_mut()) {
+            m.set_ring_dropped(sink.dropped());
+        }
     }
 
     fn kill(
@@ -1311,6 +1322,7 @@ impl Kernel {
             }
         }
         self.log.push(alert);
+        self.sync_ring_gauge();
         if self.opts.charge_costs {
             ctx.charge(charged);
             self.stats.kernel_cycles += charged;

@@ -34,7 +34,7 @@
 //!   counter is only incremented when the verified-call cache is enabled.
 
 use asc_core::VerifyOutcome;
-use asc_metrics::{CounterId, HistogramId, Registry, Snapshot};
+use asc_metrics::{CounterId, GaugeId, HistogramId, Registry, Snapshot};
 use asc_trace::{CheckKind, CheckRecord, CHECK_FAMILIES};
 
 use crate::cost::CostModel;
@@ -69,6 +69,7 @@ pub struct KernelMetrics {
     check_cycles: [HistogramId; CHECK_FAMILIES],
     check_aes: [HistogramId; CHECK_FAMILIES],
     check_bytes: [HistogramId; CHECK_FAMILIES],
+    pub(crate) ring_dropped: GaugeId,
 }
 
 impl Default for KernelMetrics {
@@ -167,6 +168,7 @@ impl KernelMetrics {
                 &join(extra, &[("family", CheckKind::family_name(i))]),
             )
         });
+        let ring_dropped = registry.gauge("asc_trace_ring_dropped_events", &join(extra, &[]));
         KernelMetrics {
             registry,
             syscalls,
@@ -179,6 +181,7 @@ impl KernelMetrics {
             check_cycles,
             check_aes,
             check_bytes,
+            ring_dropped,
         }
     }
 
@@ -194,6 +197,15 @@ impl KernelMetrics {
 
     pub(crate) fn inc(&mut self, id: CounterId) {
         self.registry.inc(id, 1);
+    }
+
+    /// Mirrors the attached trace ring's drop counter
+    /// ([`asc_trace::TraceSink::dropped`]) into the
+    /// `asc_trace_ring_dropped_events` gauge. Pure telemetry: reading the
+    /// counter never perturbs the ring or the metered cycle stream.
+    pub(crate) fn set_ring_dropped(&mut self, dropped: u64) {
+        let id = self.ring_dropped;
+        self.registry.set(id, dropped as f64);
     }
 
     /// Records one successful verification: the per-call histograms under

@@ -56,7 +56,8 @@ impl MetricKey {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Renders as `name` or `name{k="v",...}`.
+    /// Renders as `name` or `name{k="v",...}`. Label values are escaped
+    /// per the Prometheus text exposition format.
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -64,10 +65,27 @@ impl MetricKey {
         let body: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
             .collect();
         format!("{}{{{}}}", self.name, body.join(","))
     }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Everything else (including other control characters and UTF-8) passes
+/// through untouched, exactly as the format specifies.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// One metric's current value.
@@ -343,8 +361,10 @@ impl Snapshot {
                             .map(|(k, v)| (k.as_str(), v.clone()))
                             .collect();
                         labels.push(("le", upper.to_string()));
-                        let body: Vec<String> =
-                            labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                        let body: Vec<String> = labels
+                            .iter()
+                            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                            .collect();
                         let _ = writeln!(
                             out,
                             "{}_bucket{{{}}} {cumulative}",
@@ -355,7 +375,7 @@ impl Snapshot {
                     let mut inf_labels: Vec<String> = key
                         .labels
                         .iter()
-                        .map(|(k, v)| format!("{k}=\"{v}\""))
+                        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
                         .collect();
                     inf_labels.push("le=\"+Inf\"".to_string());
                     let _ = writeln!(
@@ -563,6 +583,95 @@ mod tests {
         let text = value.to_pretty();
         let parsed = asc_core::json::Value::parse(&text).expect("snapshot JSON parses");
         assert_eq!(parsed, value, "snapshot JSON round-trips");
+    }
+
+    /// Inverse of [`escape_label_value`], for the round-trip tests: a
+    /// Prometheus scraper's unescaping of `\\`, `\"`, and `\n`.
+    fn unescape_label_value(escaped: &str) -> String {
+        let mut out = String::with_capacity(escaped.len());
+        let mut chars = escaped.chars();
+        while let Some(ch) = chars.next() {
+            if ch != '\\' {
+                out.push(ch);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let hostile = [
+            "plain",
+            "back\\slash",
+            "quo\"te",
+            "line\nfeed",
+            "\\\"\n",
+            "\\n is literal backslash-n",
+            "trailing\\",
+            "mixed \\ \" \n déjà-vu",
+        ];
+        for value in hostile {
+            let escaped = escape_label_value(value);
+            assert!(!escaped.contains('\n'), "newline survived: {escaped:?}");
+            assert_eq!(
+                unescape_label_value(&escaped),
+                value,
+                "escaping must round-trip {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposition_escapes_label_values_at_every_site() {
+        let mut r = Registry::new();
+        let hostile = "bad\\path\"with\nnewline";
+        let c = r.counter("hits_total", &[("path", hostile)]);
+        r.inc(c, 1);
+        let g = r.gauge("level", &[("path", hostile)]);
+        r.set(g, 2.0);
+        let h = r.histogram("cost", &[("path", hostile)]);
+        r.observe(h, 3);
+        let text = r.snapshot().to_prometheus();
+        let escaped = "bad\\\\path\\\"with\\nnewline";
+        assert!(
+            text.contains(&format!("hits_total{{path=\"{escaped}\"}} 1")),
+            "counter site: {text}"
+        );
+        assert!(
+            text.contains(&format!("level{{path=\"{escaped}\"}} 2")),
+            "gauge site: {text}"
+        );
+        assert!(
+            text.contains(&format!("cost_bucket{{path=\"{escaped}\",le=\"3\"}} 1")),
+            "bucket site: {text}"
+        );
+        assert!(
+            text.contains(&format!("cost_bucket{{path=\"{escaped}\",le=\"+Inf\"}} 1")),
+            "+Inf site: {text}"
+        );
+        assert!(
+            text.contains(&format!("cost_sum{{path=\"{escaped}\"}} 3")),
+            "sum site: {text}"
+        );
+        // The exposition format is line-oriented: a raw newline in a label
+        // value would have split this family across a bogus line.
+        for line in text.lines() {
+            assert!(
+                line.is_empty() || line.starts_with('#') || line.contains(' '),
+                "malformed exposition line {line:?}"
+            );
+        }
     }
 
     #[test]

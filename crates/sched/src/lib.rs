@@ -30,7 +30,15 @@ use std::rc::Rc;
 use asc_core::SharedVerifyCache;
 use asc_kernel::{BatchStats, Kernel, KernelStats};
 use asc_testkit::Rng;
+use asc_trace::RingSink;
 use asc_vm::{Machine, RunOutcome, StepOutcome};
+
+pub mod recorder;
+
+use recorder::{map_ring_events, Recorder};
+pub use recorder::{
+    AuditLog, KillMark, PidAudit, RecorderConfig, SliceEnd, SliceWindow, TimelineEntry,
+};
 
 /// Process identifier, 1-based (pid 1 is the historical single-process
 /// default; the scheduler assigns 1, 2, 3, … in spawn order).
@@ -175,6 +183,7 @@ pub struct Scheduler {
     cursor: usize,
     clock: u64,
     interleaving: Vec<Pid>,
+    recorder: Option<Recorder>,
 }
 
 impl Scheduler {
@@ -191,6 +200,7 @@ impl Scheduler {
             cursor: 0,
             clock: 0,
             interleaving: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -216,6 +226,16 @@ impl Scheduler {
         machine.handler_mut().set_pid(pid);
         if let Some(shared) = self.shared_cache.as_ref() {
             machine.handler_mut().share_cache(Rc::clone(shared));
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            if rec.config.samples(pid) {
+                rec.sampled.push(pid);
+                machine
+                    .handler_mut()
+                    .set_trace_sink(Box::new(RingSink::new(rec.config.ring_capacity)));
+            } else {
+                rec.unsampled.push(pid);
+            }
         }
         self.procs.push(Process {
             pid,
@@ -243,9 +263,12 @@ impl Scheduler {
             "pid {pid} is not runnable: {:?}",
             proc.state
         );
+        let slice_index = self.interleaving.len() as u64;
         self.interleaving.push(pid);
         proc.slices += 1;
         let before = proc.machine.cycles();
+        let clock_start = self.clock;
+        let stats_before = *proc.kernel().stats();
         let target = proc.machine.instret() + self.config.slice_instrs;
         let remaining = self.config.budget_cycles.saturating_sub(before).max(1);
         if let Some(depth) = self.config.batch_depth {
@@ -268,6 +291,43 @@ impl Scheduler {
                 proc.state = ProcState::Killed(reason);
             }
             StepOutcome::Done(other) => proc.state = ProcState::Faulted(format!("{other:?}")),
+        }
+        if self.recorder.is_some() {
+            // Snapshot first: the recorder observes scheduling state the
+            // slice already produced, it never feeds back into it.
+            let proc = &self.procs[idx];
+            let stats_after = *proc.kernel().stats();
+            let end = match proc.state() {
+                ProcState::Runnable => SliceEnd::Preempted,
+                ProcState::Exited(code) => SliceEnd::Exited(*code),
+                ProcState::Killed(reason) => SliceEnd::Killed(reason.clone()),
+                ProcState::Faulted(detail) => SliceEnd::Faulted(detail.clone()),
+            };
+            let window = SliceWindow {
+                pid,
+                index: slice_index,
+                clock_start,
+                clock_end: self.clock,
+                machine_start: before,
+                machine_end: proc.machine().cycles(),
+                batched: self.config.batch_depth.is_some(),
+                fallback_delta: stats_after.cache_fallbacks - stats_before.cache_fallbacks,
+                scrub_delta: stats_after.cache_scrubs - stats_before.cache_scrubs,
+                end: end.clone(),
+            };
+            let clock = self.clock;
+            let Some(rec) = self.recorder.as_mut() else {
+                unreachable!("recorder presence checked above");
+            };
+            if let SliceEnd::Killed(reason) = &end {
+                rec.kills.push(KillMark {
+                    pid,
+                    clock,
+                    slice_index: Some(slice_index),
+                    reason: reason.clone(),
+                });
+            }
+            rec.windows.push(window);
         }
         &self.procs[idx].state
     }
@@ -316,6 +376,86 @@ impl Scheduler {
         if let Some(shared) = self.shared_cache.as_ref() {
             shared.borrow_mut().drop_pid(pid);
         }
+        let clock = self.clock;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.kills.push(KillMark {
+                pid,
+                clock,
+                slice_index: None,
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// Attaches the flight recorder. Already-spawned and future processes
+    /// are sampled per [`RecorderConfig::samples`]; sampled kernels get a
+    /// bounded [`RingSink`] each. Attaching is perturbation-free: charged
+    /// cycles, stats, outputs, and the interleaving are bit-identical with
+    /// or without the recorder (asserted by `tests/audit.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached.
+    pub fn attach_recorder(&mut self, config: RecorderConfig) {
+        assert!(self.recorder.is_none(), "recorder already attached");
+        let mut rec = Recorder {
+            config,
+            ..Recorder::default()
+        };
+        for proc in &mut self.procs {
+            if config.samples(proc.pid) {
+                rec.sampled.push(proc.pid);
+                proc.kernel_mut()
+                    .set_trace_sink(Box::new(RingSink::new(config.ring_capacity)));
+            } else {
+                rec.unsampled.push(proc.pid);
+            }
+        }
+        self.recorder = Some(rec);
+    }
+
+    /// Whether a recorder is attached.
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Detaches the recorder and harvests the audit log: drains every
+    /// sampled pid's ring, maps its events onto the shared virtual clock
+    /// via the recorded slice windows, and packages the slice windows,
+    /// kill marks, and per-pid stats (the exact reconstruction source for
+    /// unsampled pids). Returns `None` if no recorder was attached.
+    pub fn take_audit(&mut self) -> Option<AuditLog> {
+        let rec = self.recorder.take()?;
+        let mut pids = Vec::with_capacity(self.procs.len());
+        for proc in &mut self.procs {
+            let pid = proc.pid;
+            let sampled = rec.sampled.contains(&pid);
+            let (events, dropped) = if sampled {
+                let ring = proc
+                    .kernel_mut()
+                    .take_trace_sink()
+                    .expect("sampled pid owns a ring")
+                    .into_any()
+                    .downcast::<RingSink>()
+                    .expect("recorder sinks are RingSinks");
+                map_ring_events(pid, &ring, &rec.windows)
+            } else {
+                (Vec::new(), 0)
+            };
+            pids.push(PidAudit {
+                pid,
+                sampled,
+                events,
+                dropped,
+                stats: proc.stats(),
+            });
+        }
+        Some(AuditLog {
+            config: rec.config,
+            windows: rec.windows,
+            kills: rec.kills,
+            pids,
+        })
     }
 
     /// The shared virtual clock: total cycles consumed across all slices.

@@ -393,6 +393,14 @@ pub trait TraceSink {
     /// Consumes one event.
     fn record(&mut self, event: Event);
 
+    /// Events this sink has discarded to stay within its bounds. Unbounded
+    /// sinks report 0; [`RingSink`] reports its exact overwrite count, so
+    /// a harness (or a metrics gauge) can account for every event pushed:
+    /// retained + dropped == recorded, always.
+    fn dropped(&self) -> u64 {
+        0
+    }
+
     /// Downcast support, so a harness can recover a concrete sink (e.g. a
     /// [`Profile`]) it previously boxed into a kernel.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
@@ -471,6 +479,10 @@ impl TraceSink for RingSink {
             self.dropped += 1;
         }
         self.events.push_back(event);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {

@@ -23,7 +23,10 @@
 //! * [`monitors`] — baseline monitors (Systrace-like trained user-space
 //!   monitor; in-kernel table monitor).
 //! * [`sched`] — the deterministic multi-process scheduler (time-slicing
-//!   N machines on the shared virtual cycle clock).
+//!   N machines on the shared virtual cycle clock), with the always-on
+//!   forensic flight recorder.
+//! * [`audit`] — on-kill forensic bundles and deterministic
+//!   replay-to-kill.
 //! * [`attacks`] — the attack harness (shellcode, mimicry, non-control-data,
 //!   Frankenstein).
 //! * [`workloads`] — guest programs and benchmark suites.
@@ -56,6 +59,7 @@
 pub use asc_analysis as analysis;
 pub use asc_asm as asm;
 pub use asc_attacks as attacks;
+pub use asc_audit as audit;
 pub use asc_core as core;
 pub use asc_crypto as crypto;
 pub use asc_installer as installer;
@@ -65,5 +69,6 @@ pub use asc_lang as lang;
 pub use asc_monitors as monitors;
 pub use asc_object as object;
 pub use asc_sched as sched;
+pub use asc_trace as trace;
 pub use asc_vm as vm;
 pub use asc_workloads as workloads;
