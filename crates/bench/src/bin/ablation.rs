@@ -43,6 +43,7 @@ fn run_monitored(
 }
 
 fn main() {
+    asc_bench::cli::reject_args("ablation");
     println!("Ablation: enforcement architecture cost (overhead % vs unmonitored)");
     println!("ASC warm% = ASC with the verified-call cache (MAC cache) enabled.");
     println!(

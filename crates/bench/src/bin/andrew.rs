@@ -96,6 +96,7 @@ fn measure(iterations: u32, authenticated: bool) -> (u64, u64) {
 }
 
 fn main() {
+    asc_bench::cli::reject_args("andrew");
     let iterations = 5;
     let (orig_cycles, orig_calls) = measure(iterations, false);
     let (auth_cycles, auth_calls) = measure(iterations, true);

@@ -19,6 +19,7 @@ fn show(label: &str, outcome: &AttackOutcome, expected_blocked: bool) {
 }
 
 fn main() {
+    asc_bench::cli::reject_args("attacks");
     let lab = AttackLab::new(bench_key());
     println!("Attack experiments (victim: reads a file name, runs /bin/ls on it)\n");
 

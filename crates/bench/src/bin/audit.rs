@@ -17,7 +17,7 @@ use asc_bench::audit::{audit_to_value, render_audit, run_audit};
 use asc_bench::print_json;
 
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let json = asc_bench::cli::json_flag_only("audit");
     let report = run_audit();
     if json {
         print_json(&audit_to_value(&report));

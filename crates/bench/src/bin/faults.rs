@@ -50,10 +50,11 @@ fn main() {
             "--json" => json = true,
             "--no-demo" => demo = false,
             "--no-cross" => cross = false,
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => asc_bench::cli::unknown_arg(
+                "faults",
+                other,
+                "[--seed N] [--trials N] [--workloads a,b,c] [--json] [--no-demo] [--no-cross]",
+            ),
         }
     }
 

@@ -43,10 +43,11 @@ fn main() -> ExitCode {
                 );
             }
             "--json" => json = true,
-            other => {
-                eprintln!("unknown argument `{other}` (expected --out/--check/--json)");
-                return ExitCode::from(2);
-            }
+            other => asc_bench::cli::unknown_arg(
+                "perf",
+                other,
+                "[--out FILE] [--check BASELINE] [--json]",
+            ),
         }
         i += 1;
     }

@@ -13,8 +13,16 @@ use asc_kernel::Personality;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let program = args.first().map(String::as_str).unwrap_or("bison");
-    let personality = match args.get(1).map(String::as_str) {
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-') && *a != "--json") {
+        asc_bench::cli::unknown_arg("policy_dump", flag, "[PROGRAM] [linux|openbsd] [--json]");
+    }
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let program = positional.first().copied().unwrap_or("bison");
+    let personality = match positional.get(1).copied() {
         Some("openbsd") => Personality::OpenBsd,
         _ => Personality::Linux,
     };

@@ -24,6 +24,9 @@
 use asc_bench::fleet::{fleet_to_value, render_fleet, run_fleet, FleetConfig};
 use asc_bench::server::{render_server, run_server, server_to_value, ServerConfig, ServerMode};
 
+const SERVER_USAGE: &str =
+    "[--fleet] [--procs N] [--seed N] [--slice N] [--batch K] [--churn N] [--round-robin] [--json]";
+
 fn main() {
     let mut config = ServerConfig::default();
     let mut fleet_config = FleetConfig::default();
@@ -59,10 +62,7 @@ fn main() {
             }
             "--round-robin" => config.round_robin = true,
             "--json" => json = true,
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => asc_bench::cli::unknown_arg("server", other, SERVER_USAGE),
         }
     }
 

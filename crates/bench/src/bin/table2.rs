@@ -39,6 +39,7 @@ fn paper_row(name: &str) -> Option<(&'static str, &'static str)> {
 }
 
 fn main() {
+    asc_bench::cli::reject_args("table2");
     let personality = Personality::OpenBsd;
     let spec = program("bison").expect("name appears in the asc_workloads program registry");
     let binary = build(spec, personality).expect("registered workload source compiles and links");

@@ -18,6 +18,7 @@ fn paper_row(name: &str) -> (u32, u32, u32, u32, u32, u32, u32) {
 }
 
 fn main() {
+    asc_bench::cli::reject_args("table3");
     println!("Table 3: Argument coverage");
     println!(
         "{:<8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>4} {:>5} {:>7} | paper: sites calls args o/p auth mv fds",

@@ -202,6 +202,7 @@ fn run_cycles(src: &str, authenticated: bool) -> u64 {
 }
 
 fn main() {
+    asc_bench::cli::reject_args("table4");
     println!("Table 4: Effect of authentication (cycles per call, {N} iterations)");
     println!("Auth(warm) = same loop with the verified-call cache enabled.");
     println!(

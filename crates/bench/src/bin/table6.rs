@@ -17,7 +17,7 @@ const SUITE: &[&str] = &[
 ];
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = asc_bench::cli::json_flag_only("table6");
 
     println!("Table 5: Benchmark suite");
     println!("{:<12} {:<14} description", "Program", "Type");

@@ -26,6 +26,7 @@ const SEED: u64 = 0x5F1F_CA5E;
 const TRIALS: u32 = 3;
 
 fn main() {
+    asc_bench::cli::reject_args("tiers");
     println!("Verification-tier ablation: cost x coverage");
     println!();
     println!(

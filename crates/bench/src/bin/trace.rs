@@ -14,13 +14,19 @@
 
 use asc_bench::{print_json, profile_andrew, profile_to_value, profile_workload, render_profile};
 
+const USAGE: &str = "[--workload NAME] [--json]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let workload = args
-        .iter()
-        .position(|a| a == "--workload")
-        .map(|i| args.get(i + 1).expect("--workload takes a name").clone());
+    let mut json = false;
+    let mut workload: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workload" => workload = Some(args.next().expect("--workload takes a name")),
+            other => asc_bench::cli::unknown_arg("trace", other, USAGE),
+        }
+    }
 
     let run = match workload.as_deref() {
         None | Some("andrew") => profile_andrew(),

@@ -1,0 +1,36 @@
+//! Shared CLI conventions for the bench binaries.
+//!
+//! Every binary routes unknown arguments through [`unknown_arg`]: the
+//! offending flag and a usage line go to stderr and the process exits 2,
+//! so a typo can never be mistaken for a successful run (CI jobs pipe
+//! these binaries into `diff`). `tests/cli.rs` pins the convention for
+//! every binary in the crate.
+
+/// Prints the offending argument and a `usage:` line to stderr, then
+/// exits 2 — the shared unknown-argument path.
+pub fn unknown_arg(bin: &str, arg: &str, usage: &str) -> ! {
+    eprintln!("unknown argument: {arg}");
+    eprintln!("usage: {bin} {usage}");
+    std::process::exit(2)
+}
+
+/// For binaries that take no arguments: rejects anything via
+/// [`unknown_arg`].
+pub fn reject_args(bin: &str) {
+    if let Some(arg) = std::env::args().nth(1) {
+        unknown_arg(bin, &arg, "(takes no arguments)");
+    }
+}
+
+/// For binaries whose only flag is `--json`: parses it, rejecting
+/// anything else via [`unknown_arg`].
+pub fn json_flag_only(bin: &str) -> bool {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => unknown_arg(bin, other, "[--json]"),
+        }
+    }
+    json
+}

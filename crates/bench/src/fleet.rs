@@ -420,8 +420,14 @@ pub fn render_fleet(run: &FleetRun) -> String {
     );
     let _ = writeln!(
         out,
-        "batch: {} windows, {} submitted, {} drained, ring depth {}",
-        run.batch.windows, run.batch.submitted, run.batch.drained, run.batch.max_depth,
+        "batch: {} opened / {} closed, {} detached windows, {} submitted, {} drained ({:.2} fill), ring depth {}",
+        run.batch.opened,
+        run.batch.closed,
+        run.batch.windows,
+        run.batch.submitted,
+        run.batch.drained,
+        run.batch.fill_ratio(),
+        run.batch.max_depth,
     );
     let _ = writeln!(
         out,
@@ -497,7 +503,10 @@ pub fn fleet_to_value(run: &FleetRun) -> Value {
             Value::Num(run.verified_per_fleet_second()),
         ),
         ("shared_probes".into(), Value::Num(run.shared_probes as f64)),
+        ("batch_opened".into(), Value::Num(run.batch.opened as f64)),
+        ("batch_closed".into(), Value::Num(run.batch.closed as f64)),
         ("batch_windows".into(), Value::Num(run.batch.windows as f64)),
+        ("batch_fill".into(), Value::Num(run.batch.fill_ratio())),
         (
             "batch_submitted".into(),
             Value::Num(run.batch.submitted as f64),

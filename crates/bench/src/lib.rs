@@ -1,7 +1,9 @@
 //! Shared harness code for the table-regeneration binaries.
 
 pub mod audit;
+pub mod cli;
 pub mod fleet;
+pub mod health;
 pub mod perf;
 pub mod server;
 

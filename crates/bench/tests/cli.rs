@@ -1,0 +1,58 @@
+//! Shared CLI convention: every bench binary rejects an unknown flag
+//! with exit code 2 and a `usage:` line on stderr, so a typo can never
+//! be mistaken for a successful run (several CI jobs pipe these binaries
+//! into `diff`, where a silently ignored flag would corrupt a golden).
+
+use std::process::Command;
+
+fn rejects_unknown_flag(bin: &str) {
+    let out = Command::new(bin)
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("bench binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin}: expected exit 2 on an unknown flag, got {:?} (stderr: {stderr})",
+        out.status
+    );
+    assert!(
+        stderr.contains("unknown argument"),
+        "{bin}: stderr names the offending flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{bin}: stderr carries a usage line: {stderr}"
+    );
+}
+
+macro_rules! cli_tests {
+    ($($name:ident => $env:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                rejects_unknown_flag(env!($env));
+            }
+        )*
+    };
+}
+
+cli_tests! {
+    ablation_rejects_unknown_flags => "CARGO_BIN_EXE_ablation",
+    andrew_rejects_unknown_flags => "CARGO_BIN_EXE_andrew",
+    attacks_rejects_unknown_flags => "CARGO_BIN_EXE_attacks",
+    audit_rejects_unknown_flags => "CARGO_BIN_EXE_audit",
+    faults_rejects_unknown_flags => "CARGO_BIN_EXE_faults",
+    health_rejects_unknown_flags => "CARGO_BIN_EXE_health",
+    perf_rejects_unknown_flags => "CARGO_BIN_EXE_perf",
+    policy_dump_rejects_unknown_flags => "CARGO_BIN_EXE_policy_dump",
+    server_rejects_unknown_flags => "CARGO_BIN_EXE_server",
+    table1_rejects_unknown_flags => "CARGO_BIN_EXE_table1",
+    table2_rejects_unknown_flags => "CARGO_BIN_EXE_table2",
+    table3_rejects_unknown_flags => "CARGO_BIN_EXE_table3",
+    table4_rejects_unknown_flags => "CARGO_BIN_EXE_table4",
+    table6_rejects_unknown_flags => "CARGO_BIN_EXE_table6",
+    tiers_rejects_unknown_flags => "CARGO_BIN_EXE_tiers",
+    trace_rejects_unknown_flags => "CARGO_BIN_EXE_trace",
+}

@@ -80,3 +80,8 @@ fn tiers_is_byte_identical() {
 fn audit_is_byte_identical() {
     check(env!("CARGO_BIN_EXE_audit"), "audit.txt");
 }
+
+#[test]
+fn health_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_health"), "health.txt");
+}

@@ -122,7 +122,7 @@ struct StateEntry {
 
 /// Per-process cache of verifications the kernel has already performed.
 ///
-/// One of these lives next to each process's [`MemoryChecker`]
+/// One of these lives next to each process's `MemoryChecker`
 /// (`asc_crypto::MemoryChecker`) inside the kernel; the untrusted
 /// application can influence it only through the memory bytes it presents,
 /// which are always re-read and re-compared. See the module docs for the

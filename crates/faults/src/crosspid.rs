@@ -7,7 +7,7 @@
 //! Two classes extend the single-process campaign:
 //!
 //! * [`CrossFaultClass::CachePoisonAcrossPids`] — corrupt a verified-call
-//!   cache entry inside one pid's namespace of the [`SharedVerifyCache`]
+//!   cache entry inside one pid's namespace of the [`asc_core::SharedVerifyCache`]
 //!   mid-schedule. The cache is an untrusted accelerator, so the target
 //!   must degrade gracefully (cold fallback, never a kill) and no other
 //!   pid may observe anything at all.

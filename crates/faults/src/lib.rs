@@ -26,6 +26,11 @@
 //!   transition-order attacks but misses in-edge forgeries, and the
 //!   combined tier dominates both.
 //!
+//! * [`latency`] measures how long a monitored fleet takes to *notice*
+//!   each fault class: one seeded fault per class against an
+//!   `asc-sentinel`-observed fleet, recording armed / effect /
+//!   detected clocks and bounding the monitoring lag.
+//!
 //! The same machinery, pointed at a deliberately weakened verifier
 //! ([`campaign::run_weakened_demo`]), demonstrates that the oracle
 //! actually detects bypasses: with string verification disabled, a
@@ -35,6 +40,7 @@
 pub mod campaign;
 pub mod crosspid;
 pub mod inventory;
+pub mod latency;
 pub mod tiers;
 
 pub use campaign::{
@@ -43,6 +49,7 @@ pub use campaign::{
 };
 pub use crosspid::{run_cross_campaign, CrossConfig, CrossFaultClass, CrossReport, CrossRow};
 pub use inventory::{scan, Blob, Inventory};
+pub use latency::{run_latency_campaign, LatencyConfig, LatencyReport, LatencyRow};
 pub use tiers::{run_tier_matrix, TierMatrixConfig, TierReport, TierRow, FLOW_REORDER};
 
 use asc_crypto::MacKey;

@@ -1,0 +1,60 @@
+//! Detection-latency coverage matrix: every fault class is detected by
+//! the sentinel, the monitoring lag stays within the hard bound, and the
+//! campaign is reproducible.
+
+use asc_faults::{run_latency_campaign, FaultClass, LatencyConfig};
+
+const SEED: u64 = 0x1A7E_5EED;
+
+#[test]
+fn every_fault_class_is_detected_within_the_lag_bound() {
+    let report = run_latency_campaign(&LatencyConfig::new(SEED));
+
+    assert!(
+        report.undetected.is_empty(),
+        "undetected classes: {:?}",
+        report.undetected
+    );
+    let problems = report.problems();
+    assert!(problems.is_empty(), "latency problems: {problems:?}");
+
+    // Full coverage: one row per fault class, in declaration order.
+    assert_eq!(report.rows.len(), FaultClass::ALL.len());
+    for (row, class) in report.rows.iter().zip(FaultClass::ALL) {
+        assert_eq!(row.class, class);
+        assert!(row.within_bound, "{} missed the bound", class.name());
+        // The clocks are ordered: armed, then effect, then detection.
+        assert!(row.effect_clock >= row.armed_clock, "{row:?}");
+        assert!(row.detected_clock >= row.effect_clock, "{row:?}");
+        assert_eq!(row.latency, row.detected_clock - row.armed_clock);
+        assert_eq!(row.lag, row.detected_clock - row.effect_clock);
+        assert!(row.lag <= report.bound_cycles);
+        assert!(!row.detector.is_empty());
+    }
+
+    // Memory-flip classes really do exercise the consumption delay the
+    // armed/effect split exists for: at least one row has a gap.
+    assert!(
+        report.rows.iter().any(|r| r.effect_clock > r.armed_clock),
+        "no row shows an armed->effect consumption delay"
+    );
+
+    // The rendered table carries one line per class plus the header, and
+    // the JSON form round-trips.
+    let table = report.render();
+    assert_eq!(table.lines().count(), 1 + FaultClass::ALL.len());
+    for class in FaultClass::ALL {
+        assert!(table.contains(class.name()), "{table}");
+    }
+    let value = report.to_value();
+    let parsed =
+        asc_core::json::Value::parse(&value.to_pretty()).expect("latency report JSON parses");
+    assert_eq!(parsed, value);
+}
+
+#[test]
+fn the_campaign_is_deterministic() {
+    let a = run_latency_campaign(&LatencyConfig::new(SEED));
+    let b = run_latency_campaign(&LatencyConfig::new(SEED));
+    assert_eq!(a.to_value(), b.to_value());
+}

@@ -43,6 +43,12 @@ use asc_core::{AuthCallRegs, VerifyCache};
 /// per-pid outputs stay bit-identical with batching on or off.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
+    /// Windows opened by the scheduler's slice bracketing
+    /// ([`crate::Kernel::open_batch_window`] calls).
+    pub opened: u64,
+    /// Windows closed ([`crate::Kernel::close_batch_window`] calls that
+    /// found a window open).
+    pub closed: u64,
     /// Batch windows that detached a cache namespace (a window with no
     /// enforced cached call opens nothing and costs nothing).
     pub windows: u64,
@@ -57,10 +63,23 @@ pub struct BatchStats {
 impl BatchStats {
     /// Folds another kernel's counters into this one (fleet aggregation).
     pub fn absorb(&mut self, other: &BatchStats) {
+        self.opened += other.opened;
+        self.closed += other.closed;
         self.windows += other.windows;
         self.submitted += other.submitted;
         self.drained += other.drained;
         self.max_depth = self.max_depth.max(other.max_depth);
+    }
+
+    /// Drained calls per namespace-detaching window — how full the ring
+    /// ran, the number the `O(2 probes/K calls)` amortisation claim rides
+    /// on. 0.0 before any window detached.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.windows > 0 {
+            self.drained as f64 / self.windows as f64
+        } else {
+            0.0
+        }
     }
 }
 

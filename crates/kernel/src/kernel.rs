@@ -511,10 +511,11 @@ impl Kernel {
     /// from the shared family once per window instead of probed per call.
     /// A scheduler brackets each slice with open/close; re-opening an
     /// already-open window first flushes it. Per-pid outputs are
-    /// bit-identical with or without a window (see [`crate::batch`]).
+    /// bit-identical with or without a window (see the `batch` module docs).
     pub fn open_batch_window(&mut self, k: usize) {
         self.flush_batch_namespace();
         self.batch = Some(BatchSession::new(k));
+        self.batch_stats.opened += 1;
     }
 
     /// Closes the batch window, reattaching the detached namespace (if
@@ -522,7 +523,9 @@ impl Kernel {
     /// open.
     pub fn close_batch_window(&mut self) {
         self.flush_batch_namespace();
-        self.batch = None;
+        if self.batch.take().is_some() {
+            self.batch_stats.closed += 1;
+        }
     }
 
     /// Lifetime counters of the batched verification path.

@@ -78,7 +78,7 @@ impl Histogram {
             self.max = self.max.max(value);
         }
         self.count += n;
-        self.sum += value * n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
     }
 
     /// Number of observations.
@@ -86,7 +86,8 @@ impl Histogram {
         self.count
     }
 
-    /// Exact sum of all observations.
+    /// Exact sum of all observations (saturating at `u64::MAX`, reachable
+    /// only by recording values near the top of the `u64` range).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -156,7 +157,53 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The observations `self` gained since `earlier` was captured, as a
+    /// new histogram: the inverse of [`Histogram::merge`] for the exact
+    /// fields. `earlier` must be a previous snapshot of the same
+    /// histogram (every bucket of `earlier` ≤ the matching bucket here);
+    /// `count`, `sum`, and the per-bucket counts of the delta are then
+    /// exact — `earlier.merge(&delta)` reproduces `self` bucket for
+    /// bucket. `min`/`max` cannot be recovered from cumulative state, so
+    /// the delta approximates them from its bucket bounds: `min` is the
+    /// lower bound of its first occupied bucket, `max` the upper bound of
+    /// its last occupied bucket clamped to the exact cumulative `max`.
+    /// Quantiles (which only read buckets and the `max` clamp) stay
+    /// upper-bound estimates with the usual ≤ 6.25% relative error.
+    ///
+    /// Windowed telemetry is the intended caller: subtracting the
+    /// previous window's snapshot yields the distribution of just that
+    /// window's observations, in O(buckets) with no allocation beyond the
+    /// delta itself.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = self.buckets.clone();
+        for (b, o) in buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *b = b.saturating_sub(*o);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        let sum = self.sum.saturating_sub(earlier.sum);
+        let first = buckets.iter().position(|&n| n > 0);
+        let last = buckets.iter().rposition(|&n| n > 0);
+        let (min, max) = match (count, first, last) {
+            (0, ..) | (_, None, _) | (_, _, None) => (0, 0),
+            (_, Some(first), Some(last)) => {
+                let lo = if first == 0 {
+                    0
+                } else {
+                    bucket_upper(first - 1) + 1
+                };
+                (lo, bucket_upper(last).min(self.max))
+            }
+        };
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Non-empty buckets as `(inclusive upper bound, count)`, in ascending
@@ -263,5 +310,122 @@ mod tests {
         assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_is_an_exact_bucket() {
+        // 0 lands in the first exact bucket — its own bucket, not shared
+        // with 1 — and every quantile of an all-zero distribution is 0.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_upper(0), 0);
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 0, 0, 0));
+        assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), vec![(0, 2)]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        // Mixed with a nonzero value, 0 still holds p50 of {0, 0, 7}.
+        h.record(7);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_top_bucket_without_overflow() {
+        // The top octave's arithmetic must not overflow: u64::MAX maps to
+        // the last sub-bucket of octave 59, whose upper bound saturates at
+        // u64::MAX exactly.
+        let idx = bucket_index(u64::MAX);
+        assert_eq!(bucket_upper(idx), u64::MAX);
+        let lo = bucket_upper(idx - 1) + 1;
+        assert!(lo > u64::MAX / 2, "top bucket lo = {lo}");
+
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!((h.count(), h.min(), h.max()), (1, u64::MAX, u64::MAX));
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), vec![(u64::MAX, 1)]);
+        // Quantiles clamp to the exact max, so even the bucket's huge
+        // width cannot push the estimate past the observation.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), u64::MAX, "q={q}");
+        }
+    }
+
+    #[test]
+    fn extremes_merge_and_quantile_together() {
+        // Both edge values in one histogram: {0, u64::MAX}. p50 must come
+        // from the 0 bucket, p100 from the exact max.
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!((h.min(), h.max()), (0, u64::MAX));
+        assert_eq!(h.sum(), u64::MAX, "0 contributes nothing to the sum");
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Merging preserves the extremes element-wise.
+        let mut other = Histogram::new();
+        other.record(42);
+        other.merge(&h);
+        assert_eq!((other.min(), other.max()), (0, u64::MAX));
+        assert_eq!(other.count(), 3);
+    }
+
+    #[test]
+    fn diff_recovers_the_window_exactly() {
+        // earlier + window = later  ⇒  later.diff(earlier) == window on
+        // every exact field (count, sum, buckets).
+        let mut earlier = Histogram::new();
+        let mut window = Histogram::new();
+        let mut later = Histogram::new();
+        for i in 0..500u64 {
+            let v = i.wrapping_mul(0x9E37_79B9) % 1_000_000;
+            if i % 4 == 0 {
+                window.record(v);
+            } else {
+                earlier.record(v);
+            }
+        }
+        later.merge(&earlier);
+        later.merge(&window);
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.count(), window.count());
+        assert_eq!(delta.sum(), window.sum());
+        assert_eq!(
+            delta.nonzero_buckets().collect::<Vec<_>>(),
+            window.nonzero_buckets().collect::<Vec<_>>()
+        );
+        // min/max are bucket-bound approximations: they bracket the exact
+        // window extremes within one bucket's width.
+        assert!(delta.min() <= window.min());
+        assert!(delta.max() >= window.max());
+        assert!(delta.max() <= later.max());
+        // Round trip: merging the delta back onto `earlier` reproduces
+        // `later` bucket for bucket.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.count(), later.count());
+        assert_eq!(rebuilt.sum(), later.sum());
+        assert_eq!(
+            rebuilt.nonzero_buckets().collect::<Vec<_>>(),
+            later.nonzero_buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 99, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let delta = h.diff(&h.clone());
+        assert_eq!(
+            (delta.count(), delta.sum(), delta.min(), delta.max()),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(delta.quantile(0.5), 0);
+        assert_eq!(delta.nonzero_buckets().count(), 0);
     }
 }

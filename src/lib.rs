@@ -27,6 +27,12 @@
 //!   forensic flight recorder.
 //! * [`audit`] — on-kill forensic bundles and deterministic
 //!   replay-to-kill.
+//! * [`metrics`] — dimensional counters/gauges/histograms with snapshot
+//!   delta/merge algebra (observability, never cost-model input).
+//! * [`sentinel`] — continuous fleet-health monitoring: windowed
+//!   telemetry, anomaly detectors, health reports.
+//! * [`faults`] — seeded fault-injection campaigns, including the
+//!   detection-latency campaign the sentinel is measured by.
 //! * [`attacks`] — the attack harness (shellcode, mimicry, non-control-data,
 //!   Frankenstein).
 //! * [`workloads`] — guest programs and benchmark suites.
@@ -62,13 +68,16 @@ pub use asc_attacks as attacks;
 pub use asc_audit as audit;
 pub use asc_core as core;
 pub use asc_crypto as crypto;
+pub use asc_faults as faults;
 pub use asc_installer as installer;
 pub use asc_isa as isa;
 pub use asc_kernel as kernel;
 pub use asc_lang as lang;
+pub use asc_metrics as metrics;
 pub use asc_monitors as monitors;
 pub use asc_object as object;
 pub use asc_sched as sched;
+pub use asc_sentinel as sentinel;
 pub use asc_trace as trace;
 pub use asc_vm as vm;
 pub use asc_workloads as workloads;
