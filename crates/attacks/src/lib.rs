@@ -539,6 +539,62 @@ impl AttackLab {
     pub fn reorder_attack(&self, tier: VerifyTier) -> AttackOutcome {
         self.reorder_attack_traced(tier).0
     }
+
+    /// Builds and installs the raw-`SYSCALL`-gadget guest from the hostile
+    /// corpus: a binary whose text hides a misaligned `syscall` inside an
+    /// undisassemblable island, reached through a register jump. The
+    /// installer cannot see the gadget, so it is neither rewritten nor
+    /// registered in `.ascsites`.
+    pub fn gadget_victim(&self) -> Binary {
+        let spec = asc_workloads::hostile::hostile("gadget").expect("gadget in hostile corpus");
+        let plain = asc_workloads::hostile::build_hostile(spec).expect("gadget assembles");
+        let installer = Installer::new(
+            self.key.clone(),
+            InstallerOptions::new(PERSONALITY).with_program_id(15),
+        );
+        installer
+            .install(&plain, "gadget")
+            .expect("gadget installs")
+            .0
+    }
+
+    /// Attack 7: raw-`SYSCALL` gadget. The guest jumps into a hidden,
+    /// misaligned `write(1, "pwned\n", 6)` whose trap therefore originates
+    /// from a program counter the installer never rewrote. Per-call MACs
+    /// and the flow digraph are blind to *where* a trap comes from — only
+    /// the `.ascsites` origin check can refuse it, and it must do so under
+    /// every tier, before the write produces output. Returns the outcome
+    /// plus the kernel so callers can check for side effects.
+    pub fn gadget_attack_traced(&self, tier: VerifyTier) -> (AttackOutcome, Kernel) {
+        let binary = self.gadget_victim();
+        let opts = KernelOptions::enforcing(PERSONALITY).with_tier(tier);
+        let opts = if self.use_cache {
+            opts.with_verify_cache()
+        } else {
+            opts
+        };
+        let mut kernel = Kernel::new(opts);
+        kernel.set_key(self.key.clone());
+        if tier.checks_flow() {
+            kernel.set_flow_graph(asc_workloads::flow_graph_of(&binary, &self.key));
+        }
+        kernel.set_site_registry(asc_workloads::sites_of(&binary, &self.key));
+        kernel.set_brk(binary.highest_addr());
+        let mut m = Machine::load(&binary, kernel).expect("gadget fits");
+        let outcome = m.run(100_000_000);
+        let kernel = m.into_handler();
+        if kernel.stdout().windows(5).any(|w| w == b"pwned") {
+            let result = AttackOutcome::Succeeded("hidden gadget's write dispatched".into());
+            return (result, kernel);
+        }
+        let result = Self::classify(outcome, &kernel);
+        (result, kernel)
+    }
+
+    /// [`AttackLab::gadget_attack_traced`] without the kernel.
+    pub fn gadget_attack(&self, tier: VerifyTier) -> AttackOutcome {
+        self.gadget_attack_traced(tier).0
+    }
 }
 
 /// Placeholder immediate patched to the address of `/bin/sh` once the
@@ -777,6 +833,54 @@ mod tests {
             );
             // Kill fires before dispatch: the forged execve left no trace.
             assert!(kernel.exec_requests().is_empty(), "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn gadget_succeeds_unprotected() {
+        // The unprotected guest reaches its hidden misaligned write and
+        // prints; this is the baseline the origin check must close.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        let spec = asc_workloads::hostile::hostile("gadget").expect("corpus entry");
+        let plain = asc_workloads::hostile::build_hostile(spec).expect("assembles");
+        let (outcome, kernel) = lab.run_to_outcome(&plain, b"");
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited(0),
+            "alerts: {:?}",
+            kernel.alerts()
+        );
+        assert_eq!(kernel.stdout(), b"pwned\n");
+    }
+
+    #[test]
+    fn gadget_blocked_under_every_tier_before_side_effects() {
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK));
+        for tier in VerifyTier::ALL {
+            let (outcome, kernel) = lab.gadget_attack_traced(tier);
+            assert!(outcome.is_blocked(), "{tier:?}: {outcome:?}");
+            let AttackOutcome::Blocked(alert) = outcome else {
+                unreachable!()
+            };
+            assert_eq!(
+                alert.reason(),
+                asc_kernel::ReasonCode::UnrewrittenSite,
+                "{alert}"
+            );
+            // The kill fires before the MAC path and before dispatch: no
+            // output, no trace entry, nothing for the attacker.
+            assert_eq!(kernel.stdout(), b"", "{tier:?}");
+            assert!(kernel.trace().is_empty(), "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn gadget_blocked_with_warm_cache() {
+        // The verified-call cache must not let a forged origin through.
+        let lab = AttackLab::new(MacKey::from_seed(AT_TACK)).with_verify_cache();
+        for tier in VerifyTier::ALL {
+            let outcome = lab.gadget_attack(tier);
+            assert!(outcome.is_blocked(), "{tier:?}: {outcome:?}");
         }
     }
 

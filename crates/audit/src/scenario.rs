@@ -390,6 +390,9 @@ pub fn run_solo(params: &SoloParams<'_>, fault: Option<&AuditFault>) -> SoloRun 
         let flow = params.flow.expect("flow tiers need the binary's digraph");
         kernel.set_flow_graph(flow.clone());
     }
+    if let Some(sites) = asc_workloads::site_registry_for(params.auth, params.key) {
+        kernel.set_site_registry(sites);
+    }
     kernel.set_stdin(params.spec.stdin.to_vec());
     kernel.set_key(params.key.clone());
     kernel.set_brk(params.auth.highest_addr());
@@ -600,6 +603,9 @@ impl FleetScenario {
             );
             if self.tier.checks_flow() {
                 kernel.set_flow_graph(flow.clone().expect("flow built for flow tiers"));
+            }
+            if let Some(sites) = asc_workloads::site_registry_for(auth, &key) {
+                kernel.set_site_registry(sites);
             }
             kernel.set_stdin(spec.stdin.to_vec());
             kernel.set_key(key.clone());

@@ -43,6 +43,7 @@ cli_tests! {
     andrew_rejects_unknown_flags => "CARGO_BIN_EXE_andrew",
     attacks_rejects_unknown_flags => "CARGO_BIN_EXE_attacks",
     audit_rejects_unknown_flags => "CARGO_BIN_EXE_audit",
+    coverage_rejects_unknown_flags => "CARGO_BIN_EXE_coverage",
     faults_rejects_unknown_flags => "CARGO_BIN_EXE_faults",
     health_rejects_unknown_flags => "CARGO_BIN_EXE_health",
     perf_rejects_unknown_flags => "CARGO_BIN_EXE_perf",

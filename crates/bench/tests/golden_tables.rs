@@ -5,7 +5,7 @@
 //! Regenerate after an intentional change with:
 //!
 //! ```sh
-//! for t in table1 table2 table3 table4 table6 ablation andrew server tiers audit; do
+//! for t in table1 table2 table3 table4 table6 ablation andrew server tiers audit coverage; do
 //!     cargo run --release -p asc-bench --bin $t > crates/bench/golden/$t.txt
 //! done
 //! ```
@@ -74,6 +74,11 @@ fn server_is_byte_identical() {
 #[test]
 fn tiers_is_byte_identical() {
     check(env!("CARGO_BIN_EXE_tiers"), "tiers.txt");
+}
+
+#[test]
+fn coverage_is_byte_identical() {
+    check(env!("CARGO_BIN_EXE_coverage"), "coverage.txt");
 }
 
 #[test]

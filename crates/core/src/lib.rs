@@ -40,6 +40,7 @@ pub mod flow;
 pub mod json;
 pub mod pattern;
 pub mod policy;
+pub mod sites;
 pub mod verify;
 
 pub use cache::{mix64, pid_shard, CacheStats, SharedVerifyCache, VerifyCache};
@@ -48,6 +49,7 @@ pub use encoding::{encode_call, EncodedArg, EncodedCall};
 pub use flow::{FlowGraph, FlowParseError, FLOW_START};
 pub use pattern::{match_pattern, produce_hint, Pattern, PatternError};
 pub use policy::{ArgPolicy, ProgramPolicy, SyscallPolicy, MAX_ARGS};
+pub use sites::{SiteRegistry, SitesParseError};
 pub use verify::{
     verify_call, verify_call_cached, verify_call_hooked, verify_call_traced, AuthCallRegs,
     UserMemory, VerifyHooks, VerifyOutcome, Violation,

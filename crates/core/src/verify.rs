@@ -169,6 +169,15 @@ pub enum Violation {
         /// Raw trapped syscall number of this call.
         to: u16,
     },
+    /// The trap originated from a pc the installer never rewrote: the
+    /// `SYSCALL` instruction is a raw gadget outside the authenticated
+    /// site set (`.ascsites`), so no per-call policy even exists for it.
+    /// Killed before the MAC path — `SYSCALL` is a privilege of rewritten
+    /// sites, not a right of arbitrary code.
+    UnrewrittenSite {
+        /// The pc of the trapping `SYSCALL` instruction.
+        pc: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -201,6 +210,9 @@ impl std::fmt::Display for Violation {
                     "flow violation: syscall transition {from} -> {to} not in digraph"
                 )
             }
+            Violation::UnrewrittenSite { pc } => {
+                write!(f, "origin violation: trap from unrewritten site {pc:#x}")
+            }
         }
     }
 }
@@ -228,6 +240,7 @@ impl Violation {
             Violation::CapabilityViolation { .. } => ReasonCode::CapabilityViolation,
             Violation::MemoryFault { .. } => ReasonCode::MemoryFault,
             Violation::BadFlowEdge { .. } => ReasonCode::BadFlowEdge,
+            Violation::UnrewrittenSite { .. } => ReasonCode::UnrewrittenSite,
         }
     }
 }

@@ -47,10 +47,21 @@ pub enum FaultClass {
     CachePoison,
     /// Stamp the cached policy-state entry with a future epoch.
     CacheEpochSkew,
+    /// Plant a raw `syscall` at a non-prologue text instruction: the
+    /// trap then originates from a pc the installer never rewrote, so
+    /// only the `.ascsites` origin check can refuse it.
+    GadgetJump,
+    /// Plant a raw `syscall` *inside* a rewritten prologue (one of its
+    /// `movi` loads): the trap fires adjacent to — but not at — the
+    /// registered site pc, probing that the registry is exact.
+    StubSmuggle,
 }
 
 impl FaultClass {
-    /// Every class, in reporting order.
+    /// The pre-origin artifact classes, in reporting order. Kept stable
+    /// because the golden-pinned tier-matrix and detection-latency
+    /// tables enumerate exactly this list; the origin classes ride in
+    /// [`FaultClass::ALL_EXTENDED`].
     pub const ALL: [FaultClass; 9] = [
         FaultClass::CallMac,
         FaultClass::AuthString,
@@ -61,6 +72,26 @@ impl FaultClass {
         FaultClass::EpochCounter,
         FaultClass::CachePoison,
         FaultClass::CacheEpochSkew,
+    ];
+
+    /// Every class including the syscall-origin ones ([`GadgetJump`],
+    /// [`StubSmuggle`]), in reporting order. The main campaign runs
+    /// this list.
+    ///
+    /// [`GadgetJump`]: FaultClass::GadgetJump
+    /// [`StubSmuggle`]: FaultClass::StubSmuggle
+    pub const ALL_EXTENDED: [FaultClass; 11] = [
+        FaultClass::CallMac,
+        FaultClass::AuthString,
+        FaultClass::PredecessorSet,
+        FaultClass::PolicyState,
+        FaultClass::RewrittenText,
+        FaultClass::TrapRegister,
+        FaultClass::EpochCounter,
+        FaultClass::CachePoison,
+        FaultClass::CacheEpochSkew,
+        FaultClass::GadgetJump,
+        FaultClass::StubSmuggle,
     ];
 
     /// Kebab-case name used in reports.
@@ -75,7 +106,17 @@ impl FaultClass {
             FaultClass::EpochCounter => "epoch-counter",
             FaultClass::CachePoison => "cache-poison",
             FaultClass::CacheEpochSkew => "cache-epoch-skew",
+            FaultClass::GadgetJump => "gadget-jump",
+            FaultClass::StubSmuggle => "stub-smuggle",
         }
+    }
+
+    /// Classes whose fault *is* a syscall trap from an unregistered pc.
+    /// Every kill they provoke must carry `unrewritten-site` — the
+    /// origin check fires before the MAC path under every tier — and
+    /// must land before the smuggled call has any side effect.
+    pub fn origin_violation(self) -> bool {
+        matches!(self, FaultClass::GadgetJump | FaultClass::StubSmuggle)
     }
 
     /// Classes that corrupt only the kernel's *cache* copies. The
@@ -449,6 +490,24 @@ pub(crate) fn plan_fault(
                 delta: rng.range_u64(1, 9),
             },
         })),
+        FaultClass::GadgetJump => {
+            if inv.gadget_targets.is_empty() {
+                return None;
+            }
+            let (addr, opcode) = *rng.pick(&inv.gadget_targets);
+            // XOR the opcode byte into a raw `syscall`; if execution
+            // reaches it the trap comes from an unregistered pc.
+            let mask = opcode ^ asc_isa::Opcode::Syscall as u8;
+            Some(mem(rng, addr, mask))
+        }
+        FaultClass::StubSmuggle => {
+            if inv.prologue_movis.is_empty() {
+                return None;
+            }
+            let addr = *rng.pick(&inv.prologue_movis);
+            let mask = asc_isa::Opcode::Movi as u8 ^ asc_isa::Opcode::Syscall as u8;
+            Some(mem(rng, addr, mask))
+        }
     }
 }
 
@@ -587,6 +646,18 @@ impl Report {
                     row.killed
                 ));
             }
+            if row.class.origin_violation() {
+                for (reason, n) in &row.kill_reasons {
+                    if *reason != ReasonCode::UnrewrittenSite {
+                        problems.push(format!(
+                            "{tag}: {n} kill(s) with {} — a trap from an \
+                             unregistered pc must die on the origin check, \
+                             before any other verification",
+                            reason.code()
+                        ));
+                    }
+                }
+            }
         }
         if self.total_killed() == 0 {
             problems.push("campaign never observed a fail-stop kill".into());
@@ -720,7 +791,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Report {
             clean.outcome,
             clean.alerts
         );
-        for (ci, class) in FaultClass::ALL.iter().copied().enumerate() {
+        for (ci, class) in FaultClass::ALL_EXTENDED.iter().copied().enumerate() {
             let mut row = Row::new(name.clone(), class);
             for trial in 0..cfg.trials {
                 let mut rng = Rng::new(

@@ -44,6 +44,14 @@ pub struct Inventory {
     /// Addresses of the 4-byte immediate fields of rewritten `movi`
     /// instructions whose loaded value the verifier trusts.
     pub imm_fields: Vec<u32>,
+    /// `(address, opcode byte)` of every decodable non-`syscall`
+    /// instruction *outside* rewritten prologues — where a gadget-jump
+    /// fault can plant a raw `syscall` the installer never registered.
+    pub gadget_targets: Vec<(u32, u8)>,
+    /// Addresses of the `movi` instructions *inside* rewritten
+    /// prologues — where a stub-smuggle fault traps one instruction
+    /// early, adjacent to (but distinct from) the registered site pc.
+    pub prologue_movis: Vec<u32>,
     /// Number of authenticated call sites found.
     pub sites: usize,
 }
@@ -98,6 +106,7 @@ pub fn scan(binary: &Binary) -> Inventory {
     let mut strings = BTreeMap::new();
     let mut preds = BTreeMap::new();
     let mut imms = BTreeSet::new();
+    let mut prologue_offsets: BTreeSet<usize> = BTreeSet::new();
 
     let data = &text.data;
     let mut i = 0;
@@ -110,12 +119,14 @@ pub fn scan(binary: &Binary) -> Inventory {
             // the first movi seen per destination register is the latest
             // one executed, which is the value live at the trap.
             let mut loads: BTreeMap<usize, (u32, u32)> = BTreeMap::new();
+            let mut run_offsets = Vec::new();
             let mut j = i;
             while j >= INSTR_LEN {
                 j -= INSTR_LEN;
                 match Instruction::decode(&data[j..j + INSTR_LEN]) {
                     Ok(instr) if instr.op == Opcode::Movi => {
                         let imm_field = text.addr + j as u32 + 4;
+                        run_offsets.push(j);
                         loads
                             .entry(instr.rd.index())
                             .or_insert((instr.imm, imm_field));
@@ -128,6 +139,7 @@ pub fn scan(binary: &Binary) -> Inventory {
             {
                 if in_asc(mac_addr) {
                     inv.sites += 1;
+                    prologue_offsets.extend(run_offsets.iter().copied());
                     mac_slots.insert(mac_addr);
                     imms.insert(r7_field);
                     imms.insert(r11_field);
@@ -156,6 +168,23 @@ pub fn scan(binary: &Binary) -> Inventory {
                             }
                         }
                     }
+                }
+            }
+        }
+        i += INSTR_LEN;
+    }
+
+    // Second sweep: every other decodable instruction is somewhere a
+    // single opcode-byte flip can plant an unregistered `syscall`.
+    let mut i = 0;
+    while i + INSTR_LEN <= data.len() {
+        if let Ok(instr) = Instruction::decode(&data[i..i + INSTR_LEN]) {
+            if instr.op != Opcode::Syscall {
+                let addr = text.addr + i as u32;
+                if prologue_offsets.contains(&i) {
+                    inv.prologue_movis.push(addr);
+                } else {
+                    inv.gadget_targets.push((addr, data[i]));
                 }
             }
         }
@@ -205,6 +234,27 @@ mod tests {
             "bison opens fixture files by literal path"
         );
         assert!(inv.imm_fields.len() >= 2 * inv.sites);
+        assert!(
+            !inv.prologue_movis.is_empty(),
+            "rewritten prologues yield stub-smuggle targets"
+        );
+        assert!(
+            !inv.gadget_targets.is_empty(),
+            "non-prologue text yields gadget-jump targets"
+        );
+        let prologue: std::collections::BTreeSet<u32> =
+            inv.prologue_movis.iter().copied().collect();
+        for (addr, opcode) in &inv.gadget_targets {
+            assert!(
+                !prologue.contains(addr),
+                "gadget targets must exclude prologues"
+            );
+            assert_ne!(
+                *opcode,
+                asc_isa::Opcode::Syscall as u8,
+                "gadget targets are non-syscall instructions"
+            );
+        }
         for blob in inv.string_blobs.iter().chain(&inv.pred_blobs) {
             assert!(blob.contents_addr >= inv.asc_start + AS_HEADER_LEN as u32);
             assert!(blob.contents_addr + blob.len <= inv.asc_end);

@@ -71,6 +71,11 @@ pub struct LatencyConfig {
     pub max_trials: u32,
     /// Guest personality.
     pub personality: Personality,
+    /// Fault classes to measure. Defaults to the pre-origin
+    /// [`FaultClass::ALL`] list the golden-pinned health table
+    /// enumerates; [`LatencyConfig::with_classes`] narrows or extends
+    /// it (e.g. to the origin classes).
+    pub classes: Vec<FaultClass>,
 }
 
 impl LatencyConfig {
@@ -83,7 +88,14 @@ impl LatencyConfig {
             bound_windows: 2,
             max_trials: 16,
             personality: Personality::Linux,
+            classes: FaultClass::ALL.to_vec(),
         }
+    }
+
+    /// Replaces the measured class list.
+    pub fn with_classes(mut self, classes: &[FaultClass]) -> LatencyConfig {
+        self.classes = classes.to_vec();
+        self
     }
 
     /// The hard bound in cycles.
@@ -131,7 +143,7 @@ pub struct LatencyReport {
     pub window_cycles: u64,
     /// Hard monitoring-lag bound in cycles.
     pub bound_cycles: u64,
-    /// Detected classes, in [`FaultClass::ALL`] order.
+    /// Detected classes, in the config's class order.
     pub rows: Vec<LatencyRow>,
     /// Classes never detected within the trial budget (or whose effect
     /// produced no event — a monitoring hole).
@@ -446,7 +458,7 @@ pub fn run_latency_campaign(cfg: &LatencyConfig) -> LatencyReport {
     let bound_cycles = cfg.bound_cycles();
     let mut rows = Vec::new();
     let mut undetected = Vec::new();
-    for (ci, class) in FaultClass::ALL.iter().copied().enumerate() {
+    for (ci, class) in cfg.classes.iter().copied().enumerate() {
         // The victim is the first workload whose binary has artifacts of
         // this class (trap classes need no artifacts, so index 0 works).
         let victim_index = (0..workloads.len())

@@ -51,6 +51,11 @@ pub struct TierMatrixConfig {
     pub workloads: Vec<String>,
     /// OS personality for builds and kernels.
     pub personality: Personality,
+    /// Fault classes to replay. Defaults to the pre-origin
+    /// [`FaultClass::ALL`] list the golden-pinned bench table
+    /// enumerates; use [`TierMatrixConfig::with_all_classes`] to add
+    /// the syscall-origin classes.
+    pub classes: Vec<FaultClass>,
 }
 
 impl TierMatrixConfig {
@@ -61,7 +66,15 @@ impl TierMatrixConfig {
             trials,
             workloads: vec!["bison".into(), "calc".into(), "tar".into()],
             personality: Personality::Linux,
+            classes: FaultClass::ALL.to_vec(),
         }
+    }
+
+    /// Extends the matrix to [`FaultClass::ALL_EXTENDED`], including
+    /// the gadget-jump and stub-smuggle origin classes.
+    pub fn with_all_classes(mut self) -> TierMatrixConfig {
+        self.classes = FaultClass::ALL_EXTENDED.to_vec();
+        self
     }
 }
 
@@ -181,6 +194,31 @@ impl TierReport {
                     "{tag}: {} false-positive kill(s) on a cache-degradation class",
                     row.killed
                 ));
+            }
+            // The origin classes are tier-independent: the `.ascsites`
+            // check fires before tier dispatch, so even flow-only must
+            // catch every smuggled trap, always as unrewritten-site.
+            if FaultClass::ALL_EXTENDED
+                .iter()
+                .any(|c| c.name() == row.class && c.origin_violation())
+            {
+                if row.silent > 0 {
+                    problems.push(format!(
+                        "{tag}: {} silent trial(s) — an unregistered-pc trap \
+                         dispatched under {}",
+                        row.silent,
+                        row.tier.name()
+                    ));
+                }
+                for (reason, n) in &row.kill_reasons {
+                    if *reason != ReasonCode::UnrewrittenSite {
+                        problems.push(format!(
+                            "{tag}: {n} kill(s) with {} — origin faults must die \
+                             on the origin check, before tier dispatch",
+                            reason.code()
+                        ));
+                    }
+                }
             }
         }
         // mac+flow dominates: zero silent anywhere (including the
@@ -370,7 +408,7 @@ pub fn run_tier_matrix(cfg: &TierMatrixConfig) -> TierReport {
     let lab = AttackLab::new(key);
     let mut rows = Vec::new();
     for (ti, &tier) in VerifyTier::ALL.iter().enumerate() {
-        for (ci, class) in FaultClass::ALL.iter().copied().enumerate() {
+        for (ci, class) in cfg.classes.iter().copied().enumerate() {
             let mut row = TierRow::new(tier, class.name());
             for (wi, prep) in prepared.iter().enumerate() {
                 let clean = &prep.cleans[ti];
@@ -475,6 +513,58 @@ mod tests {
         assert_eq!(report.render(), again.render());
     }
 
+    /// The origin classes are tier-independent: a matrix over just
+    /// gadget-jump and stub-smuggle must show every tier — including
+    /// flow-only, which runs no MAC at all — killing every smuggled
+    /// trap with `unrewritten-site` and nothing else.
+    #[test]
+    fn origin_classes_caught_under_every_tier() {
+        let cfg = TierMatrixConfig {
+            classes: vec![FaultClass::GadgetJump, FaultClass::StubSmuggle],
+            ..TierMatrixConfig::new(0x0619_1234, 4)
+        };
+        let report = run_tier_matrix(&cfg);
+        assert_eq!(
+            report.problems(),
+            Vec::<String>::new(),
+            "\n{}",
+            report.render()
+        );
+        for tier in VerifyTier::ALL {
+            for class in [FaultClass::GadgetJump, FaultClass::StubSmuggle] {
+                let row = report.row(tier, class.name()).expect("row present");
+                assert!(
+                    row.killed > 0,
+                    "{}/{}: no kills\n{}",
+                    tier.name(),
+                    class.name(),
+                    report.render()
+                );
+                assert_eq!(row.silent, 0, "{}/{}", tier.name(), class.name());
+                assert_eq!(row.crashed, 0, "{}/{}", tier.name(), class.name());
+                assert_eq!(
+                    row.kill_reasons,
+                    [(ReasonCode::UnrewrittenSite, row.killed)],
+                    "{}/{}",
+                    tier.name(),
+                    class.name()
+                );
+            }
+        }
+        // The same planned fault kills at the same trap under every
+        // tier (the check precedes tier dispatch), so the three tiers'
+        // rows are identical.
+        for class in [FaultClass::GadgetJump, FaultClass::StubSmuggle] {
+            let rows: Vec<_> = VerifyTier::ALL
+                .iter()
+                .map(|&t| report.row(t, class.name()).expect("row"))
+                .collect();
+            for row in &rows[1..] {
+                assert_eq!((row.killed, row.benign), (rows[0].killed, rows[0].benign));
+            }
+        }
+    }
+
     /// The acceptance lattice the tier design promises, as a seeded
     /// property over arbitrary planned faults:
     ///
@@ -533,7 +623,7 @@ mod tests {
                 let mut fault = None;
                 if !rng.chance(1, 8) {
                     for _ in 0..8 {
-                        let class = *rng.pick(&FaultClass::ALL);
+                        let class = *rng.pick(&FaultClass::ALL_EXTENDED);
                         if let Some(f) = plan_fault(class, inv, clean, rng) {
                             fault = Some(f);
                             break;

@@ -52,6 +52,31 @@ fn every_fault_class_is_detected_within_the_lag_bound() {
     assert_eq!(parsed, value);
 }
 
+/// The syscall-origin classes (gadget-jump, stub-smuggle) plant a raw
+/// `syscall` at an unregistered pc; the kill they provoke must surface
+/// through the monitored fleet like any other fault class, within the
+/// same lag bound.
+#[test]
+fn origin_fault_classes_are_detected() {
+    let classes = [FaultClass::GadgetJump, FaultClass::StubSmuggle];
+    let report = run_latency_campaign(&LatencyConfig::new(SEED).with_classes(&classes));
+    assert!(
+        report.undetected.is_empty(),
+        "undetected origin classes: {:?}",
+        report.undetected
+    );
+    let problems = report.problems();
+    assert!(problems.is_empty(), "origin latency problems: {problems:?}");
+    assert_eq!(report.rows.len(), classes.len());
+    for (row, class) in report.rows.iter().zip(classes) {
+        assert_eq!(row.class, class);
+        assert!(row.within_bound, "{} missed the bound", class.name());
+        // A smuggled trap's first kernel-visible effect is the kill
+        // itself, so the alert-burst detector is the one that fires.
+        assert_eq!(row.detector, "alert-burst", "{row:?}");
+    }
+}
+
 #[test]
 fn the_campaign_is_deterministic() {
     let a = run_latency_campaign(&LatencyConfig::new(SEED));

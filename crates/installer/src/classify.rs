@@ -29,6 +29,64 @@ pub struct CoverageStats {
     pub fds: usize,
 }
 
+/// B-Side-style precision accounting for one installation: how much of
+/// the binary's syscall surface the installer *proved* versus how much it
+/// over-approximated or gave up on. Where [`CoverageStats`] reproduces
+/// Table 3 (what was authenticated), this measures the complement — the
+/// numbers an adversarial binary degrades.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrecisionStats {
+    /// Syscall sites the analysis discovered (pre-classification,
+    /// post-inlining — includes sites whose number is not static).
+    pub discovered: usize,
+    /// Sites actually rewritten into authenticated calls.
+    pub rewritten: usize,
+    /// Discovered sites skipped because the syscall number is not
+    /// statically determined (left to be blocked at runtime).
+    pub unknown_nr: usize,
+    /// Text regions the lifter could not disassemble; any `SYSCALL`
+    /// hidden inside is invisible to rewriting (the OpenBSD-`close`
+    /// problem) and reachable only as a raw gadget.
+    pub undisassembled_regions: usize,
+    /// Input arguments (by signature arity, out-params excluded) across
+    /// rewritten sites.
+    pub input_args: usize,
+    /// Input arguments left unconstrained (`Any`) in the final policy —
+    /// the unknown-argument count.
+    pub unknown_args: usize,
+    /// Predecessor-set entries summed over rewritten sites.
+    pub pred_entries: usize,
+    /// Rewritten sites carrying a predecessor set.
+    pub pred_sites: usize,
+}
+
+impl PrecisionStats {
+    /// Fraction of discovered sites that were rewritten, in [0, 1].
+    pub fn rewrite_rate(&self) -> f64 {
+        ratio(self.rewritten, self.discovered)
+    }
+
+    /// Fraction of input arguments left unconstrained, in [0, 1].
+    pub fn unknown_arg_rate(&self) -> f64 {
+        ratio(self.unknown_args, self.input_args)
+    }
+
+    /// Mean predecessor-set entries per flow-constrained site — the
+    /// pred-set over-approximation measure (a sound set can only err by
+    /// being too large, so bigger means coarser).
+    pub fn pred_over_approx(&self) -> f64 {
+        ratio(self.pred_entries, self.pred_sites)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// How one argument was classified.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ArgClass {

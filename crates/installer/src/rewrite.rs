@@ -11,7 +11,7 @@ use asc_object::{sections, Binary, Section, SectionFlags};
 use asc_trace::{Event, EventKind, Severity, SpanId, TraceSink};
 
 use crate::ascdata::AscBuilder;
-use crate::classify::{classify_site, CoverageStats};
+use crate::classify::{classify_site, CoverageStats, PrecisionStats};
 use crate::metapolicy::{PolicyTemplate, TemplateHole};
 use crate::{InstallError, InstallReport, Installer};
 
@@ -56,6 +56,7 @@ pub(crate) struct Plan {
     pub sites: Vec<SitePlan>,
     pub policy: ProgramPolicy,
     pub stats: CoverageStats,
+    pub precision: PrecisionStats,
     pub warnings: Vec<String>,
     pub templates: Vec<PolicyTemplate>,
     pub inlined: Vec<(String, usize)>,
@@ -94,6 +95,11 @@ pub(crate) fn plan(
         .filter(|w| w.contains("could not disassemble"))
         .count();
     let mut stats = CoverageStats::default();
+    let mut precision = PrecisionStats {
+        discovered: analysis.syscall_sites().len(),
+        undisassembled_regions: policy.undisassembled_regions,
+        ..PrecisionStats::default()
+    };
     let mut templates = Vec::new();
     let mut sites = Vec::new();
     let mut distinct = BTreeSet::new();
@@ -115,6 +121,7 @@ pub(crate) fn plan(
             opts.capability_tracking,
             &mut stats,
         ) else {
+            precision.unknown_nr += 1;
             warnings.push(format!(
                 "syscall at {:#x}: number not statically determined; \
                  call left unauthenticated (will be blocked at runtime)",
@@ -179,6 +186,19 @@ pub(crate) fn plan(
             }
         }
 
+        precision.rewritten += 1;
+        precision.pred_sites += 1;
+        precision.pred_entries += site.predecessors.len();
+        for i in 0..spec.nargs as usize {
+            if spec.out_mask & (1 << i) != 0 {
+                continue;
+            }
+            precision.input_args += 1;
+            if matches!(args[i], ArgPolicy::Any) {
+                precision.unknown_args += 1;
+            }
+        }
+
         let mut sp = SyscallPolicy::new(nr, orig_addr.unwrap_or(0), site.block);
         sp.args = args.clone();
         if opts.control_flow {
@@ -219,6 +239,7 @@ pub(crate) fn plan(
         sites,
         policy,
         stats,
+        precision,
         warnings,
         templates,
         inlined,
@@ -258,6 +279,7 @@ pub(crate) fn install(
         unit,
         sites,
         stats,
+        precision,
         warnings,
         templates,
         inlined,
@@ -683,10 +705,28 @@ pub(crate) fn install(
             ("flow_bytes".to_string(), flow_bytes.len() as u64),
         ],
     );
+    let flow_addr = align_up(asc_base + asc_len);
+    let flow_len = flow_bytes.len() as u32;
     out.push_section(Section::new(
         sections::ASCFLOW,
-        align_up(asc_base + asc_len),
+        flow_addr,
         flow_bytes,
+        SectionFlags::RO,
+    ));
+
+    // Origin privilege: the exact set of final pcs whose `SYSCALL` this
+    // installation rewrote, MAC-authenticated like the flow digraph. The
+    // kernel refuses any trap from a pc outside the set, so a raw
+    // `SYSCALL` gadget (data-in-text, un-disassembled stub, injected
+    // code) kills before the MAC path ever runs. No separate pass event:
+    // the registry is a byproduct of the rewrite pass reported above.
+    let registry: asc_core::SiteRegistry = (0..sites.len())
+        .map(|si| new_addr_of[site_new_index[si]])
+        .collect();
+    out.push_section(Section::new(
+        sections::ASCSITES,
+        align_up(flow_addr + flow_len),
+        registry.to_bytes(key),
         SectionFlags::RO,
     ));
 
@@ -706,6 +746,7 @@ pub(crate) fn install(
     let report = InstallReport {
         policy: final_policy,
         stats,
+        precision,
         inlined,
         warnings,
         templates,

@@ -11,8 +11,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use asc_core::{
-    verify_call_traced, AuthCallRegs, CacheStats, FlowGraph, SharedVerifyCache, UserMemory,
-    VerifyCache, VerifyHooks, VerifyOutcome, Violation, FLOW_START,
+    verify_call_traced, AuthCallRegs, CacheStats, FlowGraph, SharedVerifyCache, SiteRegistry,
+    UserMemory, VerifyCache, VerifyHooks, VerifyOutcome, Violation, FLOW_START,
 };
 use asc_crypto::{CapabilitySet, MacKey, MemoryChecker};
 use asc_isa::Reg;
@@ -358,6 +358,12 @@ pub struct Kernel {
     /// tiers; parsed and MAC-verified from `.ascflow` at load time, so the
     /// per-trap check is a pure set probe).
     flow: Option<FlowGraph>,
+    /// The installed rewritten-site registry (parsed and MAC-verified
+    /// from `.ascsites` at load time). When present, a trap whose pc is
+    /// outside the set fail-stops before the flow and MAC paths under
+    /// every tier — `SYSCALL` is a privilege of rewritten sites. `None`
+    /// keeps the historical behaviour for registry-free harnesses.
+    sites: Option<SiteRegistry>,
     /// The raw number of this process's most recent *dispatched* syscall —
     /// the flow check's `from` node. `None` (= [`FLOW_START`]) until the
     /// first call dispatches. Lives on the kernel, and there is one kernel
@@ -449,6 +455,7 @@ impl Kernel {
             pid: 1,
             last_policy_cell: None,
             flow: None,
+            sites: None,
             last_syscall: None,
             caps: [0u32, 1, 2].into_iter().collect(),
             stdin: Vec::new(),
@@ -590,6 +597,21 @@ impl Kernel {
     /// [`VerifyTier::Mac`].
     pub fn set_flow_graph(&mut self, flow: FlowGraph) {
         self.flow = Some(flow);
+    }
+
+    /// Installs the rewritten-site registry the origin check enforces
+    /// (parse it from the binary's `.ascsites` section with
+    /// [`SiteRegistry::parse`], which verifies its MAC). Once set, any
+    /// trap from a pc outside the set is a fail-stop
+    /// [`Violation::UnrewrittenSite`] kill under every tier, before the
+    /// flow and MAC paths run.
+    pub fn set_site_registry(&mut self, sites: SiteRegistry) {
+        self.sites = Some(sites);
+    }
+
+    /// The installed rewritten-site registry, if any.
+    pub fn site_registry(&self) -> Option<&SiteRegistry> {
+        self.sites.as_ref()
     }
 
     /// The raw number of this process's most recent dispatched syscall
@@ -909,6 +931,22 @@ impl Kernel {
             } else {
                 CallMeter::disabled()
             };
+            // --- Origin privilege: the trap pc must be a rewritten site. ---
+            // Checked on the *trusted* trap pc (not the verifier's
+            // register copy — the pc comes from the trap itself and
+            // cannot be forged) before the flow and MAC paths, under
+            // every tier: a raw `SYSCALL` gadget outside the installed
+            // `.ascsites` registry has no policy to verify, so the only
+            // sound response is an immediate fail-stop — zero side
+            // effects, zero AES work. Silent on the pass path (a pure
+            // set probe charged no cycles), so registry-free harnesses
+            // and existing traces are byte-identical.
+            if let Some(sites) = self.sites.as_ref() {
+                if !sites.contains(ctx.pc) {
+                    let violation = Violation::UnrewrittenSite { pc: ctx.pc };
+                    return self.kill(ctx, charged, span, tracing, &violation);
+                }
+            }
             // --- The SFIP flow tier: digraph membership pre-filter. ---
             // Checked on the verifier's copy of the registers (so armed
             // faults hit it like every other check) and *before* the MAC

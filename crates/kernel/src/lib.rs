@@ -45,5 +45,7 @@ pub use kernel::{
 };
 pub use metrics::{KernelMetrics, VERIFY_PATHS};
 
-pub use asc_core::{CacheStats, FlowGraph, FlowParseError, FLOW_START};
+pub use asc_core::{
+    CacheStats, FlowGraph, FlowParseError, SiteRegistry, SitesParseError, FLOW_START,
+};
 pub use asc_trace::ReasonCode;

@@ -50,4 +50,8 @@ pub mod sections {
     /// The MAC-authenticated syscall-transition digraph added by the
     /// installer (the SFIP tier's policy), appended after `.asc`.
     pub const ASCFLOW: &str = ".ascflow";
+    /// The MAC-authenticated rewritten-site registry added by the
+    /// installer (the origin-privilege policy: the exact set of pcs whose
+    /// `SYSCALL` the installer rewrote), appended after `.ascflow`.
+    pub const ASCSITES: &str = ".ascsites";
 }

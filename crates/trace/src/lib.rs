@@ -352,6 +352,8 @@ pub enum ReasonCode {
     MemoryFault,
     /// Syscall transition not an edge of the installed flow digraph.
     BadFlowEdge,
+    /// Trap from a pc the installer never rewrote (raw `SYSCALL` gadget).
+    UnrewrittenSite,
 }
 
 impl ReasonCode {
@@ -371,6 +373,7 @@ impl ReasonCode {
             ReasonCode::CapabilityViolation => "capability-violation",
             ReasonCode::MemoryFault => "memory-fault",
             ReasonCode::BadFlowEdge => "bad-flow-edge",
+            ReasonCode::UnrewrittenSite => "unrewritten-site",
         }
     }
 }

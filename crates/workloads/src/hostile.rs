@@ -1,0 +1,414 @@
+//! The hostile-guest corpus: adversarial binaries engineered to stress
+//! the installer's static analysis the way B-Side-style evaluations
+//! stress binary recovery tools.
+//!
+//! Every registered workload in [`crate::programs`] is *cooperative* —
+//! compiled from the guest language, syscalls behind ordinary libc
+//! stubs, all numbers and most arguments static. These guests are the
+//! opposite: each one embodies one shape that real stripped binaries (or
+//! a deliberate adversary) use and that degrades one specific precision
+//! metric (the installer's `PrecisionStats`):
+//!
+//! | guest | shape | degrades |
+//! |---|---|---|
+//! | `fnptr-table` | syscall stubs dispatched through a data-section pointer table | pred-set precision |
+//! | `fnptr-blind` | bare `syscall; ret` trap stub, number loaded from data | unknown-nr rate |
+//! | `wrapper-double` | `__syscall`-style wrapper two calls deep | inlining depth |
+//! | `wrapper-triple` | the same, three calls deep | inlining depth |
+//! | `stub-opaque` | un-disassemblable stub: code hidden at a misaligned offset (the OpenBSD-`close` shape) | undisassembled regions |
+//! | `data-in-text` | data islands that *decode* as spurious `SYSCALL` instructions | discovered-site inflation |
+//! | `pred-blowup` | data-driven dispatch loop over stubs | pred-set over-approximation |
+//! | `gadget` | raw `SYSCALL` gadget at a misaligned offset, reached by computed jump | origin privilege |
+//!
+//! The guests are raw assembly (no libc): the shapes below cannot be
+//! expressed in the guest language, which is the point — the installer
+//! only ever sees binaries, and binaries are not obligated to look like
+//! compiler output.
+//!
+//! The `gadget` guest is the corpus's live attack: its hidden `SYSCALL`
+//! never appears in the installer's site registry, so under origin
+//! enforcement the trap fail-stops with `Violation::UnrewrittenSite`
+//! before the call dispatches; on an unprotected kernel the smuggled
+//! `write` lands. `stub-opaque` is the same hiding trick used benignly —
+//! the whole stub body is invisible to disassembly, reproducing Table 2's
+//! "PLTO cannot disassemble OpenBSD `close`" effect.
+
+/// One adversarial guest: a named raw-assembly program.
+#[derive(Clone, Copy, Debug)]
+pub struct HostileSpec {
+    /// Registry name (kebab-case).
+    pub name: &'static str,
+    /// One-line description of the shape and what it degrades.
+    pub description: &'static str,
+    /// Raw assembly source (assembled directly; no libc, no runtime).
+    pub asm: &'static str,
+}
+
+/// Syscall stubs dispatched through a function-pointer table in `.data`.
+/// Every stub is self-contained (number and arguments loaded inside the
+/// stub), so all sites rewrite — but the indirect calls mean no static
+/// caller/callee pairing, and the syscall digraph must over-approximate.
+const FNPTR_TABLE: &str = "
+    .entry main
+    .text
+main:
+    movi r13, table     ; cursor in r13: survives authenticated calls
+    ldw r9, [r13]
+    callr r9            ; table[0]
+    addi r13, r13, 4
+    ldw r9, [r13]
+    callr r9            ; table[1]
+    addi r13, r13, 4
+    ldw r9, [r13]
+    callr r9            ; table[2]
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+s_pid:
+    movi r0, 20         ; getpid
+    syscall
+    ret
+s_write:
+    movi r0, 4          ; write(1, msg, 4)
+    movi r1, 1
+    movi r2, msg
+    movi r3, 4
+    syscall
+    ret
+s_access:
+    movi r0, 33         ; access(path, 0)
+    movi r1, path
+    movi r2, 0
+    syscall
+    ret
+    .rodata
+msg:
+    .asciz \"tbl\\n\"
+path:
+    .asciz \"/etc/motd\"
+    .data
+table:
+    .word s_pid
+    .word s_write
+    .word s_access
+";
+
+/// A bare `syscall; ret` trap stub whose number comes out of a data
+/// table: the dataflow cannot resolve `R0` at the trap, so the site is
+/// discovered but never rewritten (unknown-nr), and at runtime the trap
+/// arrives from an unregistered pc.
+const FNPTR_BLIND: &str = "
+    .entry main
+    .text
+main:
+    movi r8, nrs
+    ldw r0, [r8]        ; r0 := 20 (getpid), invisible statically
+    call trap
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+trap:
+    syscall             ; number chosen by the caller, from data
+    ret
+    .data
+nrs:
+    .word 20
+";
+
+/// `__syscall`-style wrapper indirection, two calls deep. Stub inlining
+/// is one level: the innermost trap stub inlines into its caller, but the
+/// outer wrapper keeps a call in its body and is not a stub, so the
+/// syscall number must survive an interprocedural hop.
+const WRAPPER_DOUBLE: &str = "
+    .entry main
+    .text
+main:
+    movi r0, 20         ; getpid via two wrappers
+    call w1
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+w1:
+    call w2
+    ret
+w2:
+    syscall
+    ret
+";
+
+/// The same wrapper shape, three calls deep — one hop past anything the
+/// single-pass inliner can recover.
+const WRAPPER_TRIPLE: &str = "
+    .entry main
+    .text
+main:
+    movi r0, 20         ; getpid via three wrappers
+    call w1
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+w1:
+    call w2
+    ret
+w2:
+    call w3
+    ret
+w3:
+    syscall
+    ret
+";
+
+/// The OpenBSD-`close` shape: an entire stub body hidden at a misaligned
+/// offset inside an un-disassemblable island. The lifter's fixed 8-byte
+/// stride sees one opaque region and two junk-but-decodable words; the
+/// real `movi r0, 20; syscall; ret` lives at `blob+4` and only exists for
+/// a machine that jumps there. The island bytes spell, misaligned:
+/// `movi r0, 20` (02…14…), `syscall` (26…), `ret` (25…).
+const STUB_OPAQUE: &str = "
+    .entry main
+    .text
+main:
+    movi r7, blob
+    addi r7, r7, 4
+    callr r7            ; call the invisible stub
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+blob:
+    .word 0xffffffff    ; poison: first chunk fails to decode
+    .word 0x00000002    ; +4: movi r0, 20
+    .word 20
+    .word 0x00000026    ; +12: syscall
+    .word 0
+    .word 0x00000025    ; +20: ret
+    .word 0
+    .word 0xffffffff    ; pad to the 8-byte stride
+";
+
+/// Data embedded in `.text` that *decodes* as instructions, including two
+/// spurious `SYSCALL` sites (one with junk registers, one preceded by
+/// bytes that read as `movi r0, 5`). Neither is ever executed — control
+/// jumps over the island — but the lifter cannot tell data from code, so
+/// the discovered-site count inflates and phantom policies are minted.
+const DATA_IN_TEXT: &str = "
+    .entry main
+    .text
+main:
+    movi r0, 20         ; legitimate getpid
+    syscall
+    jmp over
+chaff:
+    .word 0x01010126    ; decodes: syscall (junk reg fields)
+    .word 0
+    .word 0x00000002    ; decodes: movi r0, 5
+    .word 5
+    .word 0x00000026    ; decodes: syscall — a phantom `open`
+    .word 0
+over:
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+";
+
+/// A data-driven dispatch loop: the call order lives in a `.data` table,
+/// so every stub can follow every other and the sound predecessor sets
+/// blow up toward "anything can precede anything".
+const PRED_BLOWUP: &str = "
+    .entry main
+    .text
+main:
+    movi r13, 0         ; i, in r13: survives authenticated calls
+loop:
+    movi r11, 6         ; count (rematerialized: r7-r12 are clobbered)
+    bgeu r13, r11, done
+    movi r8, 4
+    mul r9, r13, r8
+    movi r8, order
+    add r9, r8, r9
+    ldw r9, [r9]        ; order[i]
+    callr r9
+    addi r13, r13, 1
+    jmp loop
+done:
+    movi r0, 1          ; exit(0)
+    movi r1, 0
+    syscall
+p_pid:
+    movi r0, 20         ; getpid
+    syscall
+    ret
+p_acc:
+    movi r0, 33         ; access(path, 0)
+    movi r1, path
+    movi r2, 0
+    syscall
+    ret
+p_wr:
+    movi r0, 4          ; write(1, msg, 3)
+    movi r1, 1
+    movi r2, msg
+    movi r3, 3
+    syscall
+    ret
+    .rodata
+msg:
+    .asciz \"pb\\n\"
+path:
+    .asciz \"/etc/motd\"
+    .data
+order:
+    .word p_pid
+    .word p_acc
+    .word p_wr
+    .word p_wr
+    .word p_acc
+    .word p_pid
+";
+
+/// The raw-`SYSCALL`-gadget attack: a hidden trap instruction at a
+/// misaligned offset (invisible to the installer, so absent from
+/// `.ascsites`), reached by a computed call, attempting
+/// `write(1, \"pwned\", 6)`. On an unprotected kernel the write lands; under
+/// origin enforcement the trap fail-stops (`UnrewrittenSite`) before the
+/// call dispatches, under every verification tier. The island spells,
+/// misaligned: `syscall` (26…) then `ret` (25…).
+const GADGET: &str = "
+    .entry main
+    .text
+main:
+    movi r0, 4          ; write
+    movi r1, 1          ; stdout
+    movi r2, msg
+    movi r3, 6
+    movi r7, blob
+    addi r7, r7, 4
+    callr r7            ; trap from the hidden gadget
+    movi r0, 1          ; exit(0) — the only rewritable site
+    movi r1, 0
+    syscall
+blob:
+    .word 0xffffffff    ; poison: first chunk fails to decode
+    .word 0x00000026    ; +4: syscall
+    .word 0
+    .word 0x00000025    ; +12: ret
+    .word 0
+    .word 0xffffffff    ; pad to the 8-byte stride
+    .rodata
+msg:
+    .asciz \"pwned\\n\"
+";
+
+/// The corpus, in report order.
+pub const HOSTILE: &[HostileSpec] = &[
+    HostileSpec {
+        name: "fnptr-table",
+        description: "syscall stubs dispatched through a .data pointer table",
+        asm: FNPTR_TABLE,
+    },
+    HostileSpec {
+        name: "fnptr-blind",
+        description: "bare trap stub, syscall number loaded from data",
+        asm: FNPTR_BLIND,
+    },
+    HostileSpec {
+        name: "wrapper-double",
+        description: "__syscall wrapper indirection, two calls deep",
+        asm: WRAPPER_DOUBLE,
+    },
+    HostileSpec {
+        name: "wrapper-triple",
+        description: "__syscall wrapper indirection, three calls deep",
+        asm: WRAPPER_TRIPLE,
+    },
+    HostileSpec {
+        name: "stub-opaque",
+        description: "un-disassemblable stub body at a misaligned offset",
+        asm: STUB_OPAQUE,
+    },
+    HostileSpec {
+        name: "data-in-text",
+        description: "data islands decoding as spurious SYSCALL sites",
+        asm: DATA_IN_TEXT,
+    },
+    HostileSpec {
+        name: "pred-blowup",
+        description: "data-driven dispatch loop over syscall stubs",
+        asm: PRED_BLOWUP,
+    },
+    HostileSpec {
+        name: "gadget",
+        description: "raw SYSCALL gadget hidden at a misaligned offset",
+        asm: GADGET,
+    },
+];
+
+/// Looks up a hostile guest by name.
+pub fn hostile(name: &str) -> Option<&'static HostileSpec> {
+    HOSTILE.iter().find(|h| h.name == name)
+}
+
+/// Assembles a hostile guest. The corpus is raw assembly, so there is no
+/// libc link step and no personality dependence at build time.
+///
+/// # Errors
+///
+/// [`crate::BuildError::Assemble`] when the source does not assemble
+/// (a corpus bug, not an input condition).
+pub fn build_hostile(spec: &HostileSpec) -> Result<asc_object::Binary, crate::BuildError> {
+    asc_asm::assemble(spec.asm).map_err(|e| crate::BuildError::Assemble(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_assembles() {
+        for spec in HOSTILE {
+            let binary = build_hostile(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(
+                binary.section_by_name(".text").is_some(),
+                "{} has text",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names: std::collections::BTreeSet<_> = HOSTILE.iter().map(|h| h.name).collect();
+        assert_eq!(names.len(), HOSTILE.len(), "names are unique");
+        for spec in HOSTILE {
+            assert_eq!(hostile(spec.name).unwrap().name, spec.name);
+        }
+        assert!(hostile("no-such-guest").is_none());
+    }
+
+    #[test]
+    fn gadget_hides_a_misaligned_syscall() {
+        use asc_isa::{Instruction, Opcode, INSTR_LEN};
+        let binary = build_hostile(hostile("gadget").unwrap()).unwrap();
+        let text = binary.section_by_name(".text").unwrap();
+        // No *aligned* chunk decodes as SYSCALL except main's exit site...
+        let aligned_syscalls = text
+            .data
+            .chunks(INSTR_LEN)
+            .filter(|c| {
+                c.len() == INSTR_LEN
+                    && matches!(Instruction::decode(c), Ok(i) if i.op == Opcode::Syscall)
+            })
+            .count();
+        assert_eq!(aligned_syscalls, 1, "only the exit site is visible");
+        // ...but a misaligned SYSCALL is really there for the machine.
+        let hidden = (0..text.data.len() - INSTR_LEN)
+            .filter(|off| off % INSTR_LEN != 0)
+            .filter(|&off| {
+                matches!(
+                    Instruction::decode(&text.data[off..off + INSTR_LEN]),
+                    Ok(i) if i.op == Opcode::Syscall
+                )
+            })
+            .count();
+        assert!(hidden >= 1, "the gadget exists misaligned");
+    }
+}

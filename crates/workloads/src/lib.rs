@@ -21,13 +21,17 @@
 //! # Ok::<(), asc_workloads::BuildError>(())
 //! ```
 
+pub mod hostile;
 pub mod libc;
 mod programs;
 pub mod tools;
 
 pub use programs::{program, programs, ProgramKind, ProgramSpec};
 
-use asc_kernel::{FileSystem, FlowGraph, Kernel, KernelOptions, Personality, VerifyTier};
+use asc_kernel::{
+    FileSystem, FlowGraph, FlowParseError, Kernel, KernelOptions, Personality, SiteRegistry,
+    SitesParseError, VerifyTier,
+};
 use asc_object::{sections, Binary};
 use asc_vm::{Machine, RunOutcome};
 
@@ -131,6 +135,9 @@ pub fn measure(
 ) -> RunReport {
     let mut kernel = kernel_for(spec, personality, key.is_some());
     if let Some(key) = key {
+        if let Some(sites) = site_registry_for(binary, &key) {
+            kernel.set_site_registry(sites);
+        }
         kernel.set_key(key);
     }
     kernel.set_brk(binary.highest_addr());
@@ -158,6 +165,50 @@ pub fn measure_cached(
     measure_tier_cached(spec, binary, personality, key, VerifyTier::Mac)
 }
 
+/// Errors loading a policy-artifact section (`.ascflow` / `.ascsites`)
+/// out of an installed binary. Every failure is structured: a missing
+/// section, a truncated payload, and a MAC mismatch are distinguishable,
+/// and none of the fallible loaders panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The binary carries no section with the given name.
+    Missing(&'static str),
+    /// `.ascflow` is present but truncated or rejected by its MAC.
+    BadFlow(FlowParseError),
+    /// `.ascsites` is present but truncated or rejected by its MAC.
+    BadSites(SitesParseError),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Missing(name) => write!(f, "binary carries no {name} section"),
+            ArtifactError::BadFlow(e) => write!(f, "{}: {e}", sections::ASCFLOW),
+            ArtifactError::BadSites(e) => write!(f, "{}: {e}", sections::ASCSITES),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Parses the MAC-authenticated syscall-transition digraph out of an
+/// installed binary's `.ascflow` section, reporting failures as
+/// structured errors.
+///
+/// # Errors
+///
+/// [`ArtifactError`] when the section is missing, truncated, or rejected
+/// by its MAC under `key`.
+pub fn try_flow_graph_of(
+    binary: &Binary,
+    key: &asc_crypto::MacKey,
+) -> Result<FlowGraph, ArtifactError> {
+    let section = binary
+        .section_by_name(sections::ASCFLOW)
+        .ok_or(ArtifactError::Missing(sections::ASCFLOW))?;
+    FlowGraph::parse(&section.data, key).map_err(ArtifactError::BadFlow)
+}
+
 /// Parses the MAC-authenticated syscall-transition digraph out of an
 /// installed binary's `.ascflow` section (the flow tiers' policy).
 ///
@@ -167,10 +218,55 @@ pub fn measure_cached(
 /// both mean the binary was not produced by this installer/key pair, so
 /// there is no sound digraph to enforce.
 pub fn flow_graph_of(binary: &Binary, key: &asc_crypto::MacKey) -> FlowGraph {
+    match try_flow_graph_of(binary, key) {
+        Ok(flow) => flow,
+        Err(e) => panic!("authenticated binary has a sound flow digraph: {e}"),
+    }
+}
+
+/// Parses the MAC-authenticated rewritten-site registry out of an
+/// installed binary's `.ascsites` section, reporting failures as
+/// structured errors.
+///
+/// # Errors
+///
+/// [`ArtifactError`] when the section is missing, truncated, or rejected
+/// by its MAC under `key`.
+pub fn try_sites_of(
+    binary: &Binary,
+    key: &asc_crypto::MacKey,
+) -> Result<SiteRegistry, ArtifactError> {
     let section = binary
-        .section_by_name(sections::ASCFLOW)
-        .expect("authenticated binary carries an .ascflow section");
-    FlowGraph::parse(&section.data, key).expect(".ascflow digraph MAC verifies")
+        .section_by_name(sections::ASCSITES)
+        .ok_or(ArtifactError::Missing(sections::ASCSITES))?;
+    SiteRegistry::parse(&section.data, key).map_err(ArtifactError::BadSites)
+}
+
+/// Parses the MAC-authenticated rewritten-site registry out of an
+/// installed binary's `.ascsites` section (the origin-privilege policy).
+///
+/// # Panics
+///
+/// If the section is missing or its MAC does not verify under `key`.
+pub fn sites_of(binary: &Binary, key: &asc_crypto::MacKey) -> SiteRegistry {
+    match try_sites_of(binary, key) {
+        Ok(sites) => sites,
+        Err(e) => panic!("authenticated binary has a sound site registry: {e}"),
+    }
+}
+
+/// The site registry an enforcing kernel should run `binary` under.
+/// Authentic registry → enforced; no `.ascsites` section at all →
+/// `None` (pre-registry binaries keep the historical behaviour); present
+/// but truncated or MAC-rejected → an *empty* registry, so every trap
+/// fail-stops rather than silently dropping origin enforcement
+/// (fail-closed).
+pub fn site_registry_for(binary: &Binary, key: &asc_crypto::MacKey) -> Option<SiteRegistry> {
+    match try_sites_of(binary, key) {
+        Ok(sites) => Some(sites),
+        Err(ArtifactError::Missing(_)) => None,
+        Err(_) => Some(SiteRegistry::new()),
+    }
 }
 
 /// Like [`measure`] in enforcing mode, but running the given verification
@@ -221,6 +317,9 @@ fn measure_with_opts(
     if tier.checks_flow() {
         kernel.set_flow_graph(flow_graph_of(binary, &key));
     }
+    if let Some(sites) = site_registry_for(binary, &key) {
+        kernel.set_site_registry(sites);
+    }
     kernel.set_key(key);
     kernel.set_brk(binary.highest_addr());
     let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");
@@ -257,6 +356,9 @@ pub fn run_enforcing(
     key: asc_crypto::MacKey,
 ) -> (RunOutcome, Kernel) {
     let mut kernel = kernel_for(spec, personality, true);
+    if let Some(sites) = site_registry_for(binary, &key) {
+        kernel.set_site_registry(sites);
+    }
     kernel.set_key(key);
     kernel.set_brk(binary.highest_addr());
     let mut machine = Machine::load(binary, kernel).expect("workload fits in memory");

@@ -1,0 +1,125 @@
+//! Precision-regression golden table for the hostile-guest corpus.
+//!
+//! Each adversarial shape pins the installer's own precision counters:
+//! how many syscall sites the analysis *discovered*, how many it could
+//! soundly *rewrite*, how many traps carry an unknown number or flow
+//! through a region the lifter refused to disassemble, the
+//! unknown-argument rate, and the predecessor-set over-approximation.
+//! These are the numbers a B-Side-style evaluation reports, and they are
+//! a regression surface: an "improvement" to the lifter or the policy
+//! generator that silently changes one of them (rewriting a site it
+//! should refuse, widening a pred set) shows up here before it shows up
+//! as a soundness hole.
+//!
+//! The same table, rendered, is golden-pinned end to end by the
+//! `coverage` bench binary (`crates/bench/golden/coverage.txt`); this
+//! test pins the raw counters independently of formatting — and under a
+//! *different* install key, because precision is a property of the
+//! analysis, not of the MAC key.
+
+use asc_installer::{Installer, InstallerOptions, PrecisionStats};
+use asc_kernel::Personality;
+use asc_workloads::hostile::{build_hostile, hostile, HOSTILE};
+
+/// Expected counters per guest, in corpus order:
+/// (discovered, rewritten, unknown_nr, undisassembled_regions,
+///  input_args, unknown_args, pred_entries, pred_sites).
+const EXPECTED: [(&str, [usize; 8]); 8] = [
+    ("fnptr-table", [4, 4, 0, 0, 6, 0, 16, 4]),
+    ("fnptr-blind", [3, 1, 2, 0, 1, 0, 1, 1]),
+    ("wrapper-double", [3, 1, 2, 0, 1, 0, 2, 1]),
+    ("wrapper-triple", [3, 1, 2, 0, 1, 0, 2, 1]),
+    ("stub-opaque", [1, 1, 0, 1, 1, 0, 0, 1]),
+    ("data-in-text", [4, 3, 1, 0, 4, 3, 4, 3]),
+    ("pred-blowup", [4, 4, 0, 0, 6, 0, 17, 4]),
+    ("gadget", [1, 1, 0, 1, 1, 0, 0, 1]),
+];
+
+fn precision_of(name: &str) -> PrecisionStats {
+    let spec = hostile(name).expect("guest in corpus");
+    let plain = build_hostile(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let installer = Installer::new(
+        asc_crypto::MacKey::from_seed(0x04EC_1510),
+        InstallerOptions::new(Personality::Linux).with_program_id(0x0D00),
+    );
+    let (_, report) = installer
+        .install(&plain, name)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    report.precision
+}
+
+#[test]
+fn hostile_corpus_precision_counters_are_pinned() {
+    assert_eq!(
+        EXPECTED.len(),
+        HOSTILE.len(),
+        "a guest joined or left the corpus — extend the expected table"
+    );
+    for ((name, want), spec) in EXPECTED.iter().zip(HOSTILE) {
+        assert_eq!(*name, spec.name, "corpus order drifted");
+        let p = precision_of(name);
+        let got = [
+            p.discovered,
+            p.rewritten,
+            p.unknown_nr,
+            p.undisassembled_regions,
+            p.input_args,
+            p.unknown_args,
+            p.pred_entries,
+            p.pred_sites,
+        ];
+        assert_eq!(
+            &got, want,
+            "{name}: precision counters drifted \
+             (discovered, rewritten, unknown_nr, undis, args, unk_args, \
+              pred_entries, pred_sites) — if the analysis change is \
+             intentional, update this table AND regenerate coverage.txt"
+        );
+    }
+}
+
+/// The derived rates stay consistent with the raw counters (the rendered
+/// table is computed, never stored).
+#[test]
+fn derived_rates_follow_the_counters() {
+    for (name, _) in EXPECTED {
+        let p = precision_of(name);
+        assert!(p.rewritten <= p.discovered, "{name}");
+        assert!(p.unknown_args <= p.input_args, "{name}");
+        let want_rate = if p.discovered == 0 {
+            0.0
+        } else {
+            p.rewritten as f64 / p.discovered as f64
+        };
+        assert!((p.rewrite_rate() - want_rate).abs() < 1e-9, "{name}");
+        if p.input_args > 0 {
+            let want = p.unknown_args as f64 / p.input_args as f64;
+            assert!((p.unknown_arg_rate() - want).abs() < 1e-9, "{name}");
+        }
+        if p.pred_sites > 0 {
+            let want = p.pred_entries as f64 / p.pred_sites as f64;
+            assert!((p.pred_over_approx() - want).abs() < 1e-9, "{name}");
+        }
+    }
+}
+
+/// Hard soundness floors the corpus was built to probe: the installer
+/// never rewrites more than it discovers, every guest with an opaque
+/// stub reports the undisassembled region, and the raw-gadget guest's
+/// hidden syscall is *not* among the rewritten sites.
+#[test]
+fn corpus_soundness_floors() {
+    let blind = precision_of("fnptr-blind");
+    assert!(
+        blind.rewritten < blind.discovered,
+        "blind table was rewritten"
+    );
+    let stub = precision_of("stub-opaque");
+    assert!(stub.undisassembled_regions > 0, "opaque stub disassembled?");
+    let gadget = precision_of("gadget");
+    assert!(gadget.undisassembled_regions > 0);
+    assert_eq!(
+        gadget.rewritten, 1,
+        "only the overt exit site is rewritable; the smuggled gadget is not"
+    );
+}

@@ -9,8 +9,8 @@ fn hardened_campaign_has_no_silent_corruption() {
     let report = run_campaign(&CampaignConfig::new(0x0A5C_F417, 3));
     assert_eq!(
         report.rows.len(),
-        3 * FaultClass::ALL.len(),
-        "every class ran against every workload"
+        3 * FaultClass::ALL_EXTENDED.len(),
+        "every class (including the origin classes) ran against every workload"
     );
     let problems = report.problems();
     assert!(problems.is_empty(), "campaign failed:\n{problems:#?}");
@@ -35,6 +35,16 @@ fn hardened_campaign_has_no_silent_corruption() {
             assert_eq!(row.killed, 0, "{}: cache fault killed", row.workload);
         }
     }
+    // The origin classes (gadget-jump, stub-smuggle) provoke kills, and
+    // report.problems() — asserted empty above — already requires every
+    // one of those kills to be an attributed unrewritten-site fail-stop.
+    let origin_kills: u32 = report
+        .rows
+        .iter()
+        .filter(|row| row.class.origin_violation())
+        .map(|row| row.killed)
+        .sum();
+    assert!(origin_kills > 0, "no origin fault ever provoked a kill");
     // Kills are classified by structured reason code, not substring
     // scraping: every killed trial is tallied under a ReasonCode and a
     // sample Alert survives for the report.

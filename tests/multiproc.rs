@@ -815,3 +815,74 @@ fn batched_windows_are_bit_identical_under_every_tier() {
         }
     }
 }
+
+/// Origin kills are pid-local: a fleet of benign workloads plus one
+/// hostile raw-`SYSCALL`-gadget guest (installed with its `.ascsites`
+/// registry) loses exactly the gadget pid — killed with an attributed
+/// `unrewritten-site` alert before its smuggled `write` produces a
+/// byte — while every peer finishes bit-identical to its solo run, at
+/// N ∈ {2, 8, 64}.
+#[test]
+fn gadget_pid_dies_alone_with_an_attributed_origin_kill() {
+    let fleet = fleet();
+    let spec = asc::workloads::hostile::hostile("gadget").expect("gadget in the corpus");
+    let plain = asc::workloads::hostile::build_hostile(spec).expect("gadget assembles");
+    let installer = Installer::new(
+        key(),
+        InstallerOptions::new(PERSONALITY).with_program_id(0x0AB7),
+    );
+    let (auth, _) = installer
+        .install(&plain, spec.name)
+        .expect("gadget installs");
+
+    for &n in &[2usize, 8, 64] {
+        let mut sched = spawn_n(n, SchedPolicy::SeededRandom(0x0619_0AD6 ^ n as u64), 2_000);
+        let mut kernel = Kernel::new(
+            KernelOptions::enforcing(PERSONALITY)
+                .with_verify_cache()
+                .with_tier(VerifyTier::Mac),
+        );
+        kernel.set_key(key());
+        kernel.set_site_registry(asc::workloads::sites_of(&auth, &key()));
+        kernel.set_brk(auth.highest_addr());
+        let gadget = sched.spawn(
+            spec.name,
+            Machine::load(&auth, kernel).expect("gadget fits"),
+        );
+        sched.run();
+
+        let proc = sched.process(gadget);
+        assert!(
+            matches!(proc.state(), ProcState::Killed(_)),
+            "n={n}: gadget pid survived: {:?}",
+            proc.state()
+        );
+        let alert = proc
+            .kernel()
+            .alerts()
+            .last()
+            .expect("origin kill carries an alert");
+        assert_eq!(alert.reason(), ReasonCode::UnrewrittenSite, "{alert}");
+        assert_eq!(
+            alert.pid, gadget,
+            "the kill is attributed to the gadget pid"
+        );
+        assert!(
+            proc.kernel().stdout().is_empty(),
+            "n={n}: the smuggled write escaped: {:?}",
+            String::from_utf8_lossy(proc.kernel().stdout())
+        );
+        assert!(
+            proc.kernel().trace().is_empty(),
+            "n={n}: a gadget call was dispatched"
+        );
+
+        for proc in sched.processes() {
+            if proc.pid() == gadget {
+                continue;
+            }
+            let solo = &fleet[(proc.pid() as usize - 1) % fleet.len()].solo;
+            assert_matches_solo(proc, solo, &format!("n={n} with a gadget peer"));
+        }
+    }
+}
